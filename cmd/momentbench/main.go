@@ -1,0 +1,52 @@
+// Command momentbench regenerates every table and figure of the paper's
+// evaluation section and prints them in order (the reproduction harness).
+//
+// Usage:
+//
+//	momentbench                   # everything, as aligned tables
+//	momentbench fig10 fig16       # selected figures
+//	momentbench -json > out.json  # machine-readable
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moment"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
+	flag.Parse()
+	tables, err := moment.Experiments()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momentbench:", err)
+		os.Exit(1)
+	}
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		want[strings.ToLower(arg)] = true
+	}
+	var selected []*moment.Table
+	for _, t := range tables {
+		if len(want) > 0 && !want[strings.ToLower(t.ID)] {
+			continue
+		}
+		selected = append(selected, t)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(selected); err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range selected {
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,81 @@
+// Command momentopt runs Moment's automatic module (the paper's
+// automatic_module.py): it profiles a machine, searches hardware
+// placements by max-flow, lays out data with DDAK, and prints the plan.
+//
+// Usage:
+//
+//	momentopt -machine B -dataset IG -model graphsage
+//	momentopt -spec server.spec -dataset UK -model gat -scores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moment"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "B", "built-in machine: A, B or C")
+		specPath    = flag.String("spec", "", "machine spec file (overrides -machine)")
+		dataset     = flag.String("dataset", "IG", "dataset: PA, IG, UK or CL")
+		model       = flag.String("model", "graphsage", "model: graphsage or gat")
+		gpus        = flag.Int("gpus", 0, "restrict GPU count (0 = machine default)")
+		scores      = flag.Bool("scores", false, "print every candidate's predicted time")
+	)
+	flag.Parse()
+
+	m, err := loadMachine(*machineName, *specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *gpus > 0 {
+		m = m.WithGPUs(*gpus)
+	}
+	ds, err := moment.DatasetByName(strings.ToUpper(*dataset))
+	if err != nil {
+		fatal(err)
+	}
+	kind := moment.GraphSAGE
+	if strings.EqualFold(*model, "gat") {
+		kind = moment.GAT
+	}
+
+	plan, err := moment.OptimizeWith(m, moment.Workload{Dataset: ds, Model: kind},
+		moment.SearchOptions{KeepScores: *scores})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan.Report())
+	if *scores {
+		fmt.Println("candidate predicted epoch IO times: (see plan report above)")
+	}
+}
+
+func loadMachine(name, spec string) (*moment.Machine, error) {
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return moment.ParseMachine(f)
+	}
+	switch strings.ToUpper(name) {
+	case "A":
+		return moment.MachineA(), nil
+	case "B":
+		return moment.MachineB(), nil
+	case "C":
+		return moment.MachineC(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want A, B, C or -spec)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "momentopt:", err)
+	os.Exit(1)
+}

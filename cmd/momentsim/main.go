@@ -1,0 +1,140 @@
+// Command momentsim simulates one training epoch for an explicit machine,
+// hardware placement and workload — the runtime half of the system, useful
+// for what-if exploration without rerunning the full optimizer.
+//
+// Usage:
+//
+//	momentsim -machine A -layout c -dataset IG -model graphsage
+//	momentsim -machine B -layout moment -dataset CL -model gat -policy hash
+//	momentsim -machine A -layout c -baseline mgids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moment"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "A", "machine: A or B")
+		layout      = flag.String("layout", "c", "placement: a, b, c, d, or moment (search)")
+		dataset     = flag.String("dataset", "IG", "dataset: PA, IG, UK or CL")
+		model       = flag.String("model", "graphsage", "model: graphsage, gat or gcn")
+		gpus        = flag.Int("gpus", 0, "restrict GPU count (0 = machine default)")
+		policy      = flag.String("policy", "ddak", "data placement: ddak or hash")
+		baseline    = flag.String("baseline", "", "simulate a baseline instead: mgids, mhyperion or distdgl")
+		timeline    = flag.Bool("timeline", false, "render the per-iteration pipeline schedule")
+	)
+	flag.Parse()
+
+	var m *moment.Machine
+	switch strings.ToUpper(*machineName) {
+	case "A":
+		m = moment.MachineA()
+	case "B":
+		m = moment.MachineB()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+	if *gpus > 0 {
+		m = m.WithGPUs(*gpus)
+	}
+	ds, err := moment.DatasetByName(strings.ToUpper(*dataset))
+	if err != nil {
+		fatal(err)
+	}
+	kind := moment.GraphSAGE
+	switch {
+	case strings.EqualFold(*model, "gat"):
+		kind = moment.GAT
+	case strings.EqualFold(*model, "gcn"):
+		kind = moment.GCN
+	}
+	w := moment.Workload{Dataset: ds, Model: kind}
+
+	if strings.EqualFold(*baseline, "distdgl") {
+		r, err := moment.DistDGL(moment.MachineC(), moment.DefaultDistDGL(), w)
+		if err != nil {
+			fatal(err)
+		}
+		if r.OOM != "" {
+			fmt.Printf("distdgl: OOM (%s)\n", r.OOM)
+			return
+		}
+		fmt.Printf("distdgl: epoch %v (sample %v, net %v, compute %v), %.0f vertices/s\n",
+			r.EpochTime, r.SampleTime, r.NetTime, r.ComputeT, r.Throughput)
+		return
+	}
+
+	p, err := pickPlacement(m, *layout, w)
+	if err != nil {
+		fatal(err)
+	}
+
+	var r *moment.EpochResult
+	switch strings.ToLower(*baseline) {
+	case "":
+		cfg := moment.SimConfig{Machine: m, Placement: p, Workload: w}
+		if strings.EqualFold(*policy, "hash") {
+			cfg.Policy = moment.PolicyHash
+		}
+		r, err = moment.Simulate(cfg)
+	case "mgids":
+		r, err = moment.MGIDS(m, p, w)
+	case "mhyperion":
+		r, err = moment.MHyperion(m, p, w)
+	default:
+		fatal(fmt.Errorf("unknown baseline %q", *baseline))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if r.OOM != "" {
+		fmt.Printf("%s: OOM (%s)\n", p.Name, r.OOM)
+		return
+	}
+	fmt.Printf("placement %s\n", p)
+	fmt.Printf("epoch %v (io %v, predicted io %v, compute %v, sample %v)\n",
+		r.EpochTime, r.IOTime, r.PredictedIO, r.ComputeTime, r.SampleTime)
+	fmt.Printf("throughput %.0f vertices/s; cache hits gpu %.1f%%, cpu %.1f%%; qpi %.1f GiB\n",
+		r.Throughput, r.HitGPU*100, r.HitCPU*100, r.QPIBytes/(1<<30))
+	for g, bw := range r.PerGPUIOBW {
+		fmt.Printf("  gpu%d inlet %v\n", g, bw)
+	}
+	if *timeline {
+		tl, err := moment.EpochTimeline(r, 6)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tl.Render(96))
+	}
+}
+
+func pickPlacement(m *moment.Machine, layout string, w moment.Workload) (*moment.Placement, error) {
+	switch strings.ToLower(layout) {
+	case "a":
+		return moment.ClassicPlacement(m, moment.LayoutA)
+	case "b":
+		return moment.ClassicPlacement(m, moment.LayoutB)
+	case "c":
+		return moment.ClassicPlacement(m, moment.LayoutC)
+	case "d":
+		return moment.ClassicPlacement(m, moment.LayoutD)
+	case "moment":
+		plan, err := moment.Optimize(m, w)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Placement, nil
+	}
+	return nil, fmt.Errorf("unknown layout %q", layout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "momentsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Custom server: the scenario Moment is built for (§2.3 "server vendors
+// offering customized machines"). Describe a bespoke chassis in the spec
+// format — an NVLink-equipped machine with an extra deep switch cascade —
+// then let the automatic module pick where to plug the GPUs and SSDs
+// before the machine is even assembled.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"moment"
+)
+
+const spec = `
+# A build-to-order server: two sockets, one of them with a two-deep
+# PCIe-switch cascade, 3 GPUs and 6 SSDs to place, NVLink bridge between
+# GPU 0 and 1.
+machine custom
+qpi 20GiB/s
+dram 256GiB 36GiB/s
+gpus 3 mem=40GiB cachefrac=0.15
+ssds 6 cap=3.84TiB bw=6GiB/s iops=930000
+pcie x16=20GiB/s x4=7GiB/s
+nodes 1 nic=0GiB/s
+point rc0 root bays=4 gpuslots=1
+point rc1 root bays=4 gpuslots=1
+point sw0 switch parent=rc0 uplink=20GiB/s bays=2 gpuslots=2
+point sw1 switch parent=sw0 uplink=20GiB/s bays=2 gpuslots=2
+nvlink 0 1 bw=50GiB/s
+`
+
+func main() {
+	machine, err := moment.ParseMachine(strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed machine %q: %d GPUs, %d SSDs, %d attach points\n",
+		machine.Name, machine.NumGPUs, machine.NumSSDs, len(machine.Points))
+
+	workload := moment.Workload{Dataset: moment.MustDataset("UK"), Model: moment.GraphSAGE}
+	plan, err := moment.OptimizeWith(machine, workload, moment.SearchOptions{KeepScores: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Report())
+
+	// With the hardware placed, does pairing the NVLinked GPUs' caches
+	// help this workload (the Fig 18 question)?
+	paired, err := moment.Simulate(moment.SimConfig{
+		Machine: machine, Placement: plan.Placement, Workload: workload,
+		Cache: moment.CachePaired,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicated caches: epoch %v\n", plan.Epoch.EpochTime)
+	fmt.Printf("paired via NVLink: epoch %v (%.1f%% throughput change)\n",
+		paired.EpochTime, (paired.Throughput/plan.Epoch.Throughput-1)*100)
+}

@@ -1,0 +1,42 @@
+// Quickstart: run Moment's automatic module on the cascaded-PCIe Machine B
+// for GraphSAGE on IGB-HOM, print the chosen hardware placement and data
+// layout, and compare the resulting epoch time against the best common
+// hand-crafted layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moment"
+)
+
+func main() {
+	machine := moment.MachineB()
+	workload := moment.Workload{
+		Dataset: moment.MustDataset("IG"),
+		Model:   moment.GraphSAGE,
+	}
+
+	plan, err := moment.Optimize(machine, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Report())
+
+	// How much does the co-optimized placement buy over the usual
+	// "spread everything evenly" layout (c)?
+	classic, err := moment.ClassicPlacement(machine, moment.LayoutC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := moment.Simulate(moment.SimConfig{
+		Machine: machine, Placement: classic, Workload: workload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclassic layout (c): epoch %v\n", base.EpochTime)
+	fmt.Printf("moment speedup:     %.2fx\n",
+		base.EpochTime.Sec()/plan.Epoch.EpochTime.Sec())
+}

@@ -1,0 +1,95 @@
+package moment
+
+// Facade for the §5 extensions: multi-node generalization (cluster) and
+// adaptive placement for dynamic workloads (adaptive).
+
+import (
+	"moment/internal/adaptive"
+	"moment/internal/cluster"
+	"moment/internal/ddak"
+	"moment/internal/trainsim"
+	"moment/internal/units"
+)
+
+// Multi-node generalization (§5 "Generalization to Multi-node").
+type (
+	// ClusterConfig describes a homogeneous multi-node deployment.
+	ClusterConfig = cluster.Config
+	// ClusterResult is one simulated cluster epoch.
+	ClusterResult = cluster.Result
+)
+
+// SimulateCluster runs one epoch of a data-parallel job across a cluster
+// of Moment machines: hot data replicated per node, cold data partitioned,
+// NICs modeled as full-duplex links into a non-blocking core.
+func SimulateCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Simulate(cfg) }
+
+// ClusterSweep simulates the job at every cluster size in nodes.
+func ClusterSweep(cfg ClusterConfig, nodes []int) ([]*ClusterResult, error) {
+	return cluster.Sweep(cfg, nodes)
+}
+
+// Adaptive placement (§5 "Limitations": online profiling + re-placement).
+type (
+	// AccessMonitor is the lightweight online profiler (decayed counters).
+	AccessMonitor = adaptive.Monitor
+	// Replanner re-runs DDAK when the live access distribution drifts.
+	Replanner = adaptive.Replanner
+	// Migration reports one adaptive re-placement.
+	Migration = adaptive.Migration
+	// StorageBin is a DDAK placement target (capacity + traffic budget).
+	StorageBin = ddak.Bin
+)
+
+// Storage tiers for StorageBin.
+const (
+	TierGPU = ddak.TierGPU
+	TierCPU = ddak.TierCPU
+	TierSSD = ddak.TierSSD
+)
+
+// NewAccessMonitor tracks n items with the given half-life in batches.
+func NewAccessMonitor(n int, halfLifeBatches float64) (*AccessMonitor, error) {
+	return adaptive.NewMonitor(n, halfLifeBatches)
+}
+
+// NewReplanner plans an initial DDAK layout and re-places when the
+// observed distribution drifts beyond threshold (total-variation).
+func NewReplanner(hot, itemBytes []float64, bins []StorageBin, poolN int, trafficScale, threshold float64) (*Replanner, error) {
+	return adaptive.NewReplanner(hot, itemBytes, bins, poolN, trafficScale, threshold)
+}
+
+// DriftTV is the total-variation distance between two access distributions.
+func DriftTV(a, b []float64) (float64, error) { return adaptive.TV(a, b) }
+
+// LayoutHitRate is the fast-tier (GPU+CPU) hit fraction of a layout under
+// an access distribution.
+func LayoutHitRate(a *ddak.ItemAssignment, hot []float64) (float64, error) {
+	return adaptive.HitRate(a, hot)
+}
+
+// Pipeline introspection.
+type (
+	// Timeline is the exact per-iteration pipeline schedule of an epoch.
+	Timeline = trainsim.Timeline
+	// StageTimes is a per-iteration stage cost triple.
+	StageTimes = trainsim.StageTimes
+)
+
+// EpochTimeline derives the exact software-pipeline schedule of a
+// simulated epoch, keeping the first `keep` rounds for rendering.
+func EpochTimeline(r *EpochResult, keep int) (*Timeline, error) {
+	return trainsim.TimelineOf(r, keep)
+}
+
+// Bandwidth and byte helpers for cluster and custom-machine configs.
+var (
+	// Gbps builds a network bandwidth from decimal gigabits per second.
+	Gbps = units.Gbps
+	// GiBps builds a bandwidth from GiB per second.
+	GiBps = units.GiBps
+	// GB builds a byte size from GiB.
+	GB = units.GB
+	// TB builds a byte size from TiB.
+	TB = units.TB
+)

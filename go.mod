@@ -1,0 +1,3 @@
+module moment
+
+go 1.22

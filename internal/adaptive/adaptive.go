@@ -1,0 +1,218 @@
+// Package adaptive implements the future-work extension the paper commits
+// to in §5 ("Limitations"): lightweight online profiling and adaptive
+// placement for dynamic workloads. Offline pre-sampling assumes a static
+// access distribution; under drift (online inference, streaming updates)
+// the planned layout's cache hit rate decays. This package provides
+//
+//   - Monitor: exponentially-decayed access counters — the "lightweight
+//     online profiling" — cheap enough to update on every mini-batch;
+//   - drift detection via total-variation distance between the layout's
+//     planning-time distribution and the live estimate;
+//   - Replanner: re-runs DDAK when drift exceeds a threshold and reports
+//     the migration bill (which items moved, how many bytes cross the
+//     fabric to re-shuffle them).
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/ddak"
+)
+
+// Monitor keeps exponentially-decayed per-item access counts.
+type Monitor struct {
+	counts []float64
+	factor float64 // per-tick decay multiplier
+	total  float64
+}
+
+// NewMonitor tracks n items with the given half-life (in ticks; a tick is
+// typically one mini-batch).
+func NewMonitor(n int, halfLifeTicks float64) (*Monitor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adaptive: non-positive item count")
+	}
+	if halfLifeTicks <= 0 {
+		return nil, fmt.Errorf("adaptive: non-positive half life")
+	}
+	return &Monitor{
+		counts: make([]float64, n),
+		factor: math.Exp(-math.Ln2 / halfLifeTicks),
+	}, nil
+}
+
+// Observe credits one access of the given weight to an item.
+func (m *Monitor) Observe(item int32, weight float64) error {
+	if item < 0 || int(item) >= len(m.counts) {
+		return fmt.Errorf("adaptive: item %d out of range [0,%d)", item, len(m.counts))
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		return fmt.Errorf("adaptive: bad weight %v", weight)
+	}
+	m.counts[item] += weight
+	m.total += weight
+	return nil
+}
+
+// ObserveBatch credits one access per listed item (one mini-batch's
+// fetches) and then advances the decay clock by one tick.
+func (m *Monitor) ObserveBatch(items []int32) error {
+	for _, it := range items {
+		if err := m.Observe(it, 1); err != nil {
+			return err
+		}
+	}
+	m.Tick()
+	return nil
+}
+
+// Tick applies one decay step.
+func (m *Monitor) Tick() {
+	for i := range m.counts {
+		m.counts[i] *= m.factor
+	}
+	m.total *= m.factor
+}
+
+// Hotness returns the normalized access distribution estimate (sums to 1;
+// all-zero if nothing was observed).
+func (m *Monitor) Hotness() []float64 {
+	out := make([]float64, len(m.counts))
+	if m.total <= 0 {
+		return out
+	}
+	for i, c := range m.counts {
+		out[i] = c / m.total
+	}
+	return out
+}
+
+// TV computes the total-variation distance ½·Σ|a−b| between two
+// distributions of equal length (0 = identical, 1 = disjoint).
+func TV(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("adaptive: distribution lengths %d != %d", len(a), len(b))
+	}
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d / 2, nil
+}
+
+// Migration reports one adaptive re-placement.
+type Migration struct {
+	// Drift is the TV distance that triggered (or failed to trigger) it.
+	Drift float64
+	// Triggered reports whether a re-placement happened.
+	Triggered bool
+	// MovedItems is the number of items whose bin changed.
+	MovedItems int
+	// MovedBytes is the embedding volume that must cross the fabric.
+	MovedBytes float64
+	// Assignment is the layout in force after the call.
+	Assignment *ddak.ItemAssignment
+}
+
+// Replanner owns a DDAK layout and refreshes it when the observed access
+// distribution drifts beyond Threshold.
+type Replanner struct {
+	Bins         []ddak.Bin
+	PoolN        int
+	TrafficScale float64
+	// Threshold is the TV drift that triggers re-placement (e.g. 0.1).
+	Threshold float64
+
+	itemBytes []float64
+	current   *ddak.ItemAssignment
+	planned   []float64 // hotness snapshot at last re-placement
+	replans   int
+}
+
+// NewReplanner plans the initial layout from the offline hotness estimate.
+func NewReplanner(hot, itemBytes []float64, bins []ddak.Bin, poolN int, trafficScale, threshold float64) (*Replanner, error) {
+	if len(hot) != len(itemBytes) {
+		return nil, fmt.Errorf("adaptive: hotness/bytes length mismatch %d vs %d", len(hot), len(itemBytes))
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("adaptive: threshold %v out of (0,1)", threshold)
+	}
+	r := &Replanner{
+		Bins:         bins,
+		PoolN:        poolN,
+		TrafficScale: trafficScale,
+		Threshold:    threshold,
+		itemBytes:    append([]float64(nil), itemBytes...),
+	}
+	a, err := r.place(hot)
+	if err != nil {
+		return nil, err
+	}
+	r.current = a
+	r.planned = append([]float64(nil), hot...)
+	return r, nil
+}
+
+func (r *Replanner) place(hot []float64) (*ddak.ItemAssignment, error) {
+	items := make([]ddak.Item, len(hot))
+	for i := range items {
+		items[i] = ddak.Item{Hot: hot[i], Bytes: r.itemBytes[i]}
+	}
+	return ddak.PlaceItems(items, r.Bins, r.PoolN, r.TrafficScale)
+}
+
+// Current returns the layout in force.
+func (r *Replanner) Current() *ddak.ItemAssignment { return r.current }
+
+// Replans counts completed re-placements.
+func (r *Replanner) Replans() int { return r.replans }
+
+// Maybe checks the live hotness estimate against the planning-time
+// snapshot and re-places when drift exceeds the threshold.
+func (r *Replanner) Maybe(live []float64) (*Migration, error) {
+	drift, err := TV(r.planned, live)
+	if err != nil {
+		return nil, err
+	}
+	mig := &Migration{Drift: drift, Assignment: r.current}
+	if drift < r.Threshold {
+		return mig, nil
+	}
+	next, err := r.place(live)
+	if err != nil {
+		return nil, err
+	}
+	for i := range next.Of {
+		if next.Of[i] != r.current.Of[i] {
+			mig.MovedItems++
+			mig.MovedBytes += r.itemBytes[i]
+		}
+	}
+	mig.Triggered = true
+	mig.Assignment = next
+	r.current = next
+	r.planned = append(r.planned[:0], live...)
+	r.replans++
+	return mig, nil
+}
+
+// HitRate evaluates a layout's fast-tier (GPU+CPU) hit fraction under an
+// access distribution — the quality metric drift erodes and re-placement
+// restores.
+func HitRate(a *ddak.ItemAssignment, hot []float64) (float64, error) {
+	if len(hot) != len(a.Of) {
+		return 0, fmt.Errorf("adaptive: hotness length %d != assignment %d", len(hot), len(a.Of))
+	}
+	total, fast := 0.0, 0.0
+	for i, bin := range a.Of {
+		total += hot[i]
+		if a.Bins[bin].Tier != ddak.TierSSD {
+			fast += hot[i]
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return fast / total, nil
+}

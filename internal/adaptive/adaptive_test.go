@@ -1,0 +1,305 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moment/internal/ddak"
+	"moment/internal/sample"
+)
+
+func bins() []ddak.Bin {
+	return []ddak.Bin{
+		{Name: "hbm", Tier: ddak.TierGPU, Capacity: 100, Traffic: 0.5},
+		{Name: "dram", Tier: ddak.TierCPU, Capacity: 200, Traffic: 0.2},
+		{Name: "ssd0", Tier: ddak.TierSSD, Capacity: 5000, Traffic: 0.15},
+		{Name: "ssd1", Tier: ddak.TierSSD, Capacity: 5000, Traffic: 0.15},
+	}
+}
+
+func zipf(t *testing.T, n int) []float64 {
+	t.Helper()
+	h, err := sample.ZipfHotness(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// rotate shifts the hot ranking by k positions: the former hot head cools,
+// formerly cold vertices heat up (a drifting workload).
+func rotate(hot []float64, k int) []float64 {
+	out := make([]float64, len(hot))
+	for i := range hot {
+		out[(i+k)%len(hot)] = hot[i]
+	}
+	return out
+}
+
+func TestMonitorTracksDistribution(t *testing.T) {
+	m, err := NewMonitor(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a 70/30 split between items 0 and 1.
+	r := rand.New(rand.NewSource(1))
+	for batch := 0; batch < 200; batch++ {
+		var items []int32
+		for k := 0; k < 10; k++ {
+			if r.Float64() < 0.7 {
+				items = append(items, 0)
+			} else {
+				items = append(items, 1)
+			}
+		}
+		if err := m.ObserveBatch(items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := m.Hotness()
+	if math.Abs(h[0]-0.7) > 0.08 || math.Abs(h[1]-0.3) > 0.08 {
+		t.Errorf("estimate %v, want ~[0.7 0.3 ...]", h[:3])
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("hotness sums to %v", sum)
+	}
+}
+
+func TestMonitorDecayForgetsOldRegime(t *testing.T) {
+	m, err := NewMonitor(4, 10) // short half-life
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.ObserveBatch([]int32{0})
+	}
+	for i := 0; i < 100; i++ {
+		m.ObserveBatch([]int32{3})
+	}
+	h := m.Hotness()
+	if h[3] < 0.99 {
+		t.Errorf("monitor still remembers stale item: %v", h)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	if _, err := NewMonitor(0, 10); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewMonitor(5, 0); err == nil {
+		t.Error("half-life 0 accepted")
+	}
+	m, err := NewMonitor(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(9, 1); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if err := m.Observe(0, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if h := m.Hotness(); h[0] != 0 {
+		t.Error("empty monitor should report zeros")
+	}
+}
+
+func TestTV(t *testing.T) {
+	a := []float64{0.5, 0.5, 0}
+	b := []float64{0, 0.5, 0.5}
+	d, err := TV(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("TV = %v, want 0.5", d)
+	}
+	if d, _ := TV(a, a); d != 0 {
+		t.Errorf("TV(a,a) = %v", d)
+	}
+	if _, err := TV(a, b[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReplannerTriggersOnDrift(t *testing.T) {
+	const n = 1000
+	hot := zipf(t, n)
+	bytes := make([]float64, n)
+	for i := range bytes {
+		bytes[i] = 1
+	}
+	r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No drift: nothing happens.
+	mig, err := r.Maybe(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Triggered || mig.Drift > 1e-9 {
+		t.Errorf("spurious trigger: %+v", mig)
+	}
+	// Rotate the hot set hard: must trigger and move items.
+	shifted := rotate(hot, n/2)
+	mig, err = r.Maybe(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mig.Triggered {
+		t.Fatalf("drift %.3f did not trigger", mig.Drift)
+	}
+	if mig.MovedItems == 0 || mig.MovedBytes == 0 {
+		t.Error("migration moved nothing")
+	}
+	if r.Replans() != 1 {
+		t.Errorf("replans = %d", r.Replans())
+	}
+	// After re-planning, the same distribution no longer triggers.
+	mig, err = r.Maybe(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Triggered {
+		t.Error("re-triggered without new drift")
+	}
+}
+
+func TestAdaptiveRestoresHitRate(t *testing.T) {
+	// The §5 scenario end to end: plan offline, drift the workload,
+	// show the static layout's hit rate collapsing and the adaptive one
+	// recovering.
+	const n = 2000
+	offline := zipf(t, n)
+	bytes := make([]float64, n)
+	for i := range bytes {
+		bytes[i] = 1
+	}
+	r, err := NewReplanner(offline, bytes, bins(), 10, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := r.Current()
+
+	h0, err := HitRate(static, offline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 < 0.3 {
+		t.Fatalf("offline hit rate %.3f suspiciously low", h0)
+	}
+
+	drifted := rotate(offline, n/2)
+	hStaticDrift, err := HitRate(static, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hStaticDrift > h0*0.5 {
+		t.Fatalf("drift did not hurt the static layout: %.3f vs %.3f", hStaticDrift, h0)
+	}
+
+	mig, err := r.Maybe(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mig.Triggered {
+		t.Fatal("replanner missed the drift")
+	}
+	hAdaptive, err := HitRate(r.Current(), drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hAdaptive < h0*0.95 {
+		t.Errorf("adaptive hit rate %.3f did not recover to ~%.3f", hAdaptive, h0)
+	}
+}
+
+func TestReplannerWithMonitorLoop(t *testing.T) {
+	// Integration: a monitor feeds the replanner while batches arrive
+	// from a shifted regime.
+	const n = 500
+	offline := zipf(t, n)
+	bytes := make([]float64, n)
+	for i := range bytes {
+		bytes[i] = 1
+	}
+	r, err := NewReplanner(offline, bytes, bins(), 10, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(n, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	shifted := rotate(offline, n/2)
+	// Draw batches from the shifted distribution.
+	cum := make([]float64, n+1)
+	for i, h := range shifted {
+		cum[i+1] = cum[i] + h
+	}
+	draw := func() int32 {
+		x := rng.Float64() * cum[n]
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	triggered := false
+	for batch := 0; batch < 150 && !triggered; batch++ {
+		items := make([]int32, 64)
+		for k := range items {
+			items[k] = draw()
+		}
+		if err := mon.ObserveBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		mig, err := r.Maybe(mon.Hotness())
+		if err != nil {
+			t.Fatal(err)
+		}
+		triggered = mig.Triggered
+	}
+	if !triggered {
+		t.Fatal("online profiling never detected the regime change")
+	}
+}
+
+func TestReplannerErrors(t *testing.T) {
+	hot := zipf(t, 10)
+	bytes := make([]float64, 10)
+	for i := range bytes {
+		bytes[i] = 1
+	}
+	if _, err := NewReplanner(hot, bytes[:5], bins(), 10, 1, 0.1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewReplanner(hot, bytes, bins(), 10, 1, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewReplanner(hot, bytes, bins(), 10, 1, 1); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Maybe(hot[:5]); err == nil {
+		t.Error("short live distribution accepted")
+	}
+	if _, err := HitRate(r.Current(), hot[:5]); err == nil {
+		t.Error("short hotness accepted")
+	}
+}

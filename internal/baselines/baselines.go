@@ -1,0 +1,181 @@
+// Package baselines models the comparison systems of §4.1: M-GIDS (the
+// multi-GPU extension of GIDS with PyTorch DDP and statically partitioned
+// SSDs), M-Hyperion (Hyperion's single-GPU I/O stack extended to multiple
+// GPUs sharing SSDs), and DistDGL (the four-machine distributed baseline
+// with CPU sampling and network feature fetch). The single-machine
+// baselines drive the same epoch simulator as Moment with the constraints
+// the paper describes; DistDGL is an analytic cluster model.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/gnn"
+	"moment/internal/topology"
+	"moment/internal/trainsim"
+	"moment/internal/units"
+)
+
+// BaMMetadataRatio is the GPU-memory page-cache metadata overhead of the
+// BaM-based GIDS I/O stack, as a fraction of the on-SSD feature store.
+// Calibrated so that M-GIDS fits IGB-HOM (1.1 TiB -> ~17 GiB of metadata
+// in a 40 GiB A100) but runs out of GPU memory on UK (3.2 TiB) and CL
+// (4.1 TiB), matching §4.2.
+const BaMMetadataRatio = 1.0 / 64
+
+// BaMBudgetFrac is the fraction of GPU memory BaM may use for its page
+// cache plus metadata (the remainder holds model state and buffers).
+const BaMBudgetFrac = 0.75
+
+// MGIDS simulates the M-GIDS baseline on machine m under placement p:
+// hash data placement (GIDS does not plan placement), statically
+// partitioned SSDs (each GPU owns NumSSDs/NumGPUs drives holding a full
+// dataset replica), and a BaM page cache whose metadata consumes GPU
+// memory before any feature caching happens.
+func MGIDS(m *topology.Machine, p *topology.Placement, w trainsim.Workload) (*trainsim.Result, error) {
+	if m.NumGPUs <= 0 {
+		return nil, fmt.Errorf("baselines: M-GIDS needs GPUs")
+	}
+	meta := float64(w.Dataset.FeatureStorage.Int64()) * BaMMetadataRatio
+	gpuBytes := float64(m.GPUMemory.Int64())
+	// BaM can devote most of the GPU beyond model state to its page cache
+	// and metadata; metadata is charged first.
+	budget := gpuBytes * BaMBudgetFrac
+	usable := budget - meta
+	if usable <= 0 {
+		return &trainsim.Result{OOM: fmt.Sprintf(
+			"gpu memory: BaM page-cache metadata %.1f GiB exceeds the %.1f GiB budget of a %.0f GiB GPU",
+			meta/(1<<30), budget/(1<<30), gpuBytes/(1<<30))}, nil
+	}
+	mm := m.Clone()
+	// The page cache is reactive (LRU over 4K pages) rather than
+	// hotness-planned; cap its effective size at the machine's planned
+	// cache fraction so M-GIDS never benefits from a larger cache than
+	// Moment's own conservative budget.
+	mm.GPUCacheFrac = math.Min(usable/gpuBytes, m.GPUCacheFrac)
+	// GIDS issues one 4 KiB NVMe command per feature row from CUDA
+	// threads, without Moment's command coalescing, so its SSDs are
+	// IOPS-bound: effective per-device bandwidth = IOPS x 4 KiB.
+	iopsBound := mm.SSDIOPS * 4096
+	if iopsBound > 0 && iopsBound < float64(mm.SSDBW) {
+		mm.SSDBW = units.Bandwidth(iopsBound)
+	}
+	return trainsim.SimulateEpoch(trainsim.Config{
+		Machine:   mm,
+		Placement: p,
+		Workload:  w,
+		Policy:    trainsim.PolicyHash,
+		Mode:      trainsim.PartitionedSSD,
+	})
+}
+
+// MHyperion simulates the M-Hyperion baseline: Hyperion's GPU-initiated
+// I/O stack extended to multiple GPUs with shared SSD access and
+// replicated hot caches, but no topology-aware placement planning — the
+// hardware placement is whatever the operator chose (Figs 3–6 sweep the
+// four classic layouts through this entry point).
+func MHyperion(m *topology.Machine, p *topology.Placement, w trainsim.Workload) (*trainsim.Result, error) {
+	return trainsim.SimulateEpoch(trainsim.Config{
+		Machine:   m,
+		Placement: p,
+		Workload:  w,
+		Policy:    trainsim.PolicyDDAK, // Hyperion caches hot vertices...
+		Mode:      trainsim.SharedSSD,
+		Cache:     trainsim.CacheReplicated,
+	})
+}
+
+// DistDGLConfig calibrates the distributed baseline.
+type DistDGLConfig struct {
+	// Machines is the cluster size (Table 1: 4).
+	Machines int
+	// CPUSampleRate is sampled edges/second/machine for CPU-based
+	// sampling (the paper's core DistDGL bottleneck, §2.2).
+	CPUSampleRate float64
+	// NetGoodput is the effective network goodput per machine including
+	// request pipelining; the paper observed DistDGL peaking near 20 Gbps
+	// on the wire despite 100 Gbps NICs.
+	NetGoodput units.Bandwidth
+	// MemExpansion is DistDGL's working-set multiplier over the raw
+	// dataset size (§2.2: "up to 5x").
+	MemExpansion float64
+}
+
+// DefaultDistDGL returns the Cluster C configuration.
+func DefaultDistDGL() DistDGLConfig {
+	return DistDGLConfig{
+		Machines:      4,
+		CPUSampleRate: 2.5e7,
+		NetGoodput:    units.Gbps(25),
+		MemExpansion:  5,
+	}
+}
+
+// DistDGLResult mirrors the relevant subset of trainsim.Result.
+type DistDGLResult struct {
+	OOM        string
+	EpochTime  units.Duration
+	SampleTime units.Duration
+	NetTime    units.Duration
+	ComputeT   units.Duration
+	Throughput float64 // training vertices per second
+}
+
+// DistDGL analytically models an epoch of DistDGL on cluster machine cm
+// (Table 1 column C). Graph data is partitioned across machines; each
+// trainer samples on the CPU, fetches ~ (Machines-1)/Machines of features
+// remotely, and trains on its local GPU.
+func DistDGL(cm *topology.Machine, cfg DistDGLConfig, w trainsim.Workload) (*DistDGLResult, error) {
+	if cfg.Machines <= 0 || cfg.CPUSampleRate <= 0 || cfg.NetGoodput <= 0 {
+		return nil, fmt.Errorf("baselines: bad DistDGL config %+v", cfg)
+	}
+	w = w.Defaults()
+	w.NumGPUs = cfg.Machines * cm.NumGPUs
+	d := w.Dataset
+
+	// Memory feasibility: the partitioned dataset plus framework expansion
+	// must fit the cluster's aggregate CPU memory (§4.2: DistDGL OOMs on
+	// IG, UK and CL).
+	datasetBytes := float64(d.TopologyStorage.Int64() + d.FeatureStorage.Int64())
+	clusterMem := float64(cm.DRAMPerSocket.Int64()) * float64(len(cm.RootComplexes())) * float64(cfg.Machines)
+	if need := datasetBytes * cfg.MemExpansion; need > clusterMem {
+		return &DistDGLResult{OOM: fmt.Sprintf(
+			"cluster memory: %.1f TiB working set (%.0fx expansion) exceeds %.1f TiB across %d machines",
+			need/(1<<40), cfg.MemExpansion, clusterMem/(1<<40), cfg.Machines)}, nil
+	}
+
+	stats, err := trainsim.ComputeStats(w, 0)
+	if err != nil {
+		return nil, err
+	}
+	iters := math.Ceil(float64(stats.BatchesPerEpoch) / float64(w.NumGPUs))
+
+	// Per-iteration stage costs per trainer.
+	sample := stats.EdgesPerBatch / cfg.CPUSampleRate
+	remoteFrac := float64(cfg.Machines-1) / float64(cfg.Machines)
+	netBytes := stats.FetchBytesBatch * remoteFrac
+	net := netBytes / float64(cfg.NetGoodput)
+	cost := gnn.DefaultCostModel(w.Model, d.FeatureDim, 2)
+	comp, err := cost.IterationSeconds(int64(stats.UniquePerBatch), int64(stats.EdgesPerBatch))
+	if err != nil {
+		return nil, err
+	}
+	// DistDGL pipelines sampling with training, but CPU sampling and
+	// network fetch share the host and tend to serialize in practice;
+	// the epoch follows the dominant stage plus pipeline fill.
+	stageMax := math.Max(sample, math.Max(net, comp))
+	fill := sample + net + comp - stageMax
+	epoch := stageMax*iters + fill
+
+	res := &DistDGLResult{
+		EpochTime:  units.Seconds(epoch),
+		SampleTime: units.Seconds(sample * iters),
+		NetTime:    units.Seconds(net * iters),
+		ComputeT:   units.Seconds(comp * iters),
+	}
+	if epoch > 0 {
+		res.Throughput = float64(d.TrainVertices()) / epoch
+	}
+	return res, nil
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"moment/internal/gnn"
+	"moment/internal/graph"
+	"moment/internal/topology"
+	"moment/internal/trainsim"
+)
+
+func ds(t *testing.T, name string) graph.Dataset {
+	t.Helper()
+	d, err := graph.DatasetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func momentEpoch(t *testing.T, m *topology.Machine, p *topology.Placement, w trainsim.Workload) *trainsim.Result {
+	t.Helper()
+	r, err := trainsim.SimulateEpoch(trainsim.Config{Machine: m, Placement: p, Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM != "" {
+		t.Fatalf("moment OOM: %s", r.OOM)
+	}
+	return r
+}
+
+func TestMGIDSOOMOnLargeDatasets(t *testing.T) {
+	// §4.2: M-GIDS runs out of GPU memory on UK and CL (BaM page-cache
+	// metadata), but runs PA and IG.
+	m := topology.MachineA()
+	p, err := topology.ClassicPlacement(m, topology.LayoutC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"UK", "CL"} {
+		r, err := MGIDS(m, p, trainsim.Workload{Dataset: ds(t, name), Model: gnn.KindSAGE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OOM == "" {
+			t.Errorf("%s: expected M-GIDS GPU-memory OOM", name)
+		}
+		if r.OOM != "" && !strings.Contains(r.OOM, "gpu memory") {
+			t.Errorf("%s: OOM reason %q not GPU memory", name, r.OOM)
+		}
+	}
+	for _, name := range []string{"PA", "IG"} {
+		r, err := MGIDS(m, p, trainsim.Workload{Dataset: ds(t, name), Model: gnn.KindSAGE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OOM != "" {
+			t.Errorf("%s: unexpected M-GIDS OOM: %s", name, r.OOM)
+		}
+	}
+}
+
+func TestMomentOutperformsMGIDS(t *testing.T) {
+	// Fig 10: Moment beats M-GIDS on every dataset it can run.
+	m := topology.MachineA()
+	p, err := topology.ClassicPlacement(m, topology.LayoutC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PA", "IG"} {
+		w := trainsim.Workload{Dataset: ds(t, name), Model: gnn.KindSAGE}
+		gids, err := MGIDS(m, p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moment := momentEpoch(t, m, p, w)
+		ratio := gids.EpochTime.Sec() / moment.EpochTime.Sec()
+		if ratio < 1.1 {
+			t.Errorf("%s: M-GIDS/Moment ratio %.2f, want > 1.1 (paper up to 6.51x)", name, ratio)
+		}
+	}
+}
+
+func TestMHyperionPlacementSensitivity(t *testing.T) {
+	// Figs 3-4: M-Hyperion under layout (c) beats layout (b) by ~1.9x.
+	for _, mk := range []func() *topology.Machine{topology.MachineA, topology.MachineB} {
+		m := mk()
+		w := trainsim.Workload{Dataset: ds(t, "IG"), Model: gnn.KindSAGE}
+		pb, err := topology.ClassicPlacement(m, topology.LayoutB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := topology.ClassicPlacement(m, topology.LayoutC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := MHyperion(m, pb, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := MHyperion(m, pc, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := rb.EpochTime.Sec() / rc.EpochTime.Sec()
+		if ratio < 1.4 {
+			t.Errorf("machine %s: (b)/(c) = %.2f, want > 1.4 (paper 1.86/1.96)", m.Name, ratio)
+		}
+	}
+}
+
+func TestMHyperionPackedScalingFlat(t *testing.T) {
+	// Figs 5-6: scaling 2->4 GPUs under placement (d) yields little or
+	// negative throughput gain for the out-of-core baselines.
+	epoch := func(n int) float64 {
+		m := topology.MachineA().WithGPUs(n)
+		p, err := topology.ClassicPlacement(m, topology.LayoutD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := MHyperion(m, p, trainsim.Workload{Dataset: ds(t, "IG"), Model: gnn.KindSAGE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EpochTime.Sec()
+	}
+	speedup := epoch(2) / epoch(4)
+	if speedup > 1.25 {
+		t.Errorf("packed layout 2->4 GPU speedup %.2fx, want flat (<1.25x)", speedup)
+	}
+}
+
+func TestDistDGLOOM(t *testing.T) {
+	// §4.2: DistDGL runs out of cluster CPU memory on IG, UK and CL.
+	cm := topology.MachineC()
+	for _, name := range []string{"IG", "UK", "CL"} {
+		r, err := DistDGL(cm, DefaultDistDGL(), trainsim.Workload{Dataset: ds(t, name), Model: gnn.KindSAGE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OOM == "" {
+			t.Errorf("%s: expected DistDGL OOM", name)
+		}
+	}
+	r, err := DistDGL(cm, DefaultDistDGL(), trainsim.Workload{Dataset: ds(t, "PA"), Model: gnn.KindSAGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM != "" {
+		t.Errorf("PA: unexpected DistDGL OOM: %s", r.OOM)
+	}
+	if r.EpochTime <= 0 || r.Throughput <= 0 {
+		t.Errorf("PA: degenerate result %+v", r)
+	}
+}
+
+func TestMomentOutperformsDistDGL(t *testing.T) {
+	// Fig 10: Moment beats DistDGL (paper: up to 3.02x on PA) while using
+	// a single machine.
+	w := trainsim.Workload{Dataset: ds(t, "PA"), Model: gnn.KindSAGE}
+	dgl, err := DistDGL(topology.MachineC(), DefaultDistDGL(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.MachineA()
+	p, err := topology.ClassicPlacement(m, topology.LayoutC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moment := momentEpoch(t, m, p, w)
+	ratio := dgl.EpochTime.Sec() / moment.EpochTime.Sec()
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("DistDGL/Moment = %.2f, want in [1.5, 6] (paper up to 3.02)", ratio)
+	}
+}
+
+func TestDistDGLCPUSamplingBound(t *testing.T) {
+	// The paper identifies CPU sampling as DistDGL's bottleneck.
+	r, err := DistDGL(topology.MachineC(), DefaultDistDGL(), trainsim.Workload{Dataset: ds(t, "PA"), Model: gnn.KindSAGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SampleTime.Sec() < r.ComputeT.Sec() {
+		t.Errorf("CPU sampling (%.1fs) should dominate GPU compute (%.1fs)",
+			r.SampleTime.Sec(), r.ComputeT.Sec())
+	}
+}
+
+func TestDistDGLConfigErrors(t *testing.T) {
+	cm := topology.MachineC()
+	w := trainsim.Workload{Dataset: ds(t, "PA")}
+	bad := DefaultDistDGL()
+	bad.Machines = 0
+	if _, err := DistDGL(cm, bad, w); err == nil {
+		t.Error("zero machines accepted")
+	}
+	bad = DefaultDistDGL()
+	bad.CPUSampleRate = 0
+	if _, err := DistDGL(cm, bad, w); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestMGIDSNeedsGPUs(t *testing.T) {
+	m := topology.MachineA().WithGPUs(0)
+	p := &topology.Placement{SSDAt: make([]string, 8)}
+	for i := range p.SSDAt {
+		p.SSDAt[i] = "rc0"
+	}
+	if _, err := MGIDS(m, p, trainsim.Workload{Dataset: ds(t, "PA")}); err == nil {
+		t.Error("0 GPUs accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package cluster implements the multi-node generalization the paper
+// sketches in §5 ("Generalization to Multi-node"): NICs join the hardware
+// units of the topology graph, network links between NICs become edges,
+// and Moment's optimization extends across machines by (1) replicating the
+// hot head of the access distribution into every node's caches —
+// "prioritizing local SSD/memory access" — and (2) partitioning the cold
+// remainder across the nodes' SSD fleets, so only the partitioned tail
+// crosses the network.
+//
+// Each node's intra-machine behaviour reuses the single-machine pipeline
+// (placement search, DDAK, fabric simulation); the cross-node stage models
+// each NIC as a full-duplex link into a non-blocking core switch. NIC↔PCIe
+// contention inside a node is not modeled (the NIC hangs off the socket
+// opposite the GPUs on the evaluated machines), which this package notes as
+// its main simplification.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/core"
+	"moment/internal/topology"
+	"moment/internal/trainsim"
+	"moment/internal/units"
+)
+
+// Config describes a homogeneous cluster running one data-parallel job.
+type Config struct {
+	// Node is the per-node machine (GPUs, SSDs, topology).
+	Node *topology.Machine
+	// Nodes is the cluster size.
+	Nodes int
+	// NICBW is each node's full-duplex network bandwidth.
+	NICBW units.Bandwidth
+	// Workload is the cluster-wide training job.
+	Workload trainsim.Workload
+
+	// Placement fixes each node's hardware placement; nil runs the
+	// automatic module once and replicates the winner (nodes are
+	// homogeneous).
+	Placement *topology.Placement
+	// ReplicateHot disables/enables the §5 locality optimization: when
+	// false, all non-cached data is partitioned and (Nodes-1)/Nodes of
+	// every fetch crosses the network (the naive extension).
+	// Default true.
+	ReplicateHot *bool
+	// Sim forwards per-node simulation knobs.
+	Sim trainsim.Config
+}
+
+// Result is one simulated cluster epoch.
+type Result struct {
+	OOM string
+
+	EpochTime units.Duration
+	// LocalIO is the per-node intra-machine I/O critical path.
+	LocalIO units.Duration
+	// NICTime is the per-node network stage (ingress-bound, full duplex).
+	NICTime units.Duration
+	// ComputeTime and SampleTime are per-node per-epoch stage totals.
+	ComputeTime units.Duration
+	SampleTime  units.Duration
+
+	// RemoteFraction is the share of fetched bytes that crossed the
+	// network.
+	RemoteFraction float64
+	// PerNodeFetch is the feature bytes each node consumed.
+	PerNodeFetch float64
+	// Throughput is cluster-wide training vertices per second.
+	Throughput float64
+	// Placement is the per-node hardware placement used.
+	Placement *topology.Placement
+	// Node is the per-node epoch detail.
+	Node *trainsim.Result
+}
+
+// Simulate runs one cluster epoch.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("cluster: nil node machine")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive node count")
+	}
+	if cfg.NICBW <= 0 && cfg.Nodes > 1 {
+		return nil, fmt.Errorf("cluster: multi-node cluster needs NIC bandwidth")
+	}
+	replicateHot := true
+	if cfg.ReplicateHot != nil {
+		replicateHot = *cfg.ReplicateHot
+	}
+	w := cfg.Workload.Defaults()
+	w.NumGPUs = cfg.Node.NumGPUs
+
+	// Per-node epoch share: training vertices split evenly across nodes.
+	totalBatches := int(math.Ceil(float64(w.Dataset.TrainVertices()) / float64(w.BatchSize)))
+	w.EpochBatches = (totalBatches + cfg.Nodes - 1) / cfg.Nodes
+
+	// Storage feasibility: each node's SSDs hold its 1/Nodes shard of the
+	// cold features plus (with replication) nothing extra — the hot head
+	// lives in caches, not on disk twice.
+	shardBytes := float64(w.Dataset.FeatureStorage.Int64()) / float64(cfg.Nodes)
+	nodeSSD := float64(cfg.Node.SSDCapacity.Int64()) * float64(cfg.Node.NumSSDs)
+	if shardBytes > nodeSSD {
+		return &Result{OOM: fmt.Sprintf(
+			"ssd capacity: %.1f TiB shard exceeds %.1f TiB per node",
+			shardBytes/(1<<40), nodeSSD/(1<<40))}, nil
+	}
+
+	// Hardware placement: search once, replicate (homogeneous nodes).
+	placement := cfg.Placement
+	if placement == nil {
+		plan, err := core.CoOptimize(core.Input{Machine: cfg.Node, Workload: w})
+		if err != nil {
+			return nil, err
+		}
+		placement = plan.Placement
+	}
+
+	// Intra-node epoch: the node behaves like a single machine consuming
+	// its batch share; its SSD tier serves the node's own shard locally
+	// and, symmetrically, the same byte volume on behalf of remote peers,
+	// so local fabric load matches the single-machine simulation.
+	simCfg := cfg.Sim
+	simCfg.Machine = cfg.Node
+	simCfg.Placement = placement
+	simCfg.Workload = w
+	simCfg.StorageShardFrac = 1 / float64(cfg.Nodes)
+	node, err := trainsim.SimulateEpoch(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	if node.OOM != "" {
+		return &Result{OOM: node.OOM}, nil
+	}
+
+	// Network stage: of the SSD-tier bytes a node fetches, (Nodes-1)/Nodes
+	// live on remote shards. With ReplicateHot, the cached head (GPU+CPU
+	// hits) never leaves the node; without it, cache contents are
+	// partitioned too and remote peers' requests for them also cross the
+	// wire.
+	remoteBase := 1 - node.HitGPU - node.HitCPU // SSD-tier share of fetches
+	if remoteBase < 0 {
+		remoteBase = 0
+	}
+	if !replicateHot {
+		remoteBase = 1 - node.HitGPU/float64(cfg.Nodes) - node.HitCPU/float64(cfg.Nodes)
+	}
+	remoteFrac := remoteBase * float64(cfg.Nodes-1) / float64(cfg.Nodes)
+	remoteBytes := node.FetchEpoch * remoteFrac
+	nicTime := 0.0
+	if cfg.Nodes > 1 {
+		nicTime = remoteBytes / float64(cfg.NICBW)
+	}
+
+	// Pipelined cluster epoch per node: the network stage overlaps the
+	// local pipeline like any other stage.
+	stages := []float64{node.IOTime.Sec(), nicTime, node.ComputeTime.Sec(), node.SampleTime.Sec()}
+	stageMax, stageSum := 0.0, 0.0
+	for _, s := range stages {
+		stageSum += s
+		if s > stageMax {
+			stageMax = s
+		}
+	}
+	iters := math.Max(1, math.Ceil(float64(w.EpochBatches)/float64(cfg.Node.NumGPUs)))
+	epoch := stageMax + (stageSum-stageMax)/iters
+
+	res := &Result{
+		EpochTime:      units.Seconds(epoch),
+		LocalIO:        node.IOTime,
+		NICTime:        units.Seconds(nicTime),
+		ComputeTime:    node.ComputeTime,
+		SampleTime:     node.SampleTime,
+		RemoteFraction: remoteFrac,
+		PerNodeFetch:   node.FetchEpoch,
+		Placement:      placement,
+		Node:           node,
+	}
+	if epoch > 0 {
+		res.Throughput = float64(w.Dataset.TrainVertices()) / epoch
+	}
+	return res, nil
+}
+
+// Sweep simulates the cluster at every size in nodes and returns the
+// results in order — the scaling study of the §5 extension.
+func Sweep(cfg Config, nodes []int) ([]*Result, error) {
+	var out []*Result
+	for _, n := range nodes {
+		c := cfg
+		c.Nodes = n
+		r, err := Simulate(c)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %d nodes: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

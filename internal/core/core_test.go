@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"moment/internal/gnn"
+	"moment/internal/graph"
+	"moment/internal/topology"
+	"moment/internal/trainsim"
+)
+
+func workload(t *testing.T, name string) trainsim.Workload {
+	t.Helper()
+	d, err := graph.DatasetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainsim.Workload{Dataset: d, Model: gnn.KindSAGE}
+}
+
+func TestCoOptimizeMachineB(t *testing.T) {
+	plan, err := CoOptimize(Input{Machine: topology.MachineB(), Workload: workload(t, "IG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Placement == nil || plan.Epoch == nil || plan.DataPlacement == nil {
+		t.Fatal("incomplete plan")
+	}
+	// Machine B's cascade is asymmetric, so reduction may be a no-op —
+	// but it must never inflate the candidate set.
+	if plan.Enumerated < plan.Evaluated {
+		t.Errorf("evaluated %d > enumerated %d", plan.Evaluated, plan.Enumerated)
+	}
+	if plan.PredictedIO <= 0 {
+		t.Errorf("predicted IO %v", plan.PredictedIO)
+	}
+	// The chosen placement must beat (or match) every classic layout when
+	// simulated end to end.
+	for _, l := range []topology.ClassicLayout{topology.LayoutA, topology.LayoutB, topology.LayoutC, topology.LayoutD} {
+		p, err := topology.ClassicPlacement(topology.MachineB(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := trainsim.SimulateEpoch(trainsim.Config{
+			Machine: topology.MachineB(), Placement: p, Workload: workload(t, "IG")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Epoch.EpochTime.Sec() > r.EpochTime.Sec()*1.02 {
+			t.Errorf("plan epoch %.2fs worse than classic %v %.2fs",
+				plan.Epoch.EpochTime.Sec(), l, r.EpochTime.Sec())
+		}
+	}
+	if plan.PlanningTime <= 0 {
+		t.Error("no planning time recorded")
+	}
+}
+
+func TestCoOptimizeMatchesPublishedPlacementShape(t *testing.T) {
+	// Fig 7: the optimal B placement spreads GPUs onto the root complexes
+	// and keeps SSDs split between the front board and the switch bays.
+	plan, err := CoOptimize(Input{Machine: topology.MachineB(), Workload: workload(t, "IG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus, _ := plan.Placement.Counts()
+	onRCs := gpus["rc0"] + gpus["rc1"]
+	if onRCs == 0 {
+		t.Errorf("optimal placement uses no root-complex slots: %v", plan.Placement)
+	}
+}
+
+func TestCoOptimizeReport(t *testing.T) {
+	plan, err := CoOptimize(Input{Machine: topology.MachineA(), Workload: workload(t, "PA")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := plan.Report()
+	for _, want := range []string{
+		"automatic module", "placement search", "selected placement",
+		"predicted epoch IO", "simulated epoch", "data placement bins",
+		"planning time",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCoOptimizeErrors(t *testing.T) {
+	if _, err := CoOptimize(Input{}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	bad := topology.MachineA()
+	bad.Points = nil
+	if _, err := CoOptimize(Input{Machine: bad, Workload: workload(t, "PA")}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

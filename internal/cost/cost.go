@@ -1,0 +1,124 @@
+// Package cost implements the monetary-cost comparison of §4.2: cloud
+// rental cost of a single 4-GPU machine versus four 1-GPU machines, and
+// the 5-year total cost of ownership (TCO) of Machine A/B versus the
+// 4-node Cluster C (paper: $90,270 vs $181,100, i.e. Moment runs at about
+// half the cost).
+package cost
+
+import "fmt"
+
+// USD is a dollar amount.
+type USD float64
+
+// String renders with a dollar sign and thousands grouping.
+func (u USD) String() string {
+	neg := u < 0
+	if neg {
+		u = -u
+	}
+	v := int64(u + 0.5)
+	s := fmt.Sprintf("%d", v)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	if neg {
+		return "-$" + s
+	}
+	return "$" + s
+}
+
+// CloudRates holds on-demand hourly prices (AWS-style, §4.2 references
+// multi-GPU instances for the single machine and single-GPU instances for
+// the cluster nodes).
+type CloudRates struct {
+	// MultiGPUHourly is a 4xA100-class instance with local NVMe.
+	MultiGPUHourly USD
+	// SingleGPUHourly is a 1xA100-class instance.
+	SingleGPUHourly USD
+	// NVMePerTBHourly prices attached NVMe (negligible per §4.2).
+	NVMePerTBHourly USD
+}
+
+// DefaultCloudRates reflects the on-demand price structure the paper cites:
+// one 4-GPU box costs roughly half of four 1-GPU boxes because single-GPU
+// instances carry fixed host overheads.
+func DefaultCloudRates() CloudRates {
+	return CloudRates{
+		MultiGPUHourly:  16.30,
+		SingleGPUHourly: 8.14,
+		NVMePerTBHourly: 0.012,
+	}
+}
+
+// MomentHourly is the hourly cost of Moment's single machine with the
+// given NVMe terabytes attached.
+func (r CloudRates) MomentHourly(nvmeTB float64) USD {
+	return r.MultiGPUHourly + USD(nvmeTB)*r.NVMePerTBHourly
+}
+
+// DistDGLHourly is the hourly cost of the n-node single-GPU cluster.
+func (r CloudRates) DistDGLHourly(nodes int) USD {
+	return USD(nodes) * r.SingleGPUHourly
+}
+
+// CostRatio returns Moment's hourly cost as a fraction of the cluster's
+// (paper: ~50%).
+func (r CloudRates) CostRatio(nvmeTB float64, nodes int) float64 {
+	c := r.DistDGLHourly(nodes)
+	if c == 0 {
+		return 0
+	}
+	return float64(r.MomentHourly(nvmeTB) / c)
+}
+
+// TCOModel is the 5-year total-cost-of-ownership estimation of [Hyperion],
+// which §4.2 reuses: capital expenditure plus five years of power and
+// hosting.
+type TCOModel struct {
+	Years           int
+	ServerBase      USD // chassis + CPUs + DRAM
+	GPUEach         USD
+	SSDEach         USD
+	NICEach         USD
+	PowerBaseYear   USD // power + hosting per server per year
+	PowerPerGPUYear USD // additional power per GPU per year
+}
+
+// DefaultTCO returns the component prices that reproduce the paper's
+// published 5-year numbers: $90,270 for Machine A/B (1 server, 4 GPUs,
+// 8 SSDs) and $181,100 for Cluster C (4 servers, 1 GPU + NIC each).
+func DefaultTCO() TCOModel {
+	return TCOModel{
+		Years:           5,
+		ServerBase:      15_000,
+		GPUEach:         12_500,
+		SSDEach:         600,
+		NICEach:         1_800,
+		PowerBaseYear:   USD(43430.0 / 15), // ≈ $2,895.33
+		PowerPerGPUYear: USD(4495.0 / 15),  // ≈ $299.67
+	}
+}
+
+// ServerSpec describes one purchasable server.
+type ServerSpec struct {
+	Servers int
+	GPUs    int // per server
+	SSDs    int // per server
+	NICs    int // per server
+}
+
+// MachineASpec is the Moment single-machine build (Table 1).
+func MachineASpec() ServerSpec { return ServerSpec{Servers: 1, GPUs: 4, SSDs: 8} }
+
+// ClusterCSpec is the DistDGL 4-node cluster (Table 1).
+func ClusterCSpec() ServerSpec { return ServerSpec{Servers: 4, GPUs: 1, NICs: 1} }
+
+// TCO computes the total cost of ownership of a deployment.
+func (m TCOModel) TCO(s ServerSpec) USD {
+	perServer := m.ServerBase +
+		USD(s.GPUs)*m.GPUEach +
+		USD(s.SSDs)*m.SSDEach +
+		USD(s.NICs)*m.NICEach +
+		USD(m.Years)*(m.PowerBaseYear+USD(s.GPUs)*m.PowerPerGPUYear)
+	return USD(s.Servers) * perServer
+}

@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCOMatchesPaper(t *testing.T) {
+	m := DefaultTCO()
+	a := float64(m.TCO(MachineASpec()))
+	c := float64(m.TCO(ClusterCSpec()))
+	// §4.2: 5-year TCO of $90,270 for Machine A/B vs $181,100 for Cluster C.
+	if math.Abs(a-90_270) > 5 {
+		t.Errorf("Machine A TCO = %.0f, want 90270", a)
+	}
+	if math.Abs(c-181_100) > 5 {
+		t.Errorf("Cluster C TCO = %.0f, want 181100", c)
+	}
+	if ratio := a / c; ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("TCO ratio %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestCloudCostRatio(t *testing.T) {
+	r := DefaultCloudRates()
+	ratio := r.CostRatio(8*3.84, 4)
+	// §4.2: Moment at about 50% of DistDGL's monetary cost.
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("cloud cost ratio %.2f, want ~0.5", ratio)
+	}
+	if r.DistDGLHourly(0) != 0 {
+		t.Error("zero nodes should cost nothing")
+	}
+	if r.CostRatio(1, 0) != 0 {
+		t.Error("ratio with zero cluster cost should be 0")
+	}
+}
+
+func TestUSDString(t *testing.T) {
+	cases := map[USD]string{
+		0:         "$0",
+		999:       "$999",
+		1_000:     "$1,000",
+		90_270:    "$90,270",
+		181_100:   "$181,100",
+		1_234_567: "$1,234,567",
+		-5_000:    "-$5,000",
+		90_269.6:  "$90,270", // rounds
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("USD(%v).String() = %q, want %q", float64(in), got, want)
+		}
+	}
+}
+
+func TestReorganizationWearNegligible(t *testing.T) {
+	// §5: even ClueWeb (4.1 TiB of features) consumes a vanishing slice
+	// of an 8x P5510 fleet's PB-class endurance per reorganization.
+	rep, err := ReorganizationWear(4.1*(1<<40), 8, P5510Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LifeFractionPerReorg > 0.001 {
+		t.Errorf("one reorg consumes %.4f%% of fleet endurance, want < 0.1%%",
+			rep.LifeFractionPerReorg*100)
+	}
+	if rep.ReorgsToExhaustion < 1000 {
+		t.Errorf("only %.0f reorgs to exhaustion, want thousands", rep.ReorgsToExhaustion)
+	}
+}
+
+func TestEnduranceModel(t *testing.T) {
+	e := P5510Endurance()
+	// 3.84 TB x 1 DWPD x 5y = 7.0 PB.
+	tbw := e.TotalBytesWritable()
+	if tbw < 6.9e15 || tbw > 7.1e15 {
+		t.Errorf("P5510 TBW = %.2e, want ~7e15", tbw)
+	}
+}
+
+func TestReorganizationWearErrors(t *testing.T) {
+	if _, err := ReorganizationWear(0, 8, P5510Endurance()); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	if _, err := ReorganizationWear(1, 0, P5510Endurance()); err == nil {
+		t.Error("zero SSDs accepted")
+	}
+	if _, err := ReorganizationWear(1, 1, EnduranceModel{}); err == nil {
+		t.Error("empty endurance accepted")
+	}
+}

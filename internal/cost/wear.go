@@ -1,0 +1,62 @@
+package cost
+
+import "fmt"
+
+// SSD wear accounting (paper §5, "SSD Wear Consideration"): NVMe wear only
+// accrues from the one-time dataset reorganization writes when DDAK lays
+// embeddings out across drives; training itself is read-only. Modern
+// drives offer petabyte-class write endurance, so the reorganization
+// consumes a negligible fraction of device life even when repeated per
+// model/hardware configuration.
+
+// EnduranceModel describes a drive's rated write endurance.
+type EnduranceModel struct {
+	// CapacityBytes is the drive capacity.
+	CapacityBytes float64
+	// DWPD is the rated drive-writes-per-day over the warranty window.
+	DWPD float64
+	// WarrantyYears is the endurance rating window.
+	WarrantyYears float64
+}
+
+// P5510Endurance is the Intel P5510 3.84 TB rating (1 DWPD, 5 years).
+func P5510Endurance() EnduranceModel {
+	return EnduranceModel{CapacityBytes: 3.84e12, DWPD: 1, WarrantyYears: 5}
+}
+
+// TotalBytesWritable is the drive's rated lifetime write volume (TBW).
+func (e EnduranceModel) TotalBytesWritable() float64 {
+	return e.CapacityBytes * e.DWPD * 365 * e.WarrantyYears
+}
+
+// WearReport quantifies reorganization wear for one deployment.
+type WearReport struct {
+	// BytesWrittenPerReorg is the write volume of one DDAK layout pass
+	// (every embedding lands on some SSD exactly once).
+	BytesWrittenPerReorg float64
+	// ReorgsToExhaustion is how many full reorganizations the SSD fleet
+	// endures before hitting its rated write limit.
+	ReorgsToExhaustion float64
+	// LifeFractionPerReorg is the endurance consumed by one pass.
+	LifeFractionPerReorg float64
+}
+
+// ReorganizationWear computes the §5 wear claim: featureBytes of
+// embeddings spread across numSSDs drives with the given endurance.
+func ReorganizationWear(featureBytes float64, numSSDs int, e EnduranceModel) (*WearReport, error) {
+	if featureBytes <= 0 {
+		return nil, fmt.Errorf("cost: non-positive feature bytes")
+	}
+	if numSSDs <= 0 {
+		return nil, fmt.Errorf("cost: non-positive SSD count")
+	}
+	fleet := e.TotalBytesWritable() * float64(numSSDs)
+	if fleet <= 0 {
+		return nil, fmt.Errorf("cost: endurance model has no write budget")
+	}
+	return &WearReport{
+		BytesWrittenPerReorg: featureBytes,
+		ReorgsToExhaustion:   fleet / featureBytes,
+		LifeFractionPerReorg: featureBytes / fleet,
+	}, nil
+}

@@ -1,0 +1,538 @@
+// Package ddak implements the data-distribution-aware knapsack algorithm
+// of paper §3.3: given per-vertex hotness (from pre-sampling) and per-bin
+// traffic targets (from the max-flow solution), it places vertex embeddings
+// across the storage hierarchy — GPU HBM caches, per-socket CPU memory,
+// and NVMe SSDs — so that realized I/O traffic matches the theoretically
+// optimal distribution. A hash-placement baseline is included for the
+// Fig 14/15/17 comparisons.
+package ddak
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tier ranks the storage hierarchy; lower is faster (paper: GPU > CPU > SSD).
+type Tier int
+
+const (
+	// TierGPU is a per-GPU HBM cache bin.
+	TierGPU Tier = iota
+	// TierCPU is a per-socket CPU-memory cache bin.
+	TierCPU
+	// TierSSD is one NVMe SSD.
+	TierSSD
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierGPU:
+		return "gpu"
+	case TierCPU:
+		return "cpu"
+	case TierSSD:
+		return "ssd"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Bin is one placement target with a byte capacity and the traffic budget
+// (bytes/epoch) the max-flow plan expects it to serve.
+type Bin struct {
+	Name     string
+	Tier     Tier
+	Capacity float64 // bytes available for embeddings
+	Traffic  float64 // expected served bytes per epoch (Bin_traffic)
+}
+
+// Assignment is a complete embedding layout.
+type Assignment struct {
+	Bins []Bin
+	// Of maps each vertex (by hotness-profile index) to a bin index.
+	Of []int32
+	// Used is the bytes stored per bin.
+	Used []float64
+	// Access is the cumulative hotness per bin (Bin_access, Eq. 2).
+	Access []float64
+	// Pools is the number of pooled placement decisions taken (cost model).
+	Pools int
+}
+
+// Validate checks assignment invariants: every vertex placed, capacities
+// respected, accounting consistent.
+func (a *Assignment) Validate(bytesPerVertex float64) error {
+	if len(a.Used) != len(a.Bins) || len(a.Access) != len(a.Bins) {
+		return fmt.Errorf("ddak: accounting arrays mismatch bins")
+	}
+	used := make([]float64, len(a.Bins))
+	for v, b := range a.Of {
+		if b < 0 || int(b) >= len(a.Bins) {
+			return fmt.Errorf("ddak: vertex %d in bin %d out of range", v, b)
+		}
+		used[b] += bytesPerVertex
+	}
+	for i := range a.Bins {
+		if used[i] > a.Bins[i].Capacity*(1+1e-9)+1e-6 {
+			return fmt.Errorf("ddak: bin %s over capacity: %.0f > %.0f",
+				a.Bins[i].Name, used[i], a.Bins[i].Capacity)
+		}
+		if math.Abs(used[i]-a.Used[i]) > 1e-6+1e-9*used[i] {
+			return fmt.Errorf("ddak: bin %s used mismatch: %.0f vs %.0f",
+				a.Bins[i].Name, used[i], a.Used[i])
+		}
+	}
+	return nil
+}
+
+// Place runs DDAK. Vertices are sorted by descending hotness and placed
+// poolN at a time (the paper pools n=100 decisions to bound planning cost);
+// each pool goes to the bin with the minimum filling priority
+//
+//	Bin_priority = (Bin_access / Bin_traffic) · (Bin_used / Bin_capacity)
+//
+// among bins with free space, with ties broken by the GPU > CPU > SSD
+// hierarchy and then by bin order. Bins with zero traffic budget receive
+// vertices only when every budgeted bin is full.
+func Place(hot []float64, bytesPerVertex float64, bins []Bin, poolN int) (*Assignment, error) {
+	if err := checkInputs(hot, bytesPerVertex, bins); err != nil {
+		return nil, err
+	}
+	if poolN <= 0 {
+		poolN = 100
+	}
+	order := sortByHotness(hot)
+	a := &Assignment{
+		Bins:   append([]Bin(nil), bins...),
+		Of:     make([]int32, len(hot)),
+		Used:   make([]float64, len(bins)),
+		Access: make([]float64, len(bins)),
+	}
+	slots := make([]int64, len(bins)) // remaining vertex slots per bin
+	for i, b := range bins {
+		slots[i] = int64(b.Capacity / bytesPerVertex)
+	}
+
+	priority := func(i int) float64 {
+		b := a.Bins[i]
+		fill := 0.0
+		if b.Capacity > 0 {
+			fill = a.Used[i] / b.Capacity
+		}
+		if b.Traffic <= 0 {
+			// Unbudgeted bin: effectively last resort.
+			return math.Inf(1)
+		}
+		return (a.Access[i] / b.Traffic) * fill
+	}
+
+	pick := func() int {
+		best := -1
+		bestP := math.Inf(1)
+		for i := range a.Bins {
+			if slots[i] <= 0 {
+				continue
+			}
+			p := priority(i)
+			switch {
+			case best == -1, p < bestP,
+				p == bestP && tierLess(a.Bins[i].Tier, a.Bins[best].Tier),
+				p == bestP && a.Bins[i].Tier == a.Bins[best].Tier && i < best:
+				best = i
+				bestP = p
+			}
+		}
+		return best
+	}
+
+	cursor := 0
+	for cursor < len(order) {
+		bin := pick()
+		if bin < 0 {
+			return nil, fmt.Errorf("ddak: capacity exhausted with %d vertices left",
+				len(order)-cursor)
+		}
+		take := int64(poolN)
+		if rem := int64(len(order) - cursor); rem < take {
+			take = rem
+		}
+		if slots[bin] < take {
+			take = slots[bin]
+		}
+		for k := int64(0); k < take; k++ {
+			v := order[cursor]
+			a.Of[v] = int32(bin)
+			a.Access[bin] += hot[v]
+			cursor++
+		}
+		a.Used[bin] += float64(take) * bytesPerVertex
+		slots[bin] -= take
+		a.Pools++
+	}
+	return a, nil
+}
+
+// HashPlace is the naive uniform baseline of §3.3: vertices are assigned
+// round-robin by id (a perfect hash) across all bins proportionally to
+// capacity, ignoring hotness entirely.
+func HashPlace(hot []float64, bytesPerVertex float64, bins []Bin) (*Assignment, error) {
+	if err := checkInputs(hot, bytesPerVertex, bins); err != nil {
+		return nil, err
+	}
+	a := &Assignment{
+		Bins:   append([]Bin(nil), bins...),
+		Of:     make([]int32, len(hot)),
+		Used:   make([]float64, len(bins)),
+		Access: make([]float64, len(bins)),
+	}
+	slots := make([]int64, len(bins))
+	var totalSlots int64
+	for i, b := range bins {
+		slots[i] = int64(b.Capacity / bytesPerVertex)
+		totalSlots += slots[i]
+	}
+	// Weighted round-robin: bin i receives every k-th vertex where k
+	// tracks its capacity share, approximated by largest-remainder.
+	credits := make([]float64, len(bins))
+	weights := make([]float64, len(bins))
+	for i := range bins {
+		weights[i] = float64(slots[i]) / float64(totalSlots)
+	}
+	for v := range hot {
+		best := -1
+		for i := range bins {
+			if slots[i] <= 0 {
+				continue
+			}
+			credits[i] += weights[i]
+			if best == -1 || credits[i] > credits[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("ddak: hash placement ran out of capacity at vertex %d", v)
+		}
+		credits[best] -= 1
+		a.Of[v] = int32(best)
+		a.Used[best] += bytesPerVertex
+		a.Access[best] += hot[v]
+		slots[best]--
+	}
+	a.Pools = len(hot)
+	return a, nil
+}
+
+func checkInputs(hot []float64, bytesPerVertex float64, bins []Bin) error {
+	if len(hot) == 0 {
+		return fmt.Errorf("ddak: no vertices")
+	}
+	if bytesPerVertex <= 0 {
+		return fmt.Errorf("ddak: non-positive bytes per vertex")
+	}
+	if len(bins) == 0 {
+		return fmt.Errorf("ddak: no bins")
+	}
+	var slots int64
+	for i, b := range bins {
+		if b.Capacity < 0 || b.Traffic < 0 {
+			return fmt.Errorf("ddak: bin %d (%s) has negative capacity or traffic", i, b.Name)
+		}
+		slots += int64(b.Capacity / bytesPerVertex)
+	}
+	if slots < int64(len(hot)) {
+		return fmt.Errorf("ddak: %d vertex slots < %d vertices", slots, len(hot))
+	}
+	for v, h := range hot {
+		if h < 0 || math.IsNaN(h) {
+			return fmt.Errorf("ddak: bad hotness %v at vertex %d", h, v)
+		}
+	}
+	return nil
+}
+
+func tierLess(a, b Tier) bool { return a < b }
+
+func sortByHotness(hot []float64) []int32 {
+	order := make([]int32, len(hot))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return hot[order[i]] > hot[order[j]]
+	})
+	return order
+}
+
+// ServedBytes computes, per bin, the bytes it serves during an epoch that
+// fetches totalBytes of embeddings distributed according to hot:
+// served_b = totalBytes · Σ_{v∈b} hot_v.
+func (a *Assignment) ServedBytes(hot []float64, totalBytes float64) ([]float64, error) {
+	if len(hot) != len(a.Of) {
+		return nil, fmt.Errorf("ddak: hotness length %d != assignment %d", len(hot), len(a.Of))
+	}
+	out := make([]float64, len(a.Bins))
+	for v, b := range a.Of {
+		out[b] += hot[v] * totalBytes
+	}
+	return out, nil
+}
+
+// HitRate sums the hotness captured by bins of the given tier — e.g. the
+// combined GPU-cache hit fraction of the layout.
+func (a *Assignment) HitRate(tier Tier) float64 {
+	total := 0.0
+	for i, b := range a.Bins {
+		if b.Tier == tier {
+			total += a.Access[i]
+		}
+	}
+	return total
+}
+
+// TrafficMismatch measures how far realized per-bin service is from the
+// max-flow traffic plan: ½·Σ|served_b − traffic_b| / Σ traffic_b
+// (total-variation distance). DDAK should score much lower than hash.
+func (a *Assignment) TrafficMismatch(hot []float64, totalBytes float64) (float64, error) {
+	served, err := a.ServedBytes(hot, totalBytes)
+	if err != nil {
+		return 0, err
+	}
+	sumT := 0.0
+	for _, b := range a.Bins {
+		sumT += b.Traffic
+	}
+	if sumT == 0 {
+		return 0, fmt.Errorf("ddak: no traffic budget to compare against")
+	}
+	dist := 0.0
+	for i, b := range a.Bins {
+		dist += math.Abs(served[i] - b.Traffic)
+	}
+	return dist / (2 * sumT), nil
+}
+
+// Item is a placement unit with its own size: a single vertex for scaled
+// datasets, or a rank bucket of vertices for paper-scale simulations (the
+// pooling of §3.3 taken one step further so terabyte datasets fit in a
+// laptop-scale planner).
+type Item struct {
+	Hot   float64 // expected per-epoch access mass
+	Bytes float64 // embedding bytes this item occupies
+}
+
+// ItemAssignment maps items to bins with the same accounting as Assignment.
+type ItemAssignment struct {
+	Bins   []Bin
+	Of     []int32
+	Used   []float64
+	Access []float64
+	Pools  int
+}
+
+// PlaceItems runs DDAK over variable-size items: hot-first (by access
+// density), pooled poolN items per decision, minimum filling priority
+// within the highest eligible tier of the GPU > CPU > SSD hierarchy.
+// trafficScale converts item access mass into the byte units of
+// Bin.Traffic (pass the epoch's total fetch bytes): a bin whose realized
+// traffic (access·trafficScale) has reached its max-flow budget stops
+// receiving items — the "traffic limits" enforcement of §3.3 — until no
+// uncapped bin remains, at which point capacity alone governs.
+// trafficScale <= 0 disables traffic caps.
+func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*ItemAssignment, error) {
+	if err := checkItems(items, bins); err != nil {
+		return nil, err
+	}
+	if poolN <= 0 {
+		poolN = 100
+	}
+	order := make([]int32, len(items))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		// Hot-first by access density (mass per byte), matching the
+		// per-vertex ordering when item sizes are uniform.
+		a, b := items[order[i]], items[order[j]]
+		return a.Hot*b.Bytes > b.Hot*a.Bytes
+	})
+	a := &ItemAssignment{
+		Bins:   append([]Bin(nil), bins...),
+		Of:     make([]int32, len(items)),
+		Used:   make([]float64, len(bins)),
+		Access: make([]float64, len(bins)),
+	}
+	free := make([]float64, len(bins))
+	for i, b := range bins {
+		free[i] = b.Capacity
+	}
+	priority := func(i int) float64 {
+		b := a.Bins[i]
+		fill := 0.0
+		if b.Capacity > 0 {
+			fill = a.Used[i] / b.Capacity
+		}
+		if b.Traffic <= 0 {
+			return math.Inf(1)
+		}
+		return (a.Access[i] / b.Traffic) * fill
+	}
+	capped := func(i int) bool {
+		if trafficScale <= 0 {
+			return false
+		}
+		return a.Access[i]*trafficScale >= a.Bins[i].Traffic
+	}
+	pickTier := func(need float64, honorCaps bool) int {
+		for _, tier := range []Tier{TierGPU, TierCPU, TierSSD} {
+			best := -1
+			bestP := math.Inf(1)
+			for i := range a.Bins {
+				if a.Bins[i].Tier != tier || free[i] < need {
+					continue
+				}
+				if honorCaps && capped(i) {
+					continue
+				}
+				p := priority(i)
+				if best == -1 || p < bestP || (p == bestP && i < best) {
+					best = i
+					bestP = p
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+		}
+		return -1
+	}
+	cursor := 0
+	for cursor < len(order) {
+		need := items[order[cursor]].Bytes
+		bin := pickTier(need, true)
+		if bin < 0 {
+			bin = pickTier(need, false)
+		}
+		if bin < 0 {
+			return nil, fmt.Errorf("ddak: no bin can hold item %d (%.0f bytes)",
+				order[cursor], need)
+		}
+		placed := 0
+		for placed < poolN && cursor < len(order) {
+			it := items[order[cursor]]
+			if free[bin] < it.Bytes {
+				break
+			}
+			a.Of[order[cursor]] = int32(bin)
+			a.Used[bin] += it.Bytes
+			a.Access[bin] += it.Hot
+			free[bin] -= it.Bytes
+			cursor++
+			placed++
+		}
+		a.Pools++
+	}
+	return a, nil
+}
+
+// HashPlaceItems spreads items across bins proportionally to capacity,
+// ignoring hotness (the Fig 14/15 baseline at paper scale).
+func HashPlaceItems(items []Item, bins []Bin) (*ItemAssignment, error) {
+	if err := checkItems(items, bins); err != nil {
+		return nil, err
+	}
+	a := &ItemAssignment{
+		Bins:   append([]Bin(nil), bins...),
+		Of:     make([]int32, len(items)),
+		Used:   make([]float64, len(bins)),
+		Access: make([]float64, len(bins)),
+	}
+	free := make([]float64, len(bins))
+	var total float64
+	for i, b := range bins {
+		free[i] = b.Capacity
+		total += b.Capacity
+	}
+	credits := make([]float64, len(bins))
+	for v, it := range items {
+		best := -1
+		for i, b := range bins {
+			if free[i] < it.Bytes {
+				continue
+			}
+			credits[i] += b.Capacity / total
+			if best == -1 || credits[i] > credits[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("ddak: hash item placement out of capacity at item %d", v)
+		}
+		credits[best] -= 1
+		a.Of[v] = int32(best)
+		a.Used[best] += it.Bytes
+		a.Access[best] += it.Hot
+		free[best] -= it.Bytes
+	}
+	a.Pools = len(items)
+	return a, nil
+}
+
+func checkItems(items []Item, bins []Bin) error {
+	if len(items) == 0 {
+		return fmt.Errorf("ddak: no items")
+	}
+	if len(bins) == 0 {
+		return fmt.Errorf("ddak: no bins")
+	}
+	var need, have float64
+	for i, it := range items {
+		if it.Hot < 0 || math.IsNaN(it.Hot) || it.Bytes <= 0 {
+			return fmt.Errorf("ddak: bad item %d: %+v", i, it)
+		}
+		need += it.Bytes
+	}
+	for i, b := range bins {
+		if b.Capacity < 0 || b.Traffic < 0 {
+			return fmt.Errorf("ddak: bin %d (%s) has negative capacity or traffic", i, b.Name)
+		}
+		have += b.Capacity
+	}
+	if have < need {
+		return fmt.Errorf("ddak: total capacity %.0f < item bytes %.0f", have, need)
+	}
+	return nil
+}
+
+// ServedBytesItems mirrors ServedBytes for item assignments: each bin
+// serves totalBytes scaled by the access mass it holds (masses need not
+// sum to 1; they are normalized here).
+func (a *ItemAssignment) ServedBytesItems(totalBytes float64) []float64 {
+	var mass float64
+	for _, m := range a.Access {
+		mass += m
+	}
+	out := make([]float64, len(a.Bins))
+	if mass == 0 {
+		return out
+	}
+	for i, m := range a.Access {
+		out[i] = m / mass * totalBytes
+	}
+	return out
+}
+
+// HitRateItems sums normalized access mass over bins of a tier.
+func (a *ItemAssignment) HitRateItems(tier Tier) float64 {
+	var mass, tierMass float64
+	for i, b := range a.Bins {
+		mass += a.Access[i]
+		if b.Tier == tier {
+			tierMass += a.Access[i]
+		}
+	}
+	if mass == 0 {
+		return 0
+	}
+	return tierMass / mass
+}

@@ -1,0 +1,423 @@
+package ddak
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moment/internal/sample"
+)
+
+// standard bin set: 2 GPU caches, 1 CPU cache, 4 SSDs.
+func testBins() []Bin {
+	return []Bin{
+		{Name: "hbm0", Tier: TierGPU, Capacity: 100, Traffic: 500},
+		{Name: "hbm1", Tier: TierGPU, Capacity: 100, Traffic: 500},
+		{Name: "dram0", Tier: TierCPU, Capacity: 300, Traffic: 300},
+		{Name: "ssd0", Tier: TierSSD, Capacity: 10_000, Traffic: 100},
+		{Name: "ssd1", Tier: TierSSD, Capacity: 10_000, Traffic: 100},
+		{Name: "ssd2", Tier: TierSSD, Capacity: 10_000, Traffic: 100},
+		{Name: "ssd3", Tier: TierSSD, Capacity: 10_000, Traffic: 100},
+	}
+}
+
+func zipfHot(t *testing.T, n int) []float64 {
+	t.Helper()
+	h, err := sample.ZipfHotness(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPlaceBasics(t *testing.T) {
+	hot := zipfHot(t, 2000)
+	a, err := Place(hot, 1, testBins(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Of) != 2000 {
+		t.Fatalf("placed %d", len(a.Of))
+	}
+	if a.Pools == 0 {
+		t.Fatal("no pooled decisions recorded")
+	}
+}
+
+func TestPlaceHotVerticesLandInFastTiers(t *testing.T) {
+	hot := zipfHot(t, 2000)
+	a, err := Place(hot, 1, testBins(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest vertex must be in a cache tier, not an SSD.
+	if tier := a.Bins[a.Of[0]].Tier; tier == TierSSD {
+		t.Errorf("hottest vertex placed on %v", a.Bins[a.Of[0]].Name)
+	}
+	// GPU-cache hit rate should far exceed the capacity share.
+	gpuHit := a.HitRate(TierGPU)
+	capShare := 200.0 / 2000.0
+	if gpuHit < 3*capShare {
+		t.Errorf("GPU hit rate %.3f barely above capacity share %.3f", gpuHit, capShare)
+	}
+}
+
+func TestPlaceBeatsHashOnTrafficMatch(t *testing.T) {
+	hot := zipfHot(t, 5000)
+	bins := testBins()
+	// Scale capacities so everything fits.
+	for i := range bins {
+		if bins[i].Tier == TierSSD {
+			bins[i].Capacity = 5000
+		}
+	}
+	d, err := Place(hot, 1, bins, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HashPlace(hot, 1, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1600
+	md, err := d.TrafficMismatch(hot, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := h.TrafficMismatch(hot, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md >= mh {
+		t.Errorf("DDAK mismatch %.3f >= hash %.3f", md, mh)
+	}
+	// DDAK's GPU hit rate should beat hash's by a wide margin.
+	if d.HitRate(TierGPU) < 2*h.HitRate(TierGPU) {
+		t.Errorf("DDAK gpu hit %.3f vs hash %.3f", d.HitRate(TierGPU), h.HitRate(TierGPU))
+	}
+}
+
+func TestPlaceRespectsCapacitiesProperty(t *testing.T) {
+	f := func(seed int64, poolRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 500 + r.Intn(1500)
+		hot := make([]float64, n)
+		for i := range hot {
+			hot[i] = r.Float64()
+		}
+		bins := []Bin{
+			{Name: "g", Tier: TierGPU, Capacity: float64(50 + r.Intn(100)), Traffic: r.Float64() * 1000},
+			{Name: "c", Tier: TierCPU, Capacity: float64(100 + r.Intn(200)), Traffic: r.Float64() * 1000},
+			{Name: "s0", Tier: TierSSD, Capacity: float64(n), Traffic: r.Float64() * 1000},
+			{Name: "s1", Tier: TierSSD, Capacity: float64(n), Traffic: r.Float64() * 1000},
+		}
+		pool := int(poolRaw)%200 + 1
+		a, err := Place(hot, 1, bins, pool)
+		if err != nil {
+			return false
+		}
+		return a.Validate(1) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolingReducesDecisions(t *testing.T) {
+	hot := zipfHot(t, 10_000)
+	bins := testBins()
+	for i := range bins {
+		bins[i].Capacity *= 10
+	}
+	a1, err := Place(hot, 1, bins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100, err := Place(hot, 1, bins, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a100.Pools >= a1.Pools {
+		t.Errorf("pooling did not reduce decisions: %d vs %d", a100.Pools, a1.Pools)
+	}
+	if a1.Pools != 10_000 {
+		t.Errorf("poolN=1 should decide per vertex, got %d", a1.Pools)
+	}
+	// Pooled placement should stay close in quality (GPU hit rate).
+	if d := a1.HitRate(TierGPU) - a100.HitRate(TierGPU); d > 0.05 {
+		t.Errorf("pooling cost %.3f hit rate", d)
+	}
+}
+
+func TestPlaceZeroPoolDefaults(t *testing.T) {
+	hot := zipfHot(t, 300)
+	a, err := Place(hot, 1, testBins(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// default pool size 100 -> at least ceil(300/100) pools, but bins may
+	// split pools; just require fewer decisions than vertices.
+	if a.Pools >= 300 {
+		t.Errorf("default pooling ineffective: %d pools", a.Pools)
+	}
+}
+
+func TestZeroTrafficBinsAreLastResort(t *testing.T) {
+	hot := zipfHot(t, 100)
+	bins := []Bin{
+		{Name: "budgeted", Tier: TierSSD, Capacity: 60, Traffic: 100},
+		{Name: "cold", Tier: TierSSD, Capacity: 100, Traffic: 0},
+	}
+	a, err := Place(hot, 1, bins, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used[0] != 60 {
+		t.Errorf("budgeted bin used %.0f, want full 60", a.Used[0])
+	}
+	if a.Used[1] != 40 {
+		t.Errorf("cold bin used %.0f, want overflow 40", a.Used[1])
+	}
+	// The cold bin must hold the coldest vertices.
+	if a.Of[0] != 0 {
+		t.Error("hottest vertex in zero-traffic bin")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	hot := zipfHot(t, 10)
+	bins := testBins()
+	if _, err := Place(nil, 1, bins, 10); err == nil {
+		t.Error("empty hotness accepted")
+	}
+	if _, err := Place(hot, 0, bins, 10); err == nil {
+		t.Error("zero bytes/vertex accepted")
+	}
+	if _, err := Place(hot, 1, nil, 10); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := Place(hot, 1, []Bin{{Name: "tiny", Capacity: 2, Traffic: 1}}, 10); err == nil {
+		t.Error("insufficient capacity accepted")
+	}
+	if _, err := Place([]float64{0.5, math.NaN()}, 1, bins, 10); err == nil {
+		t.Error("NaN hotness accepted")
+	}
+	if _, err := Place([]float64{0.5, -0.1}, 1, bins, 10); err == nil {
+		t.Error("negative hotness accepted")
+	}
+	bad := testBins()
+	bad[0].Capacity = -5
+	if _, err := Place(hot, 1, bad, 10); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestHashPlaceUniform(t *testing.T) {
+	hot := zipfHot(t, 4000)
+	bins := []Bin{
+		{Name: "s0", Tier: TierSSD, Capacity: 2000, Traffic: 100},
+		{Name: "s1", Tier: TierSSD, Capacity: 2000, Traffic: 100},
+		{Name: "s2", Tier: TierSSD, Capacity: 2000, Traffic: 100},
+		{Name: "s3", Tier: TierSSD, Capacity: 2000, Traffic: 100},
+	}
+	a, err := HashPlace(hot, 1, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins {
+		if math.Abs(a.Used[i]-1000) > 10 {
+			t.Errorf("bin %d used %.0f, want ~1000 (uniform)", i, a.Used[i])
+		}
+	}
+	// Hash spreads hotness roughly evenly: each bin ~25%.
+	for i := range bins {
+		if a.Access[i] < 0.15 || a.Access[i] > 0.35 {
+			t.Errorf("bin %d hotness share %.3f not ~0.25", i, a.Access[i])
+		}
+	}
+}
+
+func TestHashPlaceCapacityWeighted(t *testing.T) {
+	hot := zipfHot(t, 3000)
+	bins := []Bin{
+		{Name: "big", Tier: TierSSD, Capacity: 4000, Traffic: 1},
+		{Name: "small", Tier: TierSSD, Capacity: 1000, Traffic: 1},
+	}
+	a, err := HashPlace(hot, 1, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := a.Used[0] / a.Used[1]
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("capacity weighting off: used %v", a.Used)
+	}
+}
+
+func TestServedBytes(t *testing.T) {
+	hot := []float64{0.5, 0.3, 0.2}
+	bins := []Bin{
+		{Name: "a", Tier: TierGPU, Capacity: 1, Traffic: 10},
+		{Name: "b", Tier: TierSSD, Capacity: 10, Traffic: 10},
+	}
+	a, err := Place(hot, 1, bins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := a.ServedBytes(hot, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range served {
+		sum += s
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("served sums to %v", sum)
+	}
+	// Hottest vertex is in the GPU bin: it alone serves 50.
+	if math.Abs(served[0]-50) > 1e-9 {
+		t.Errorf("gpu bin served %v, want 50", served[0])
+	}
+	if _, err := a.ServedBytes([]float64{1}, 100); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierGPU.String() != "gpu" || TierCPU.String() != "cpu" || TierSSD.String() != "ssd" {
+		t.Error("tier names changed")
+	}
+	if Tier(9).String() != "tier(9)" {
+		t.Error("unknown tier name")
+	}
+}
+
+func TestTrafficMismatchErrors(t *testing.T) {
+	hot := zipfHot(t, 10)
+	bins := []Bin{{Name: "s", Tier: TierSSD, Capacity: 100, Traffic: 0}}
+	a, err := Place(hot, 1, bins, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TrafficMismatch(hot, 10); err == nil {
+		t.Error("zero traffic budget accepted")
+	}
+}
+
+func testItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Hot: 1 / float64(i+1), Bytes: 10}
+	}
+	return items
+}
+
+func TestPlaceItemsBasics(t *testing.T) {
+	items := testItems(500)
+	bins := []Bin{
+		{Name: "g", Tier: TierGPU, Capacity: 500, Traffic: 100},
+		{Name: "c", Tier: TierCPU, Capacity: 1000, Traffic: 50},
+		{Name: "s", Tier: TierSSD, Capacity: 10000, Traffic: 20},
+	}
+	a, err := PlaceItems(items, bins, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Of) != 500 {
+		t.Fatalf("placed %d items", len(a.Of))
+	}
+	// Capacity respected.
+	for i := range bins {
+		if a.Used[i] > bins[i].Capacity+1e-9 {
+			t.Errorf("bin %d over capacity", i)
+		}
+	}
+	// Hottest item lands in a cache tier.
+	if a.Bins[a.Of[0]].Tier == TierSSD {
+		t.Error("hottest item on SSD")
+	}
+	if a.HitRateItems(TierGPU) <= 0 {
+		t.Error("no GPU hit mass")
+	}
+	served := a.ServedBytesItems(1000)
+	sum := 0.0
+	for _, s := range served {
+		sum += s
+	}
+	if math.Abs(sum-1000) > 1e-6 {
+		t.Errorf("served sums to %v", sum)
+	}
+}
+
+func TestPlaceItemsVariableSizes(t *testing.T) {
+	items := []Item{
+		{Hot: 10, Bytes: 100}, // hot but large
+		{Hot: 5, Bytes: 1},
+		{Hot: 1, Bytes: 1},
+	}
+	bins := []Bin{
+		{Name: "g", Tier: TierGPU, Capacity: 50, Traffic: 100}, // too small for item 0
+		{Name: "s", Tier: TierSSD, Capacity: 1000, Traffic: 10},
+	}
+	a, err := PlaceItems(items, bins, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Of[0] != 1 {
+		t.Error("oversized item should spill to SSD")
+	}
+	// Density ordering: item 1 (5/1) outranks item 0 (10/100).
+	if a.Of[1] != 0 {
+		t.Error("dense hot item should take the cache")
+	}
+}
+
+func TestPlaceItemsErrors(t *testing.T) {
+	bins := []Bin{{Name: "s", Tier: TierSSD, Capacity: 100, Traffic: 1}}
+	if _, err := PlaceItems(nil, bins, 1, 0); err == nil {
+		t.Error("no items accepted")
+	}
+	if _, err := PlaceItems([]Item{{Hot: 1, Bytes: 0}}, bins, 1, 0); err == nil {
+		t.Error("zero-byte item accepted")
+	}
+	if _, err := PlaceItems([]Item{{Hot: -1, Bytes: 1}}, bins, 1, 0); err == nil {
+		t.Error("negative hot accepted")
+	}
+	if _, err := PlaceItems([]Item{{Hot: 1, Bytes: 200}}, bins, 1, 0); err == nil {
+		t.Error("capacity overflow accepted")
+	}
+	if _, err := HashPlaceItems([]Item{{Hot: 1, Bytes: 200}}, bins); err == nil {
+		t.Error("hash overflow accepted")
+	}
+}
+
+func TestHashPlaceItemsIgnoresHotness(t *testing.T) {
+	items := testItems(1000)
+	bins := []Bin{
+		{Name: "g", Tier: TierGPU, Capacity: 2500, Traffic: 100},
+		{Name: "s", Tier: TierSSD, Capacity: 7500, Traffic: 10},
+	}
+	h, err := HashPlaceItems(items, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity-proportional spread: 25% / 75%.
+	if math.Abs(h.Used[0]-2500) > 100 {
+		t.Errorf("hash used %v", h.Used)
+	}
+	d, err := PlaceItems(items, bins, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HitRateItems(TierGPU) <= h.HitRateItems(TierGPU) {
+		t.Errorf("DDAK gpu hit %.3f <= hash %.3f",
+			d.HitRateItems(TierGPU), h.HitRateItems(TierGPU))
+	}
+}

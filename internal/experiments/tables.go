@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): each generator returns a Table whose rows mirror the
+// series the paper plots, produced by the same pipeline a user of the
+// library would run (automatic module, epoch simulator, baselines). The
+// bench harness at the repository root wraps one benchmark around each
+// generator.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cell is one table entry: a number, an OOM marker, or free text.
+type Cell struct {
+	Value float64
+	OOM   bool
+	Text  string
+}
+
+// Num makes a numeric cell.
+func Num(v float64) Cell { return Cell{Value: v} }
+
+// OOMCell marks a configuration that cannot run.
+func OOMCell() Cell { return Cell{OOM: true} }
+
+// Txt makes a text cell.
+func Txt(s string) Cell { return Cell{Text: s} }
+
+func (c Cell) String() string {
+	switch {
+	case c.OOM:
+		return "OOM"
+	case c.Text != "":
+		return c.Text
+	case math.Abs(c.Value) >= 1000:
+		return fmt.Sprintf("%.0f", c.Value)
+	case math.Abs(c.Value) >= 10:
+		return fmt.Sprintf("%.1f", c.Value)
+	default:
+		return fmt.Sprintf("%.2f", c.Value)
+	}
+}
+
+// Row is one labeled table row.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string // "fig10", "table2", ...
+	Title   string
+	Columns []string // not counting the label column
+	Rows    []Row
+	Notes   []string
+}
+
+// Cell returns the cell at (rowLabel, column), if present.
+func (t *Table) Cell(rowLabel, column string) (Cell, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return Cell{}, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return Cell{}, false
+}
+
+// MustValue returns the numeric value at (rowLabel, column), panicking on
+// absence or OOM — a convenience for tests and benches.
+func (t *Table) MustValue(rowLabel, column string) float64 {
+	c, ok := t.Cell(rowLabel, column)
+	if !ok {
+		panic(fmt.Sprintf("experiments: %s has no cell (%q, %q)", t.ID, rowLabel, column))
+	}
+	if c.OOM {
+		panic(fmt.Sprintf("experiments: %s cell (%q, %q) is OOM", t.ID, rowLabel, column))
+	}
+	return c.Value
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	width := len("config")
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "config")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%12s", c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package gnn
+
+import "fmt"
+
+// ModelKind selects a model for the analytic cost functions below.
+type ModelKind int
+
+const (
+	// KindSAGE is GraphSAGE (hidden 256).
+	KindSAGE ModelKind = iota
+	// KindGAT is GAT (hidden 64, 8 heads).
+	KindGAT
+	// KindGCN is GCN (hidden 256); §3.1 lists it among the automatic
+	// module's model inputs, though §4 evaluates SAGE and GAT.
+	KindGCN
+)
+
+// String names the kind.
+func (k ModelKind) String() string {
+	switch k {
+	case KindGAT:
+		return "GAT"
+	case KindGCN:
+		return "GCN"
+	}
+	return "GraphSAGE"
+}
+
+// PaperConfig returns the §4.1 hyperparameters for a model kind.
+func PaperConfig(k ModelKind, inDim, classes int) (hidden, heads int) {
+	if k == KindGAT {
+		return 64, 8
+	}
+	return 256, 1
+}
+
+// CostModel prices one training iteration's GPU compute analytically —
+// the simulator's stand-in for running CUDA kernels. FLOP counts follow
+// the layer algebra; the A100 sustains sustainedTFLOPS on these small
+// GEMMs (well below peak: mini-batch GNN layers are memory-bound).
+type CostModel struct {
+	Kind    ModelKind
+	InDim   int
+	Hidden  int
+	Heads   int
+	Classes int
+	Layers  int
+
+	// SustainedTFLOPS is the effective throughput of one GPU on this
+	// workload (TF32 tensor-core GEMMs at modest utilization).
+	SustainedTFLOPS float64
+}
+
+// DefaultCostModel returns the calibrated cost model for a paper model.
+func DefaultCostModel(k ModelKind, inDim, classes int) CostModel {
+	hidden, heads := PaperConfig(k, inDim, classes)
+	sustained := 60.0 // A100 TF32 tensor-core GEMM at ~40% of 156 TFLOPS peak
+	if k == KindGAT {
+		// Attention kernels are more irregular (per-edge softmax).
+		sustained = 35.0
+	}
+	return CostModel{
+		Kind: k, InDim: inDim, Hidden: hidden, Heads: heads,
+		Classes: classes, Layers: 2, SustainedTFLOPS: sustained,
+	}
+}
+
+// FLOPsPerIteration estimates forward+backward FLOPs for a batch with the
+// given unique-vertex and sampled-edge counts.
+func (c CostModel) FLOPsPerIteration(vertices, edges int64) (float64, error) {
+	if vertices <= 0 || edges < 0 {
+		return 0, fmt.Errorf("gnn: bad batch shape v=%d e=%d", vertices, edges)
+	}
+	layers := c.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	v := float64(vertices)
+	e := float64(edges)
+	var fwd float64
+	in := float64(c.InDim)
+	for l := 0; l < layers; l++ {
+		out := float64(c.Hidden)
+		if l == layers-1 {
+			out = float64(c.Classes)
+		}
+		switch c.Kind {
+		case KindGAT:
+			h := float64(c.Heads)
+			// Per head: projection 2·v·in·out, per-edge attention ~6·out,
+			// aggregation 2·e·out.
+			fwd += h * (2*v*in*out + 6*e*out + 2*e*out)
+			if l == layers-1 {
+				in = out
+			} else {
+				in = out * h
+			}
+		case KindGCN:
+			// GCN: aggregation 2·e·in + GEMM 2·v·in·out (no self concat).
+			fwd += 2*e*in + 2*v*in*out
+			in = out
+		default:
+			// SAGE: aggregation 2·e·in + GEMM 2·v·(2·in)·out.
+			fwd += 2*e*in + 2*v*2*in*out
+			in = out
+		}
+	}
+	// Backward costs ~2x forward (two GEMMs per forward GEMM).
+	return 3 * fwd, nil
+}
+
+// IterationSeconds converts a batch's FLOPs to GPU seconds.
+func (c CostModel) IterationSeconds(vertices, edges int64) (float64, error) {
+	fl, err := c.FLOPsPerIteration(vertices, edges)
+	if err != nil {
+		return 0, err
+	}
+	if c.SustainedTFLOPS <= 0 {
+		return 0, fmt.Errorf("gnn: non-positive sustained TFLOPS")
+	}
+	return fl / (c.SustainedTFLOPS * 1e12), nil
+}

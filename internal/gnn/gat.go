@@ -1,0 +1,413 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/sample"
+	"moment/internal/tensor"
+)
+
+// GATConfig parameterizes GAT (paper §4.1: hidden 64, 8 heads per layer).
+type GATConfig struct {
+	InDim   int
+	Hidden  int // per-head hidden dimension
+	Heads   int
+	Classes int
+	Layers  int
+	Seed    int64
+	// Alpha is the LeakyReLU slope for attention scores (0.2 standard).
+	Alpha float32
+}
+
+// GAT is a multi-head graph attention network. Per head h of layer l:
+//
+//	z_i   = x_i · W_h
+//	e_ij  = LeakyReLU(aL_h·z_i + aR_h·z_j)
+//	α_ij  = softmax_j(e_ij)  over i's sampled in-neighbors
+//	out_i = Σ_j α_ij z_j   (+ z_i self loop term)
+//
+// Heads are concatenated between layers and averaged at the output layer.
+type GAT struct {
+	cfg GATConfig
+	// Per layer, per head.
+	w      [][]*tensor.Matrix // inDim_l x hidden
+	aL, aR [][]*tensor.Matrix // 1 x hidden attention vectors
+	gw     [][]*tensor.Matrix
+	gaL    [][]*tensor.Matrix
+	gaR    [][]*tensor.Matrix
+
+	cache *gatCache
+}
+
+type gatCache struct {
+	batch    *sample.Batch
+	dst, src []int32
+	// Per layer: input activations; per head: z, alpha, scores mask,
+	// group offsets.
+	inputs []*tensor.Matrix
+	layers []gatLayerCache
+	masks  [][]bool // inter-layer ELU-ish relu masks (nil for last)
+}
+
+type gatLayerCache struct {
+	z     []*tensor.Matrix // per head: n x hidden
+	alpha [][]float32      // per head: per edge attention weight
+	sMask [][]bool         // per head: leakyrelu mask per edge
+	// edge grouping by dst
+	groupStart []int32 // per vertex: offset into order
+	order      []int32 // edge ids grouped by dst
+}
+
+// NewGAT builds a GAT model.
+func NewGAT(cfg GATConfig) (*GAT, error) {
+	if cfg.InDim <= 0 || cfg.Hidden <= 0 || cfg.Heads <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("gnn: bad GAT config %+v", cfg)
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 2
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.2
+	}
+	g := &GAT{cfg: cfg}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		heads := cfg.Heads
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		var ws, als, ars, gws, gals, gars []*tensor.Matrix
+		for h := 0; h < heads; h++ {
+			seed := cfg.Seed + int64(l*97+h)*13
+			ws = append(ws, tensor.Rand(in, out, seed))
+			als = append(als, tensor.Rand(1, out, seed+1))
+			ars = append(ars, tensor.Rand(1, out, seed+2))
+			gws = append(gws, tensor.New(in, out))
+			gals = append(gals, tensor.New(1, out))
+			gars = append(gars, tensor.New(1, out))
+		}
+		g.w = append(g.w, ws)
+		g.aL = append(g.aL, als)
+		g.aR = append(g.aR, ars)
+		g.gw = append(g.gw, gws)
+		g.gaL = append(g.gaL, gals)
+		g.gaR = append(g.gaR, gars)
+		if l == cfg.Layers-1 {
+			in = out // averaged heads at the output layer
+		} else {
+			in = out * heads // concatenated heads between layers
+		}
+	}
+	return g, nil
+}
+
+// Name implements Model.
+func (g *GAT) Name() string { return "gat" }
+
+// Params implements Model.
+func (g *GAT) Params() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for l := range g.w {
+		out = append(out, g.w[l]...)
+		out = append(out, g.aL[l]...)
+		out = append(out, g.aR[l]...)
+	}
+	return out
+}
+
+// Grads implements Model.
+func (g *GAT) Grads() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for l := range g.gw {
+		out = append(out, g.gw[l]...)
+		out = append(out, g.gaL[l]...)
+		out = append(out, g.gaR[l]...)
+	}
+	return out
+}
+
+// groupEdges buckets edge ids by destination vertex.
+func groupEdges(dst []int32, n int) (groupStart, order []int32) {
+	counts := make([]int32, n+1)
+	for _, d := range dst {
+		counts[d+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	groupStart = counts
+	order = make([]int32, len(dst))
+	cursor := make([]int32, n)
+	for e, d := range dst {
+		order[groupStart[d]+cursor[d]] = int32(e)
+		cursor[d]++
+	}
+	return groupStart, order
+}
+
+// Forward implements Model.
+func (g *GAT) Forward(batch *sample.Batch, feats *tensor.Matrix) (*tensor.Matrix, error) {
+	if feats.Rows != len(batch.Unique) {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d batch vertices", feats.Rows, len(batch.Unique))
+	}
+	if feats.Cols != g.cfg.InDim {
+		return nil, fmt.Errorf("gnn: feature dim %d != model in-dim %d", feats.Cols, g.cfg.InDim)
+	}
+	dst, src := batchEdges(batch)
+	n := len(batch.Unique)
+	groupStart, order := groupEdges(dst, n)
+	c := &gatCache{batch: batch, dst: dst, src: src}
+	h := feats
+	for l := range g.w {
+		lc := gatLayerCache{groupStart: groupStart, order: order}
+		lastLayer := l == len(g.w)-1
+		heads := len(g.w[l])
+		outDim := g.w[l][0].Cols
+		var headOut []*tensor.Matrix
+		for hd := 0; hd < heads; hd++ {
+			z, err := tensor.MatMul(h, g.w[l][hd])
+			if err != nil {
+				return nil, err
+			}
+			// Attention scores per edge.
+			sl := project(z, g.aL[l][hd]) // per-vertex left score
+			sr := project(z, g.aR[l][hd]) // per-vertex right score
+			scores := make([]float32, len(dst))
+			mask := make([]bool, len(dst))
+			for e := range dst {
+				s := sl[dst[e]] + sr[src[e]]
+				if s > 0 {
+					mask[e] = true
+				} else {
+					s *= g.cfg.Alpha
+				}
+				scores[e] = s
+			}
+			alpha := softmaxGroups(scores, groupStart, order)
+			out := tensor.New(n, outDim)
+			for e := range dst {
+				or := out.Row(int(dst[e]))
+				zr := z.Row(int(src[e]))
+				a := alpha[e]
+				for j, v := range zr {
+					or[j] += a * v
+				}
+			}
+			// Self loop: vertices keep their own projection (vertices with
+			// no sampled in-edges would otherwise vanish).
+			for i := 0; i < n; i++ {
+				if groupStart[i+1] == groupStart[i] {
+					copy(out.Row(i), z.Row(i))
+				}
+			}
+			lc.z = append(lc.z, z)
+			lc.alpha = append(lc.alpha, alpha)
+			lc.sMask = append(lc.sMask, mask)
+			headOut = append(headOut, out)
+		}
+		var next *tensor.Matrix
+		var err error
+		if lastLayer {
+			// Average heads.
+			next = headOut[0]
+			for hd := 1; hd < heads; hd++ {
+				if err = tensor.AddInPlace(next, headOut[hd]); err != nil {
+					return nil, err
+				}
+			}
+			next.Scale(1 / float32(heads))
+		} else {
+			next = headOut[0]
+			for hd := 1; hd < heads; hd++ {
+				next, err = tensor.Concat(next, headOut[hd])
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.inputs = append(c.inputs, h)
+		c.layers = append(c.layers, lc)
+		if !lastLayer {
+			c.masks = append(c.masks, tensor.ReLUInPlace(next))
+		} else {
+			c.masks = append(c.masks, nil)
+		}
+		h = next
+	}
+	g.cache = c
+	logits := tensor.New(len(batch.Seeds), h.Cols)
+	for i := range batch.Seeds {
+		copy(logits.Row(i), h.Row(i))
+	}
+	return logits, nil
+}
+
+// project computes z · aᵀ for a 1×d vector a, returning one score per row.
+func project(z *tensor.Matrix, a *tensor.Matrix) []float32 {
+	out := make([]float32, z.Rows)
+	av := a.Row(0)
+	for i := 0; i < z.Rows; i++ {
+		var s float32
+		for j, v := range z.Row(i) {
+			s += v * av[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// softmaxGroups normalizes scores within each destination group.
+func softmaxGroups(scores []float32, groupStart, order []int32) []float32 {
+	alpha := make([]float32, len(scores))
+	n := len(groupStart) - 1
+	for i := 0; i < n; i++ {
+		lo, hi := groupStart[i], groupStart[i+1]
+		if lo == hi {
+			continue
+		}
+		maxv := float32(math.Inf(-1))
+		for _, e := range order[lo:hi] {
+			if scores[e] > maxv {
+				maxv = scores[e]
+			}
+		}
+		var sum float64
+		for _, e := range order[lo:hi] {
+			v := math.Exp(float64(scores[e] - maxv))
+			alpha[e] = float32(v)
+			sum += v
+		}
+		inv := float32(1 / sum)
+		for _, e := range order[lo:hi] {
+			alpha[e] *= inv
+		}
+	}
+	return alpha
+}
+
+// Backward implements Model.
+func (g *GAT) Backward(gradLogits *tensor.Matrix) error {
+	c := g.cache
+	if c == nil {
+		return fmt.Errorf("gnn: Backward before Forward")
+	}
+	n := len(c.batch.Unique)
+	grad := tensor.New(n, gradLogits.Cols)
+	for i := 0; i < gradLogits.Rows; i++ {
+		copy(grad.Row(i), gradLogits.Row(i))
+	}
+	for l := len(g.w) - 1; l >= 0; l-- {
+		if c.masks[l] != nil {
+			if err := tensor.ReLUBackward(grad, c.masks[l]); err != nil {
+				return err
+			}
+		}
+		lc := c.layers[l]
+		heads := len(g.w[l])
+		outDim := g.w[l][0].Cols
+		lastLayer := l == len(g.w)-1
+		gradIn := tensor.New(n, c.inputs[l].Cols)
+		for hd := 0; hd < heads; hd++ {
+			// Slice this head's output gradient.
+			gOut := tensor.New(n, outDim)
+			for i := 0; i < n; i++ {
+				gr := grad.Row(i)
+				or := gOut.Row(i)
+				if lastLayer {
+					inv := 1 / float32(heads)
+					for j := 0; j < outDim; j++ {
+						or[j] = gr[j] * inv
+					}
+				} else {
+					copy(or, gr[hd*outDim:(hd+1)*outDim])
+				}
+			}
+			z := lc.z[hd]
+			alpha := lc.alpha[hd]
+			gz := tensor.New(n, outDim)
+			dAlpha := make([]float32, len(c.dst))
+			for e := range c.dst {
+				d, s := c.dst[e], c.src[e]
+				gor := gOut.Row(int(d))
+				zr := z.Row(int(s))
+				gzr := gz.Row(int(s))
+				a := alpha[e]
+				var dot float32
+				for j, v := range gor {
+					gzr[j] += a * v
+					dot += v * zr[j]
+				}
+				dAlpha[e] = dot
+			}
+			// Self-loop rows (no in-edges) pass gradient straight to z.
+			for i := 0; i < n; i++ {
+				if lc.groupStart[i+1] == lc.groupStart[i] {
+					gzr := gz.Row(i)
+					for j, v := range gOut.Row(i) {
+						gzr[j] += v
+					}
+				}
+			}
+			// Softmax backward within groups.
+			dScore := make([]float32, len(c.dst))
+			for i := 0; i < n; i++ {
+				lo, hi := lc.groupStart[i], lc.groupStart[i+1]
+				if lo == hi {
+					continue
+				}
+				var inner float64
+				for _, e := range lc.order[lo:hi] {
+					inner += float64(alpha[e]) * float64(dAlpha[e])
+				}
+				for _, e := range lc.order[lo:hi] {
+					dScore[e] = alpha[e] * (dAlpha[e] - float32(inner))
+				}
+			}
+			// LeakyReLU backward on scores, then distribute to aL/aR/z.
+			av := g.aL[l][hd].Row(0)
+			bv := g.aR[l][hd].Row(0)
+			gaL := g.gaL[l][hd].Row(0)
+			gaR := g.gaR[l][hd].Row(0)
+			for e := range c.dst {
+				ds := dScore[e]
+				if !lc.sMask[hd][e] {
+					ds *= g.cfg.Alpha
+				}
+				if ds == 0 {
+					continue
+				}
+				d, s := c.dst[e], c.src[e]
+				zd := z.Row(int(d))
+				zs := z.Row(int(s))
+				gzd := gz.Row(int(d))
+				gzs := gz.Row(int(s))
+				for j := 0; j < outDim; j++ {
+					gaL[j] += ds * zd[j]
+					gaR[j] += ds * zs[j]
+					gzd[j] += ds * av[j]
+					gzs[j] += ds * bv[j]
+				}
+			}
+			// z = input · W.
+			gw, err := tensor.MatMulATB(c.inputs[l], gz)
+			if err != nil {
+				return err
+			}
+			if err := tensor.AddInPlace(g.gw[l][hd], gw); err != nil {
+				return err
+			}
+			gin, err := tensor.MatMulABT(gz, g.w[l][hd])
+			if err != nil {
+				return err
+			}
+			if err := tensor.AddInPlace(gradIn, gin); err != nil {
+				return err
+			}
+		}
+		grad = gradIn
+	}
+	g.cache = nil
+	return nil
+}

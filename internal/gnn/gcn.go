@@ -1,0 +1,167 @@
+package gnn
+
+import (
+	"fmt"
+
+	"moment/internal/sample"
+	"moment/internal/tensor"
+)
+
+// GCNConfig parameterizes a GCN (Kipf & Welling), the third model family
+// §3.1 names as an input to the automatic module.
+type GCNConfig struct {
+	InDim   int
+	Hidden  int
+	Classes int
+	Layers  int
+	Seed    int64
+}
+
+// GCN is a graph convolutional network over sampled subgraphs:
+// h^l = ReLU(Â h^{l-1} W^l + b^l), where Â is the mean-normalized sampled
+// adjacency with self loops (mean aggregation over {v} ∪ N(v) approximates
+// the symmetric normalization on sampled blocks).
+type GCN struct {
+	cfg GCNConfig
+	w   []*tensor.Matrix
+	b   []*tensor.Matrix
+	gw  []*tensor.Matrix
+	gb  []*tensor.Matrix
+
+	cache *gcnCache
+}
+
+type gcnCache struct {
+	batch    *sample.Batch
+	dst, src []int32 // includes self loops
+	inputs   []*tensor.Matrix
+	aggs     []*tensor.Matrix
+	counts   [][]int32
+	masks    [][]bool
+}
+
+// NewGCN builds a GCN model.
+func NewGCN(cfg GCNConfig) (*GCN, error) {
+	if cfg.InDim <= 0 || cfg.Hidden <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("gnn: bad GCN config %+v", cfg)
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 2
+	}
+	g := &GCN{cfg: cfg}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		g.w = append(g.w, tensor.Rand(in, out, cfg.Seed+int64(l)*17))
+		g.b = append(g.b, tensor.New(1, out))
+		g.gw = append(g.gw, tensor.New(in, out))
+		g.gb = append(g.gb, tensor.New(1, out))
+		in = out
+	}
+	return g, nil
+}
+
+// Name implements Model.
+func (g *GCN) Name() string { return "gcn" }
+
+// Params implements Model.
+func (g *GCN) Params() []*tensor.Matrix {
+	out := append([]*tensor.Matrix(nil), g.w...)
+	return append(out, g.b...)
+}
+
+// Grads implements Model.
+func (g *GCN) Grads() []*tensor.Matrix {
+	out := append([]*tensor.Matrix(nil), g.gw...)
+	return append(out, g.gb...)
+}
+
+// Forward implements Model.
+func (g *GCN) Forward(batch *sample.Batch, feats *tensor.Matrix) (*tensor.Matrix, error) {
+	if feats.Rows != len(batch.Unique) {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d batch vertices", feats.Rows, len(batch.Unique))
+	}
+	if feats.Cols != g.cfg.InDim {
+		return nil, fmt.Errorf("gnn: feature dim %d != model in-dim %d", feats.Cols, g.cfg.InDim)
+	}
+	dst, src := batchEdges(batch)
+	n := len(batch.Unique)
+	// Self loops: every vertex aggregates itself too (the +I of GCN).
+	for v := int32(0); int(v) < n; v++ {
+		dst = append(dst, v)
+		src = append(src, v)
+	}
+	c := &gcnCache{batch: batch, dst: dst, src: src}
+	h := feats
+	for l := range g.w {
+		agg, counts, err := tensor.SegmentMean(h, dst, src, n)
+		if err != nil {
+			return nil, err
+		}
+		z, err := tensor.MatMul(agg, g.w[l])
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddBiasInPlace(z, g.b[l]); err != nil {
+			return nil, err
+		}
+		c.inputs = append(c.inputs, h)
+		c.aggs = append(c.aggs, agg)
+		c.counts = append(c.counts, counts)
+		if l < len(g.w)-1 {
+			c.masks = append(c.masks, tensor.ReLUInPlace(z))
+		} else {
+			c.masks = append(c.masks, nil)
+		}
+		h = z
+	}
+	g.cache = c
+	logits := tensor.New(len(batch.Seeds), h.Cols)
+	for i := range batch.Seeds {
+		copy(logits.Row(i), h.Row(i))
+	}
+	return logits, nil
+}
+
+// Backward implements Model.
+func (g *GCN) Backward(gradLogits *tensor.Matrix) error {
+	c := g.cache
+	if c == nil {
+		return fmt.Errorf("gnn: Backward before Forward")
+	}
+	n := len(c.batch.Unique)
+	grad := tensor.New(n, gradLogits.Cols)
+	for i := 0; i < gradLogits.Rows; i++ {
+		copy(grad.Row(i), gradLogits.Row(i))
+	}
+	for l := len(g.w) - 1; l >= 0; l-- {
+		if c.masks[l] != nil {
+			if err := tensor.ReLUBackward(grad, c.masks[l]); err != nil {
+				return err
+			}
+		}
+		gw, err := tensor.MatMulATB(c.aggs[l], grad)
+		if err != nil {
+			return err
+		}
+		if err := tensor.AddInPlace(g.gw[l], gw); err != nil {
+			return err
+		}
+		if err := tensor.AddInPlace(g.gb[l], tensor.BiasGrad(grad)); err != nil {
+			return err
+		}
+		gAgg, err := tensor.MatMulABT(grad, g.w[l])
+		if err != nil {
+			return err
+		}
+		grad, err = tensor.SegmentMeanBackward(gAgg, c.dst, c.src, c.counts[l], n)
+		if err != nil {
+			return err
+		}
+	}
+	g.cache = nil
+	return nil
+}

@@ -1,0 +1,461 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"moment/internal/graph"
+	"moment/internal/sample"
+	"moment/internal/tensor"
+)
+
+func tinySetup(t *testing.T) (*graph.Graph, *sample.Sampler, *sample.Batch, *tensor.Matrix, []int32) {
+	t.Helper()
+	g, err := graph.GenZipf(60, 5, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sample.NewSampler(g, []int{4, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sample([]int32{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tensor.Rand(len(b.Unique), 8, 7)
+	labels := []int32{0, 1, 2, 0, 1, 2}
+	return g, s, b, feats, labels
+}
+
+func lossOf(t *testing.T, m Model, b *sample.Batch, feats *tensor.Matrix, labels []int32) float64 {
+	t.Helper()
+	logits, err := m.Forward(b, feats.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, _, err := tensor.SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss
+}
+
+func gradientCheck(t *testing.T, m Model, b *sample.Batch, feats *tensor.Matrix, labels []int32, checks int) {
+	t.Helper()
+	logits, err := m.Forward(b, feats.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := tensor.SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ZeroGrads(m)
+	if err := m.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params()
+	grads := m.Grads()
+	const eps = 1e-2
+	checked := 0
+	for pi := range params {
+		for k := 0; k < len(params[pi].Data) && checked < checks; k += 17 {
+			analytic := float64(grads[pi].Data[k])
+			orig := params[pi].Data[k]
+			params[pi].Data[k] = orig + eps
+			lp := lossOf(t, m, b, feats, labels)
+			params[pi].Data[k] = orig - eps
+			lm := lossOf(t, m, b, feats, labels)
+			params[pi].Data[k] = orig
+			numeric := (lp - lm) / (2 * eps)
+			// ReLU kinks make finite differences noisy in float32;
+			// allow a generous relative band.
+			tol := 2e-3 + 0.15*math.Abs(numeric)
+			if math.Abs(analytic-numeric) > tol {
+				t.Errorf("param %d[%d]: analytic %.6f vs numeric %.6f", pi, k, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("gradient check exercised nothing")
+	}
+}
+
+func TestSAGEForwardShape(t *testing.T) {
+	_, _, b, feats, _ := tinySetup(t)
+	m, err := NewSAGE(SAGEConfig{InDim: 8, Hidden: 16, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := m.Forward(b, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != len(b.Seeds) || logits.Cols != 3 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestSAGEGradientCheck(t *testing.T) {
+	_, _, b, feats, labels := tinySetup(t)
+	m, err := NewSAGE(SAGEConfig{InDim: 8, Hidden: 6, Classes: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradientCheck(t, m, b, feats, labels, 25)
+}
+
+func TestGATForwardShape(t *testing.T) {
+	_, _, b, feats, _ := tinySetup(t)
+	m, err := NewGAT(GATConfig{InDim: 8, Hidden: 4, Heads: 2, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := m.Forward(b, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != len(b.Seeds) || logits.Cols != 3 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestGATGradientCheck(t *testing.T) {
+	_, _, b, feats, labels := tinySetup(t)
+	m, err := NewGAT(GATConfig{InDim: 8, Hidden: 4, Heads: 2, Classes: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradientCheck(t, m, b, feats, labels, 25)
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := NewSAGE(SAGEConfig{InDim: 0, Hidden: 4, Classes: 2}); err == nil {
+		t.Error("bad SAGE config accepted")
+	}
+	if _, err := NewSAGE(SAGEConfig{InDim: 4, Hidden: 4, Classes: 1}); err == nil {
+		t.Error("1-class SAGE accepted")
+	}
+	if _, err := NewGAT(GATConfig{InDim: 0, Hidden: 4, Heads: 2, Classes: 2}); err == nil {
+		t.Error("bad GAT config accepted")
+	}
+	if _, err := NewGAT(GATConfig{InDim: 4, Hidden: 4, Heads: 0, Classes: 2}); err == nil {
+		t.Error("0-head GAT accepted")
+	}
+}
+
+func TestForwardValidatesShapes(t *testing.T) {
+	_, _, b, _, _ := tinySetup(t)
+	m, err := NewSAGE(SAGEConfig{InDim: 8, Hidden: 4, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forward(b, tensor.Rand(3, 8, 1)); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	if _, err := m.Forward(b, tensor.Rand(len(b.Unique), 5, 1)); err == nil {
+		t.Error("wrong feature dim accepted")
+	}
+	if err := m.Backward(tensor.New(1, 3)); err == nil {
+		t.Error("Backward before Forward accepted")
+	}
+}
+
+func trainEpochs(t *testing.T, kind ModelKind, epochs int) []float64 {
+	t.Helper()
+	ds, err := graph.DatasetByName("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ds.Scaled(800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim, classes = 16, 4
+	feats, err := graph.RandomFeatures(g.N(), dim, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := graph.Labels(feats, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Model
+	if kind == KindGAT {
+		m, err = NewGAT(GATConfig{InDim: dim, Hidden: 8, Heads: 2, Classes: classes, Seed: 3})
+	} else {
+		m, err = NewSAGE(SAGEConfig{InDim: dim, Hidden: 32, Classes: classes, Seed: 3})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := sample.NewSampler(g, []int{8, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := sample.NewBatchIterator(g, 0.3, 64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(m, NewAdam(0.01), smp, it, feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for e := 0; e < epochs; e++ {
+		st, err := tr.Epoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Batches == 0 || st.Sampled == 0 {
+			t.Fatal("empty epoch")
+		}
+		losses = append(losses, st.Loss)
+	}
+	return losses
+}
+
+func TestSAGETrainingLossDecreases(t *testing.T) {
+	losses := trainEpochs(t, KindSAGE, 5)
+	if losses[len(losses)-1] >= losses[0]*0.9 {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+}
+
+func TestGATTrainingLossDecreases(t *testing.T) {
+	losses := trainEpochs(t, KindGAT, 6)
+	if losses[len(losses)-1] >= losses[0]*0.97 {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := tensor.Rand(2, 2, 1)
+	g := p.Clone()
+	orig := p.Clone()
+	o := &SGD{LR: 0.1}
+	if err := o.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Data {
+		want := orig.Data[i] - 0.1*g.Data[i]
+		if math.Abs(float64(p.Data[i]-want)) > 1e-6 {
+			t.Fatalf("sgd[%d] = %v, want %v", i, p.Data[i], want)
+		}
+	}
+	if err := o.Step([]*tensor.Matrix{p}, nil); err == nil {
+		t.Error("mismatched step accepted")
+	}
+	if err := o.Step([]*tensor.Matrix{p}, []*tensor.Matrix{tensor.New(1, 1)}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = ||x - target||^2 by gradient steps.
+	x := tensor.Rand(1, 4, 3)
+	target := []float32{1, -2, 3, 0.5}
+	opt := NewAdam(0.05)
+	for iter := 0; iter < 500; iter++ {
+		g := tensor.New(1, 4)
+		for j := range target {
+			g.Data[j] = 2 * (x.Data[j] - target[j])
+		}
+		if err := opt.Step([]*tensor.Matrix{x}, []*tensor.Matrix{g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := range target {
+		if math.Abs(float64(x.Data[j]-target[j])) > 0.05 {
+			t.Fatalf("adam did not converge: x[%d]=%v target %v", j, x.Data[j], target[j])
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	sage := DefaultCostModel(KindSAGE, 1024, 2)
+	gat := DefaultCostModel(KindGAT, 1024, 2)
+	// Paper batch: 8000 seeds, 2-hop 25/10 fanouts ~ 2M vertices, 2.2M edges.
+	const v, e = 2_000_000, 2_200_000
+	fs, err := sage.FLOPsPerIteration(v, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := gat.FLOPsPerIteration(v, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs <= 0 || fg <= 0 {
+		t.Fatal("non-positive FLOPs")
+	}
+	ts, err := sage.IterationSeconds(v, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := gat.IterationSeconds(v, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute per iteration should be O(10-300ms) on an A100 — well under
+	// a second, and GAT (8 heads) must cost more than SAGE per §2.2.
+	if ts <= 0 || ts > 1 {
+		t.Errorf("SAGE iteration %.3fs out of plausible range", ts)
+	}
+	if tg <= ts {
+		t.Errorf("GAT %.3fs should cost more than SAGE %.3fs", tg, ts)
+	}
+	if _, err := sage.FLOPsPerIteration(0, 10); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	bad := sage
+	bad.SustainedTFLOPS = 0
+	if _, err := bad.IterationSeconds(v, e); err == nil {
+		t.Error("zero TFLOPS accepted")
+	}
+	if KindSAGE.String() != "GraphSAGE" || KindGAT.String() != "GAT" {
+		t.Error("kind names changed")
+	}
+}
+
+func TestNewTrainerErrors(t *testing.T) {
+	if _, err := NewTrainer(nil, nil, nil, nil, nil, nil); err == nil {
+		t.Error("nil components accepted")
+	}
+	g, err := graph.GenZipf(50, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := graph.RandomFeatures(50, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSAGE(SAGEConfig{InDim: 8, Hidden: 4, Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := sample.NewSampler(g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := sample.NewBatchIterator(g, 0.5, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrainer(m, &SGD{LR: 0.1}, smp, it, feats, []int32{0}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}
+
+func TestGCNForwardShape(t *testing.T) {
+	_, _, b, feats, _ := tinySetup(t)
+	m, err := NewGCN(GCNConfig{InDim: 8, Hidden: 16, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := m.Forward(b, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != len(b.Seeds) || logits.Cols != 3 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+	if m.Name() != "gcn" {
+		t.Error("name changed")
+	}
+}
+
+func TestGCNGradientCheck(t *testing.T) {
+	_, _, b, feats, labels := tinySetup(t)
+	m, err := NewGCN(GCNConfig{InDim: 8, Hidden: 6, Classes: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradientCheck(t, m, b, feats, labels, 25)
+}
+
+func TestGCNConfigErrors(t *testing.T) {
+	if _, err := NewGCN(GCNConfig{InDim: 0, Hidden: 4, Classes: 2}); err == nil {
+		t.Error("bad GCN config accepted")
+	}
+	if _, err := NewGCN(GCNConfig{InDim: 4, Hidden: 4, Classes: 1}); err == nil {
+		t.Error("1-class GCN accepted")
+	}
+	m, err := NewGCN(GCNConfig{InDim: 8, Hidden: 4, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backward(tensor.New(1, 3)); err == nil {
+		t.Error("Backward before Forward accepted")
+	}
+}
+
+func TestGCNTrainingLossDecreases(t *testing.T) {
+	g, err := graph.GenZipf(600, 6, 0.9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim, classes = 16, 4
+	feats, err := graph.RandomFeatures(g.N(), dim, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := graph.Labels(feats, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewGCN(GCNConfig{InDim: dim, Hidden: 24, Classes: classes, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := sample.NewSampler(g, []int{8, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := sample.NewBatchIterator(g, 0.3, 64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(m, NewAdam(0.02), smp, it, feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for e := 0; e < 12; e++ {
+		st, err := tr.Epoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			first = st.Loss
+		}
+		last = st.Loss
+	}
+	// GCN smooths away the self features the synthetic labels derive
+	// from, so it learns more slowly than SAGE; require a clear but
+	// modest drop.
+	if last >= first*0.93 {
+		t.Errorf("GCN loss did not decrease: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestGCNCostModel(t *testing.T) {
+	gcn := DefaultCostModel(KindGCN, 1024, 2)
+	sage := DefaultCostModel(KindSAGE, 1024, 2)
+	fg, err := gcn.FLOPsPerIteration(1_000_000, 1_200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := sage.FLOPsPerIteration(1_000_000, 1_200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GCN lacks the self-concat, so it costs less than SAGE.
+	if fg >= fs {
+		t.Errorf("GCN FLOPs %v >= SAGE %v", fg, fs)
+	}
+	if KindGCN.String() != "GCN" {
+		t.Error("kind name changed")
+	}
+}

@@ -1,0 +1,220 @@
+// Package gnn implements the two sampling-based models the paper evaluates
+// — GraphSAGE (mean aggregator, hidden 256) and GAT (8 heads, hidden 64) —
+// with real forward and backward passes over sampled mini-batches, plain
+// SGD and Adam optimizers, a training loop, and the analytic compute-cost
+// model the epoch simulator uses to price model training on an A100.
+package gnn
+
+import (
+	"fmt"
+
+	"moment/internal/sample"
+	"moment/internal/tensor"
+)
+
+// Model is a trainable GNN operating on sampled batches.
+type Model interface {
+	// Forward computes logits for the batch's seed vertices given the
+	// gathered features of all batch vertices (rows follow batch.Unique).
+	Forward(batch *sample.Batch, feats *tensor.Matrix) (*tensor.Matrix, error)
+	// Backward propagates the loss gradient w.r.t. the logits, filling
+	// parameter gradients (feature gradients are discarded — embeddings
+	// are frozen inputs in the paper's setup).
+	Backward(gradLogits *tensor.Matrix) error
+	// Params and Grads expose parameter/gradient pairs for optimizers.
+	Params() []*tensor.Matrix
+	Grads() []*tensor.Matrix
+	// Name identifies the model ("graphsage" or "gat").
+	Name() string
+}
+
+// batchEdges flattens all hop blocks into one (dst, src) edge list over
+// batch-local indices; every layer aggregates over this sampled subgraph.
+func batchEdges(b *sample.Batch) (dst, src []int32) {
+	total := 0
+	for _, h := range b.Hops {
+		total += len(h.Dst)
+	}
+	dst = make([]int32, 0, total)
+	src = make([]int32, 0, total)
+	for _, h := range b.Hops {
+		dst = append(dst, h.Dst...)
+		src = append(src, h.Src...)
+	}
+	return dst, src
+}
+
+// SAGEConfig parameterizes GraphSAGE (paper §4.1: hidden 256, 2 hops).
+type SAGEConfig struct {
+	InDim   int
+	Hidden  int
+	Classes int
+	Layers  int
+	Seed    int64
+}
+
+// SAGE is a GraphSAGE model with mean aggregation and concat update:
+// h^l = ReLU(W^l · [h^{l-1} ‖ mean_{u∈N(v)} h_u^{l-1}] + b^l).
+type SAGE struct {
+	cfg SAGEConfig
+	w   []*tensor.Matrix // layer weights (2*inDim_l x outDim_l)
+	b   []*tensor.Matrix // layer biases (1 x outDim_l)
+	gw  []*tensor.Matrix
+	gb  []*tensor.Matrix
+
+	// forward cache
+	cache *sageCache
+}
+
+type sageCache struct {
+	batch    *sample.Batch
+	dst, src []int32
+	inputs   []*tensor.Matrix // input to each layer (n x d_l)
+	concats  []*tensor.Matrix // concat(self, agg) per layer
+	counts   [][]int32        // segment counts per layer
+	masks    [][]bool         // relu masks per layer (nil for last)
+}
+
+// NewSAGE builds a GraphSAGE model.
+func NewSAGE(cfg SAGEConfig) (*SAGE, error) {
+	if cfg.InDim <= 0 || cfg.Hidden <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("gnn: bad SAGE config %+v", cfg)
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 2
+	}
+	s := &SAGE{cfg: cfg}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		s.w = append(s.w, tensor.Rand(2*in, out, cfg.Seed+int64(l)*31))
+		s.b = append(s.b, tensor.New(1, out))
+		s.gw = append(s.gw, tensor.New(2*in, out))
+		s.gb = append(s.gb, tensor.New(1, out))
+		in = out
+	}
+	return s, nil
+}
+
+// Name implements Model.
+func (s *SAGE) Name() string { return "graphsage" }
+
+// Params implements Model.
+func (s *SAGE) Params() []*tensor.Matrix {
+	out := append([]*tensor.Matrix(nil), s.w...)
+	return append(out, s.b...)
+}
+
+// Grads implements Model.
+func (s *SAGE) Grads() []*tensor.Matrix {
+	out := append([]*tensor.Matrix(nil), s.gw...)
+	return append(out, s.gb...)
+}
+
+// Forward implements Model.
+func (s *SAGE) Forward(batch *sample.Batch, feats *tensor.Matrix) (*tensor.Matrix, error) {
+	if feats.Rows != len(batch.Unique) {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d batch vertices", feats.Rows, len(batch.Unique))
+	}
+	if feats.Cols != s.cfg.InDim {
+		return nil, fmt.Errorf("gnn: feature dim %d != model in-dim %d", feats.Cols, s.cfg.InDim)
+	}
+	dst, src := batchEdges(batch)
+	c := &sageCache{batch: batch, dst: dst, src: src}
+	h := feats
+	n := len(batch.Unique)
+	for l := range s.w {
+		agg, counts, err := tensor.SegmentMean(h, dst, src, n)
+		if err != nil {
+			return nil, err
+		}
+		cat, err := tensor.Concat(h, agg)
+		if err != nil {
+			return nil, err
+		}
+		z, err := tensor.MatMul(cat, s.w[l])
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddBiasInPlace(z, s.b[l]); err != nil {
+			return nil, err
+		}
+		c.inputs = append(c.inputs, h)
+		c.concats = append(c.concats, cat)
+		c.counts = append(c.counts, counts)
+		if l < len(s.w)-1 {
+			c.masks = append(c.masks, tensor.ReLUInPlace(z))
+		} else {
+			c.masks = append(c.masks, nil)
+		}
+		h = z
+	}
+	s.cache = c
+	// Seed rows come first in Unique.
+	logits := tensor.New(len(batch.Seeds), h.Cols)
+	for i := range batch.Seeds {
+		copy(logits.Row(i), h.Row(i))
+	}
+	c.inputs = append(c.inputs, h) // final activations, for backward scatter
+	return logits, nil
+}
+
+// Backward implements Model.
+func (s *SAGE) Backward(gradLogits *tensor.Matrix) error {
+	c := s.cache
+	if c == nil {
+		return fmt.Errorf("gnn: Backward before Forward")
+	}
+	n := len(c.batch.Unique)
+	// Scatter seed gradients into the full vertex set.
+	grad := tensor.New(n, gradLogits.Cols)
+	for i := 0; i < gradLogits.Rows; i++ {
+		copy(grad.Row(i), gradLogits.Row(i))
+	}
+	for l := len(s.w) - 1; l >= 0; l-- {
+		if c.masks[l] != nil {
+			if err := tensor.ReLUBackward(grad, c.masks[l]); err != nil {
+				return err
+			}
+		}
+		gw, err := tensor.MatMulATB(c.concats[l], grad)
+		if err != nil {
+			return err
+		}
+		if err := tensor.AddInPlace(s.gw[l], gw); err != nil {
+			return err
+		}
+		if err := tensor.AddInPlace(s.gb[l], tensor.BiasGrad(grad)); err != nil {
+			return err
+		}
+		gcat, err := tensor.MatMulABT(grad, s.w[l])
+		if err != nil {
+			return err
+		}
+		inDim := c.inputs[l].Cols
+		gSelf, gAgg, err := tensor.SplitCols(gcat, inDim)
+		if err != nil {
+			return err
+		}
+		gFromAgg, err := tensor.SegmentMeanBackward(gAgg, c.dst, c.src, c.counts[l], n)
+		if err != nil {
+			return err
+		}
+		if err := tensor.AddInPlace(gSelf, gFromAgg); err != nil {
+			return err
+		}
+		grad = gSelf
+	}
+	s.cache = nil
+	return nil
+}
+
+// ZeroGrads clears accumulated gradients.
+func ZeroGrads(m Model) {
+	for _, g := range m.Grads() {
+		g.Zero()
+	}
+}

@@ -1,0 +1,169 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/graph"
+	"moment/internal/sample"
+	"moment/internal/tensor"
+)
+
+// Optimizer updates model parameters from accumulated gradients.
+type Optimizer interface {
+	Step(params, grads []*tensor.Matrix) error
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float32
+	WeightDecay float32
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grads []*tensor.Matrix) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("gnn: %d params, %d grads", len(params), len(grads))
+	}
+	for i, p := range params {
+		g := grads[i]
+		if len(p.Data) != len(g.Data) {
+			return fmt.Errorf("gnn: param %d shape mismatch", i)
+		}
+		for j := range p.Data {
+			p.Data[j] -= o.LR * (g.Data[j] + o.WeightDecay*p.Data[j])
+		}
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Epsilon float32
+
+	t int
+	m [][]float32
+	v [][]float32
+}
+
+// NewAdam returns Adam with standard hyperparameters.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Matrix) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("gnn: %d params, %d grads", len(params), len(grads))
+	}
+	if a.m == nil {
+		a.m = make([][]float32, len(params))
+		a.v = make([][]float32, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float32, len(p.Data))
+			a.v[i] = make([]float32, len(p.Data))
+		}
+	}
+	if len(a.m) != len(params) {
+		return fmt.Errorf("gnn: optimizer bound to %d params, got %d", len(a.m), len(params))
+	}
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Data[j] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Epsilon)
+		}
+	}
+	return nil
+}
+
+// Trainer drives mini-batch node-classification training on a scaled
+// dataset instance: sample → gather features → forward/backward → step.
+type Trainer struct {
+	Model   Model
+	Opt     Optimizer
+	Sampler *sample.Sampler
+	Iter    *sample.BatchIterator
+	Feats   *graph.Features
+	Labels  []int32
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Loss     float64
+	Accuracy float64
+	Batches  int
+	Sampled  int // total unique vertices touched
+}
+
+// NewTrainer wires the training components together.
+func NewTrainer(m Model, opt Optimizer, s *sample.Sampler, it *sample.BatchIterator,
+	feats *graph.Features, labels []int32) (*Trainer, error) {
+	if m == nil || opt == nil || s == nil || it == nil || feats == nil {
+		return nil, fmt.Errorf("gnn: trainer missing components")
+	}
+	if len(labels) != feats.N() {
+		return nil, fmt.Errorf("gnn: %d labels for %d vertices", len(labels), feats.N())
+	}
+	return &Trainer{Model: m, Opt: opt, Sampler: s, Iter: it, Feats: feats, Labels: labels}, nil
+}
+
+// Epoch runs one full pass over the training set.
+func (tr *Trainer) Epoch() (*EpochStats, error) {
+	stats := &EpochStats{}
+	batches := tr.Iter.BatchesPerEpoch()
+	for i := 0; i < batches; i++ {
+		seeds, _ := tr.Iter.Next()
+		b, err := tr.Sampler.Sample(seeds)
+		if err != nil {
+			return nil, err
+		}
+		feats := tensor.New(len(b.Unique), tr.Feats.Dim)
+		if err := tr.Feats.Gather(b.Unique, feats.Data); err != nil {
+			return nil, err
+		}
+		logits, err := tr.Model.Forward(b, feats)
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]int32, len(b.Seeds))
+		for j, v := range b.Seeds {
+			labels[j] = tr.Labels[v]
+		}
+		loss, grad, err := tensor.SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := tensor.Accuracy(logits, labels)
+		if err != nil {
+			return nil, err
+		}
+		ZeroGrads(tr.Model)
+		if err := tr.Model.Backward(grad); err != nil {
+			return nil, err
+		}
+		if err := tr.Opt.Step(tr.Model.Params(), tr.Model.Grads()); err != nil {
+			return nil, err
+		}
+		stats.Loss += loss
+		stats.Accuracy += acc
+		stats.Batches++
+		stats.Sampled += b.TotalSampled()
+	}
+	if stats.Batches > 0 {
+		stats.Loss /= float64(stats.Batches)
+		stats.Accuracy /= float64(stats.Batches)
+	}
+	return stats, nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/units"
+)
+
+// Dataset describes a paper-scale dataset (Table 2) plus the parameters of
+// its scaled-down synthetic stand-in. The simulator consumes the
+// paper-scale statistics; the functional training path consumes a scaled
+// instance with the same skew shape.
+type Dataset struct {
+	Name     string // "PA", "IG", "UK", "CL"
+	FullName string
+
+	Vertices int64
+	Edges    int64
+
+	TopologyStorage units.Bytes
+	FeatureDim      int
+	FeatureStorage  units.Bytes
+
+	// TrainFrac is the fraction of vertices used as training targets
+	// (1% following GNNLab's setup, §4.1).
+	TrainFrac float64
+
+	// Skew is the Zipf exponent of the access distribution observed by
+	// pre-sampling; web graphs (UK, CL) are more skewed than citation
+	// graphs (PA).
+	Skew float64
+}
+
+// Catalog returns the Table 2 datasets at paper scale.
+func Catalog() []Dataset {
+	return []Dataset{
+		{
+			Name: "PA", FullName: "ogbn-papers100M",
+			Vertices: 111_000_000, Edges: 1_600_000_000,
+			TopologyStorage: units.GB(14), FeatureDim: 1024, FeatureStorage: units.GB(56),
+			TrainFrac: 0.01, Skew: 0.8,
+		},
+		{
+			Name: "IG", FullName: "IGB-HOM",
+			Vertices: 269_000_000, Edges: 4_000_000_000,
+			TopologyStorage: units.GB(34), FeatureDim: 1024, FeatureStorage: units.TB(1.1),
+			TrainFrac: 0.01, Skew: 0.75,
+		},
+		{
+			Name: "UK", FullName: "UK-2014",
+			Vertices: 790_000_000, Edges: 47_200_000_000,
+			TopologyStorage: units.GB(384), FeatureDim: 1024, FeatureStorage: units.TB(3.2),
+			TrainFrac: 0.01, Skew: 0.95,
+		},
+		{
+			Name: "CL", FullName: "ClueWeb",
+			Vertices: 1_000_000_000, Edges: 42_500_000_000,
+			TopologyStorage: units.GB(348), FeatureDim: 1024, FeatureStorage: units.TB(4.1),
+			TrainFrac: 0.01, Skew: 0.95,
+		},
+	}
+}
+
+// DatasetByName looks up a catalog entry ("PA", "IG", "UK", "CL").
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// FeatureBytesPerVertex is the feature row size (dim × float32).
+func (d Dataset) FeatureBytesPerVertex() int64 {
+	return int64(d.FeatureDim) * 4
+}
+
+// AvgDegree is the mean in-degree at paper scale.
+func (d Dataset) AvgDegree() float64 {
+	if d.Vertices == 0 {
+		return 0
+	}
+	return float64(d.Edges) / float64(d.Vertices)
+}
+
+// TrainVertices is the number of training targets at paper scale.
+func (d Dataset) TrainVertices() int64 {
+	return int64(math.Round(float64(d.Vertices) * d.TrainFrac))
+}
+
+// Scaled generates a laptop-scale instance with the dataset's skew and a
+// proportional average degree (capped so tests stay fast). The functional
+// training path runs on these instances.
+func (d Dataset) Scaled(n int, seed int64) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: scaled size must be positive")
+	}
+	avg := int(math.Min(d.AvgDegree(), 16))
+	if avg < 2 {
+		avg = 2
+	}
+	return GenZipf(n, avg, d.Skew, seed)
+}

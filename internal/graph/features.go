@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Features is a dense row-major vertex feature matrix (the in-memory
+// feature store for the functional training path; terabyte-scale feature
+// stores are modeled analytically by the simulator instead).
+type Features struct {
+	Dim  int
+	data []float32
+}
+
+// NewFeatures allocates an n×dim zero matrix.
+func NewFeatures(n, dim int) (*Features, error) {
+	if n < 0 || dim <= 0 {
+		return nil, fmt.Errorf("graph: bad feature shape %dx%d", n, dim)
+	}
+	return &Features{Dim: dim, data: make([]float32, n*dim)}, nil
+}
+
+// RandomFeatures fills an n×dim matrix with N(0,1)-ish values, mirroring
+// the paper's synthetic 1024-dim features for UK/CL (§4.1).
+func RandomFeatures(n, dim int, seed int64) (*Features, error) {
+	f, err := NewFeatures(n, dim)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := range f.data {
+		f.data[i] = float32(r.NormFloat64())
+	}
+	return f, nil
+}
+
+// N returns the number of rows.
+func (f *Features) N() int { return len(f.data) / f.Dim }
+
+// Row returns vertex v's feature row (aliases internal storage).
+func (f *Features) Row(v int32) []float32 {
+	return f.data[int(v)*f.Dim : (int(v)+1)*f.Dim]
+}
+
+// SetRow copies vals into vertex v's row.
+func (f *Features) SetRow(v int32, vals []float32) error {
+	if len(vals) != f.Dim {
+		return fmt.Errorf("graph: row length %d != dim %d", len(vals), f.Dim)
+	}
+	copy(f.Row(v), vals)
+	return nil
+}
+
+// Gather copies the rows of the given vertices into a dense batch matrix
+// (len(vs)×Dim), the feature-extraction step of mini-batch training.
+func (f *Features) Gather(vs []int32, out []float32) error {
+	if len(out) != len(vs)*f.Dim {
+		return fmt.Errorf("graph: gather buffer %d != %d", len(out), len(vs)*f.Dim)
+	}
+	for i, v := range vs {
+		copy(out[i*f.Dim:(i+1)*f.Dim], f.Row(v))
+	}
+	return nil
+}
+
+// Labels assigns a synthetic class per vertex for node classification.
+// Classes follow the vertex's hottest neighbor group so they are learnable
+// from structure+features rather than pure noise: class = hash of the
+// leading feature signs.
+func Labels(f *Features, classes int) ([]int32, error) {
+	if classes <= 1 {
+		return nil, fmt.Errorf("graph: need at least 2 classes")
+	}
+	n := f.N()
+	out := make([]int32, n)
+	k := 4
+	if f.Dim < k {
+		k = f.Dim
+	}
+	for v := 0; v < n; v++ {
+		row := f.Row(int32(v))
+		h := 0
+		for j := 0; j < k; j++ {
+			h <<= 1
+			if row[j] > 0 {
+				h |= 1
+			}
+		}
+		out[v] = int32(h % classes)
+	}
+	return out, nil
+}

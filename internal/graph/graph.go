@@ -1,0 +1,254 @@
+// Package graph provides the graph substrate for GNN training: a compact
+// CSR adjacency structure, synthetic skewed-graph generators (the stand-in
+// for the paper's terabyte-scale datasets), the Table 2 dataset catalog at
+// paper scale, and an in-memory feature store for the functional training
+// path.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an immutable directed graph in CSR form. Vertex ids are dense
+// [0, N). For GNN sampling we store the *incoming* neighbor lists
+// (a vertex aggregates from its in-neighbors), which for the symmetric
+// generators below equals the out view.
+type Graph struct {
+	n       int
+	offsets []int64 // len n+1
+	targets []int32 // len = #edges
+}
+
+// NewCSR wraps pre-built CSR arrays after validating their invariants.
+func NewCSR(offsets []int64, targets []int32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: empty offsets")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	for i := 0; i < n; i++ {
+		if offsets[i] > offsets[i+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", i)
+		}
+	}
+	if offsets[n] != int64(len(targets)) {
+		return nil, fmt.Errorf("graph: offsets[n]=%d != len(targets)=%d", offsets[n], len(targets))
+	}
+	for _, t := range targets {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("graph: target %d out of range [0,%d)", t, n)
+		}
+	}
+	return &Graph{n: n, offsets: offsets, targets: targets}, nil
+}
+
+// FromEdges builds a CSR graph from (src, dst) pairs: dst's neighbor list
+// gains src (in-neighbor orientation). Duplicate edges are kept.
+func FromEdges(n int, edges [][2]int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count")
+	}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e[0] < 0 || int(e[0]) >= n || e[1] < 0 || int(e[1]) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
+		deg[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	targets := make([]int32, len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, deg[:n])
+	for _, e := range edges {
+		targets[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	return &Graph{n: n, offsets: deg, targets: targets}, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int64 { return g.offsets[g.n] }
+
+// Degree returns vertex v's in-neighbor count.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns vertex v's in-neighbor list. The slice aliases the
+// graph's storage and must not be mutated.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// MaxDegree returns the largest in-degree.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := int32(0); int(v) < g.n; v++ {
+		if d := g.Degree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// GenZipf builds a skewed random graph by the configuration model: vertex
+// v's expected degree follows a Zipf law with exponent s (vertex 0
+// hottest), and each edge endpoint is drawn from that distribution. This
+// mirrors the power-law degree skew of web/social graphs (UK, CL) that
+// makes DDAK's hotness-aware placement matter (§3.3, footnote 2).
+func GenZipf(n int, avgDeg int, s float64, seed int64) (*Graph, error) {
+	if n <= 0 || avgDeg <= 0 {
+		return nil, fmt.Errorf("graph: GenZipf wants positive n and avgDeg (got %d, %d)", n, avgDeg)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("graph: GenZipf wants positive skew exponent, got %v", s)
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Cumulative Zipf weights for endpoint sampling.
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + 1/math.Pow(float64(i+1), s)
+	}
+	total := cum[n]
+	draw := func() int32 {
+		x := r.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	m := n * avgDeg
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := draw(), int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int32{u, v})
+	}
+	return FromEdges(n, edges)
+}
+
+// GenRMAT builds a Graph500-style R-MAT graph with 2^scale vertices and
+// edgefactor*2^scale edges using the standard (0.57, 0.19, 0.19, 0.05)
+// partition probabilities.
+func GenRMAT(scale, edgefactor int, seed int64) (*Graph, error) {
+	if scale <= 0 || scale > 28 || edgefactor <= 0 {
+		return nil, fmt.Errorf("graph: GenRMAT scale %d / edgefactor %d out of range", scale, edgefactor)
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	r := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := n * edgefactor
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			x := r.Float64()
+			switch {
+			case x < a:
+			case x < a+b:
+				v |= 1 << bit
+			case x < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int32{u, v})
+	}
+	return FromEdges(n, edges)
+}
+
+// DegreeHistogram returns sorted descending degrees (skew diagnostics).
+func (g *Graph) DegreeHistogram() []int {
+	out := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Degree(int32(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// GiniSkew computes the Gini coefficient of the degree distribution —
+// 0 for uniform, →1 for extreme skew. Used to verify generated graphs
+// exhibit the access skew the paper's DDAK exploits.
+func (g *Graph) GiniSkew() float64 {
+	deg := g.DegreeHistogram() // descending
+	n := len(deg)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	weighted := 0.0
+	// Ascending order for the standard formula.
+	for i := n - 1; i >= 0; i-- {
+		rank := float64(n - i) // 1..n ascending
+		weighted += rank * float64(deg[i])
+		sum += float64(deg[i])
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted/(float64(n)*sum) - float64(n+1)/float64(n))
+}
+
+// AppearanceCounts returns, per vertex, how many neighbor-list slots
+// reference it — the frequency with which sampling would touch the vertex,
+// i.e. its access hotness proxy. (A vertex with many in-list appearances
+// is fetched often during neighbor expansion regardless of its own
+// in-degree.)
+func (g *Graph) AppearanceCounts() []int64 {
+	out := make([]int64, g.n)
+	for _, t := range g.targets {
+		out[t]++
+	}
+	return out
+}
+
+// AccessGini computes the Gini coefficient of the appearance-count
+// distribution — the skew that DDAK exploits.
+func (g *Graph) AccessGini() float64 {
+	app := g.AppearanceCounts()
+	return giniOf(app)
+}
+
+func giniOf(vals []int64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int64, n)
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum := 0.0
+	weighted := 0.0
+	for i, v := range sorted {
+		weighted += float64(i+1) * float64(v)
+		sum += float64(v)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}

@@ -1,0 +1,426 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {2, 1}, {3, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("deg(1) = %d, want 3", g.Degree(1))
+	}
+	nbrs := g.Neighbors(1)
+	seen := map[int32]bool{}
+	for _, u := range nbrs {
+		seen[u] = true
+	}
+	for _, want := range []int32{0, 2, 3} {
+		if !seen[want] {
+			t.Errorf("neighbors(1) missing %d: %v", want, nbrs)
+		}
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("deg(2) = %d", g.Degree(2))
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := FromEdges(2, [][2]int32{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, [][2]int32{{-1, 0}}); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	if _, err := NewCSR(nil, nil); err == nil {
+		t.Error("empty offsets accepted")
+	}
+	if _, err := NewCSR([]int64{1, 2}, []int32{0}); err == nil {
+		t.Error("offsets[0]!=0 accepted")
+	}
+	if _, err := NewCSR([]int64{0, 2, 1}, []int32{0}); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+	if _, err := NewCSR([]int64{0, 1}, []int32{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewCSR([]int64{0, 1}, []int32{7}); err == nil {
+		t.Error("target out of range accepted")
+	}
+	g, err := NewCSR([]int64{0, 1, 1}, []int32{1})
+	if err != nil || g.N() != 2 {
+		t.Errorf("valid CSR rejected: %v", err)
+	}
+}
+
+func TestCSRInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		m := int(mRaw) * 4
+		r := rand.New(rand.NewSource(seed))
+		edges := make([][2]int32, m)
+		for i := range edges {
+			edges[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		// Degrees sum to edge count; every neighbor in range.
+		sum := int64(0)
+		for v := int32(0); int(v) < n; v++ {
+			sum += int64(g.Degree(v))
+			for _, u := range g.Neighbors(v) {
+				if u < 0 || int(u) >= n {
+					return false
+				}
+			}
+		}
+		return sum == g.M() && g.M() == int64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenZipfSkewed(t *testing.T) {
+	g, err := GenZipf(5000, 8, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() < int64(5000*8*8/10) {
+		t.Errorf("too few edges: %d", g.M())
+	}
+	gini := g.AccessGini()
+	if gini < 0.3 {
+		t.Errorf("access Gini %.2f too uniform for a Zipf graph", gini)
+	}
+	// Hot vertices should dominate: the top 1%% of vertices by appearance
+	// count should hold a disproportionate share of neighbor-list slots
+	// (paper footnote 2).
+	app := g.AppearanceCounts()
+	sort.Slice(app, func(i, j int) bool { return app[i] > app[j] })
+	top := int64(0)
+	for i := 0; i < len(app)/100; i++ {
+		top += app[i]
+	}
+	if frac := float64(top) / float64(g.M()); frac < 0.15 {
+		t.Errorf("top-1%% access share %.3f, want skew > 0.15", frac)
+	}
+}
+
+func TestGenZipfErrors(t *testing.T) {
+	if _, err := GenZipf(0, 4, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenZipf(10, 0, 1, 1); err == nil {
+		t.Error("avgDeg=0 accepted")
+	}
+	if _, err := GenZipf(10, 4, 0, 1); err == nil {
+		t.Error("skew=0 accepted")
+	}
+}
+
+func TestGenZipfDeterministic(t *testing.T) {
+	g1, err := GenZipf(500, 4, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenZipf(500, 4, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", g1.M(), g2.M())
+	}
+	for v := int32(0); int(v) < g1.N(); v++ {
+		if g1.Degree(v) != g2.Degree(v) {
+			t.Fatalf("same seed, different degree at %d", v)
+		}
+	}
+}
+
+func TestGenRMAT(t *testing.T) {
+	g, err := GenRMAT(10, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1024 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.AccessGini() < 0.3 {
+		t.Errorf("RMAT access Gini %.2f too uniform", g.AccessGini())
+	}
+	if _, err := GenRMAT(0, 8, 1); err == nil {
+		t.Error("scale=0 accepted")
+	}
+	if _, err := GenRMAT(30, 8, 1); err == nil {
+		t.Error("scale=30 accepted")
+	}
+	if _, err := GenRMAT(5, 0, 1); err == nil {
+		t.Error("edgefactor=0 accepted")
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	// Uniform ring: every vertex degree 1 -> Gini 0.
+	edges := make([][2]int32, 100)
+	for i := range edges {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % 100)}
+	}
+	g, err := FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gini := g.GiniSkew(); gini > 0.01 || gini < -0.01 {
+		t.Errorf("uniform graph Gini = %.3f, want ~0", gini)
+	}
+	// Star: all mass at one vertex -> Gini near 1.
+	star := make([][2]int32, 99)
+	for i := range star {
+		star[i] = [2]int32{int32(i + 1), 0}
+	}
+	sg, err := FromEdges(100, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gini := sg.GiniSkew(); gini < 0.9 {
+		t.Errorf("star graph Gini = %.3f, want ~1", gini)
+	}
+	empty, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.GiniSkew() != 0 {
+		t.Error("empty graph Gini != 0")
+	}
+}
+
+func TestCatalogMatchesTable2(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog has %d datasets", len(cat))
+	}
+	pa, err := DatasetByName("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Vertices != 111_000_000 || pa.Edges != 1_600_000_000 {
+		t.Errorf("PA stats %+v", pa)
+	}
+	cl, err := DatasetByName("CL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Vertices != 1_000_000_000 {
+		t.Errorf("CL vertices %d", cl.Vertices)
+	}
+	for _, d := range cat {
+		if d.FeatureDim != 1024 {
+			t.Errorf("%s feature dim %d, want 1024", d.Name, d.FeatureDim)
+		}
+		if d.FeatureBytesPerVertex() != 4096 {
+			t.Errorf("%s row bytes %d, want 4096", d.Name, d.FeatureBytesPerVertex())
+		}
+		if d.TrainFrac != 0.01 {
+			t.Errorf("%s train frac %v", d.Name, d.TrainFrac)
+		}
+		if d.TrainVertices() != int64(float64(d.Vertices)*0.01) {
+			t.Errorf("%s train vertices %d", d.Name, d.TrainVertices())
+		}
+		if d.AvgDegree() <= 1 {
+			t.Errorf("%s avg degree %.1f", d.Name, d.AvgDegree())
+		}
+	}
+	if _, err := DatasetByName("XX"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDatasetScaled(t *testing.T) {
+	uk, err := DatasetByName("UK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := uk.Scaled(2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.AccessGini() < 0.3 {
+		t.Errorf("scaled UK not skewed: %.2f", g.AccessGini())
+	}
+	if _, err := uk.Scaled(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f, err := RandomFeatures(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 10 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if err := f.SetRow(2, make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Row(2) {
+		if v != 0 {
+			t.Fatal("SetRow did not overwrite")
+		}
+	}
+	if err := f.SetRow(0, make([]float32, 3)); err == nil {
+		t.Error("short row accepted")
+	}
+	out := make([]float32, 2*8)
+	if err := f.Gather([]int32{2, 3}, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != 0 {
+			t.Error("gather row 0 should be the zeroed row 2")
+			break
+		}
+	}
+	if err := f.Gather([]int32{1}, out); err == nil {
+		t.Error("wrong buffer size accepted")
+	}
+	if _, err := NewFeatures(-1, 4); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewFeatures(4, 0); err == nil {
+		t.Error("dim=0 accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	f, err := RandomFeatures(100, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Labels(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("labels degenerate: %v", counts)
+	}
+	if _, err := Labels(f, 1); err == nil {
+		t.Error("classes=1 accepted")
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g, err := GenZipf(3000, 6, 0.9, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("shape lost: %dx%d vs %dx%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for v := int32(0); int(v) < g.N(); v += 37 {
+		a, b := g.Neighbors(v), back.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree lost", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbor %d changed", v, i)
+			}
+		}
+	}
+}
+
+func TestCSRReadRejectsCorruption(t *testing.T) {
+	g, err := GenZipf(100, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{1, 2, 3, 4}, good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), append([]byte{9, 0, 0, 0}, good[8:]...)...),
+		"truncated":   good[:len(good)/2],
+	}
+	for name, data := range cases {
+		if _, err := ReadCSR(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Corrupt a target id beyond range.
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] = 0x7f
+	bad[len(bad)-2] = 0x7f
+	bad[len(bad)-3] = 0x7f
+	if _, err := ReadCSR(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestFeaturesRoundTrip(t *testing.T) {
+	f, err := RandomFeatures(50, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFeatures(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFeatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 50 || back.Dim != 16 {
+		t.Fatalf("shape lost: %dx%d", back.N(), back.Dim)
+	}
+	for i := 0; i < 16; i++ {
+		if back.Row(7)[i] != f.Row(7)[i] {
+			t.Fatal("feature values changed")
+		}
+	}
+	if _, err := ReadFeatures(bytes.NewReader(nil)); err == nil {
+		t.Error("empty features accepted")
+	}
+}

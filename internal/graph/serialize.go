@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary CSR serialization — the on-disk format the dataset-preparation
+// step writes after reorganizing a graph for training (the paper's
+// prepare_datasets.sh stage). Layout: magic, version, vertex count, edge
+// count, offsets (int64 LE), targets (int32 LE).
+
+const (
+	csrMagic   = uint32(0x4d4f4d47) // "MOMG"
+	csrVersion = uint32(1)
+)
+
+// WriteCSR streams the graph to w.
+func WriteCSR(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{csrMagic, csrVersion}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("graph: write header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.n)); err != nil {
+		return fmt.Errorf("graph: write vertex count: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.M()); err != nil {
+		return fmt.Errorf("graph: write edge count: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return fmt.Errorf("graph: write offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.targets); err != nil {
+		return fmt.Errorf("graph: write targets: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSR parses a graph written by WriteCSR, validating all invariants.
+func ReadCSR(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if magic != csrMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("graph: read version: %w", err)
+	}
+	if version != csrVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	var n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: read vertex count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("graph: read edge count: %w", err)
+	}
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("graph: read offsets: %w", err)
+	}
+	targets := make([]int32, m)
+	if err := binary.Read(br, binary.LittleEndian, targets); err != nil {
+		return nil, fmt.Errorf("graph: read targets: %w", err)
+	}
+	return NewCSR(offsets, targets)
+}
+
+// WriteFeatures streams a feature matrix to w (n, dim, float32 rows LE).
+func WriteFeatures(w io.Writer, f *Features) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, int64(f.N())); err != nil {
+		return fmt.Errorf("graph: write feature rows: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(f.Dim)); err != nil {
+		return fmt.Errorf("graph: write feature dim: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, f.data); err != nil {
+		return fmt.Errorf("graph: write feature data: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadFeatures parses a feature matrix written by WriteFeatures.
+func ReadFeatures(r io.Reader) (*Features, error) {
+	br := bufio.NewReader(r)
+	var n, dim int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: read feature rows: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("graph: read feature dim: %w", err)
+	}
+	if n < 0 || dim <= 0 || n*dim > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible feature shape %dx%d", n, dim)
+	}
+	f, err := NewFeatures(int(n), int(dim))
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, f.data); err != nil {
+		return nil, fmt.Errorf("graph: read feature data: %w", err)
+	}
+	return f, nil
+}

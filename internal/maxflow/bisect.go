@@ -1,0 +1,152 @@
+package maxflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no horizon can satisfy the demand (some
+// demand is disconnected from the source, or a fixed edge caps it).
+var ErrInfeasible = errors.New("maxflow: demand unsatisfiable at any horizon")
+
+// TimeBisector estimates the minimum wall-clock time T at which a set of
+// byte demands can be routed through a bandwidth-constrained network —
+// the paper's "time-bisection Ford–Fulkerson" (§3.2, Problem Solving).
+//
+// Edge capacities come in two flavors:
+//   - rate edges: physical links whose capacity is a bandwidth; at horizon T
+//     they can carry rate·T bytes;
+//   - fixed edges: byte budgets independent of T (per-GPU demand arcs into
+//     the sink, or per-storage supply arcs out of the source).
+//
+// Feasible(T) asks whether max-flow at horizon T moves all Demand bytes;
+// MinTime binary-searches the smallest such T.
+type TimeBisector struct {
+	G      *Graph
+	S, T   int
+	Demand float64 // total bytes that must arrive at the sink
+	Solver Solver
+
+	rateEdges  []EdgeID
+	rates      []float64
+	fixedEdges []EdgeID
+	fixed      []float64
+}
+
+// NewTimeBisector wraps g for bisection between terminals s and t.
+func NewTimeBisector(g *Graph, s, t int, demand float64) *TimeBisector {
+	return &TimeBisector{G: g, S: s, T: t, Demand: demand}
+}
+
+// AddRateEdge registers edge e as a bandwidth edge with the given rate
+// (bytes/second). Infinite rates stay infinite at every horizon.
+func (b *TimeBisector) AddRateEdge(e EdgeID, rate float64) {
+	if rate < 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("maxflow: invalid rate %v", rate))
+	}
+	b.rateEdges = append(b.rateEdges, e)
+	b.rates = append(b.rates, rate)
+}
+
+// AddFixedEdge registers edge e as a horizon-independent byte budget.
+func (b *TimeBisector) AddFixedEdge(e EdgeID, bytes float64) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("maxflow: invalid byte budget %v", bytes))
+	}
+	b.fixedEdges = append(b.fixedEdges, e)
+	b.fixed = append(b.fixed, bytes)
+}
+
+// apply sets all capacities for horizon T.
+func (b *TimeBisector) apply(t float64) {
+	for i, e := range b.rateEdges {
+		c := b.rates[i]
+		if !math.IsInf(c, 1) {
+			c *= t
+		}
+		b.G.SetCapacity(e, c)
+	}
+	for i, e := range b.fixedEdges {
+		b.G.SetCapacity(e, b.fixed[i])
+	}
+}
+
+// Feasible reports whether all demand can be delivered within horizon t,
+// leaving the corresponding flow on the graph.
+func (b *TimeBisector) Feasible(t float64) bool {
+	if t <= 0 {
+		return b.Demand <= Eps
+	}
+	b.apply(t)
+	flow := b.G.MaxFlow(b.S, b.T, b.Solver)
+	return flow >= b.Demand-relEps(b.Demand)
+}
+
+func relEps(v float64) float64 {
+	return math.Max(Eps, 1e-9*math.Abs(v))
+}
+
+// MinTime returns the smallest horizon (within relative tolerance tol, e.g.
+// 1e-4) at which the demand is feasible. It doubles an initial guess until
+// feasible (up to maxDoublings), then bisects. On return the graph holds a
+// feasible flow for the reported horizon.
+func (b *TimeBisector) MinTime(tol float64) (float64, error) {
+	if b.Demand <= Eps {
+		return 0, nil
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	// Initial guess: demand over the sum of source-side rates, a lower
+	// bound on the completion time if the source edges are the bottleneck.
+	rateSum := 0.0
+	for _, r := range b.rates {
+		if !math.IsInf(r, 1) {
+			rateSum += r
+		}
+	}
+	lo := 0.0
+	hi := 1.0
+	if rateSum > 0 {
+		hi = b.Demand / rateSum * 2
+		if hi <= 0 {
+			hi = 1
+		}
+	}
+	const maxDoublings = 80
+	d := 0
+	for ; d < maxDoublings && !b.Feasible(hi); d++ {
+		lo = hi
+		hi *= 2
+	}
+	if d == maxDoublings {
+		return 0, ErrInfeasible
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		if b.Feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Leave a feasible flow on the graph for the reported horizon.
+	if !b.Feasible(hi) {
+		return 0, ErrInfeasible
+	}
+	return hi, nil
+}
+
+// Throughput returns demand/minTime in bytes/second, the aggregate delivery
+// rate the paper reports as a placement candidate's predicted throughput.
+func (b *TimeBisector) Throughput(tol float64) (float64, error) {
+	t, err := b.MinTime(tol)
+	if err != nil {
+		return 0, err
+	}
+	if t == 0 {
+		return math.Inf(1), nil
+	}
+	return b.Demand / t, nil
+}

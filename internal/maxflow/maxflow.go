@@ -1,0 +1,515 @@
+// Package maxflow implements maximum-flow solvers on capacity-constrained
+// directed graphs, the optimization core of Moment's communication planner
+// (paper §3.2). Three solvers are provided — Edmonds–Karp, Dinic, and FIFO
+// push–relabel — along with minimum-cut extraction, flow decomposition into
+// source→sink paths (used to turn a flow into per-link traffic assignments),
+// and the time-bisection feasibility procedure the paper uses to score
+// hardware placement candidates.
+//
+// Capacities are float64 (bytes or bytes/second); comparisons use a small
+// epsilon so profiled bandwidths compose without spurious infeasibility.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the capacity comparison tolerance. Capacities in Moment are link
+// bandwidths (~1e9..1e11), so 1e-6 absolute slack is far below measurement
+// noise while still catching genuine zero-capacity residuals.
+const Eps = 1e-6
+
+// Inf is the capacity used for virtual (unbounded) edges.
+var Inf = math.Inf(1)
+
+// EdgeID identifies an edge returned by AddEdge. The reverse (residual)
+// companion of edge e is e^1.
+type EdgeID int
+
+// Graph is a directed flow network. The zero value is unusable; construct
+// with New. Graph is not safe for concurrent mutation; Clone before sharing.
+type Graph struct {
+	n     int
+	head  [][]EdgeID // adjacency: node -> incident edge ids (both directions)
+	to    []int32
+	cap   []float64 // original capacity
+	resid []float64 // remaining (residual) capacity
+	label []string  // optional node labels for diagnostics
+}
+
+// New returns an empty flow network with n nodes, numbered 0..n-1.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("maxflow: negative node count")
+	}
+	return &Graph{
+		n:     n,
+		head:  make([][]EdgeID, n),
+		label: make([]string, n),
+	}
+}
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode(label string) int {
+	g.head = append(g.head, nil)
+	g.label = append(g.label, label)
+	g.n++
+	return g.n - 1
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges added via AddEdge (excluding the
+// implicit residual companions).
+func (g *Graph) M() int { return len(g.to) / 2 }
+
+// SetLabel attaches a diagnostic label to node v.
+func (g *Graph) SetLabel(v int, label string) { g.label[v] = label }
+
+// Label returns node v's diagnostic label.
+func (g *Graph) Label(v int) string { return g.label[v] }
+
+// AddEdge inserts a directed edge u→v with the given capacity and returns
+// its id. Capacity must be non-negative (Inf allowed for virtual edges).
+func (g *Graph) AddEdge(u, v int, capacity float64) EdgeID {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: invalid capacity %v on edge (%d,%d)", capacity, u, v))
+	}
+	id := EdgeID(len(g.to))
+	g.to = append(g.to, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.resid = append(g.resid, capacity, 0)
+	g.head[u] = append(g.head[u], id)
+	g.head[v] = append(g.head[v], id^1)
+	return id
+}
+
+// SetCapacity resets edge e's capacity and clears any flow on it.
+// Typically used between bisection probes; call Reset to clear all flow.
+func (g *Graph) SetCapacity(e EdgeID, capacity float64) {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: invalid capacity %v", capacity))
+	}
+	g.cap[e] = capacity
+	g.resid[e] = capacity
+	g.resid[e^1] = 0
+}
+
+// Capacity returns edge e's original capacity.
+func (g *Graph) Capacity(e EdgeID) float64 { return g.cap[e] }
+
+// Flow returns the flow currently routed on edge e (cap - residual).
+// Flow on infinite-capacity edges is tracked via their reverse residual.
+func (g *Graph) Flow(e EdgeID) float64 {
+	if math.IsInf(g.cap[e], 1) {
+		return g.resid[e^1]
+	}
+	f := g.cap[e] - g.resid[e]
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Endpoints returns (u, v) for edge e.
+func (g *Graph) Endpoints(e EdgeID) (int, int) {
+	return int(g.to[e^1]), int(g.to[e])
+}
+
+// Reset clears all flow, restoring every edge's residual to its capacity.
+func (g *Graph) Reset() {
+	for e := 0; e < len(g.cap); e += 2 {
+		g.resid[e] = g.cap[e]
+		g.resid[e+1] = 0
+	}
+}
+
+// Clone returns a deep copy of the graph including current flow.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:     g.n,
+		head:  make([][]EdgeID, g.n),
+		to:    append([]int32(nil), g.to...),
+		cap:   append([]float64(nil), g.cap...),
+		resid: append([]float64(nil), g.resid...),
+		label: append([]string(nil), g.label...),
+	}
+	for v := range g.head {
+		c.head[v] = append([]EdgeID(nil), g.head[v]...)
+	}
+	return c
+}
+
+// Solver selects the augmenting algorithm.
+type Solver int
+
+const (
+	// Dinic is the default solver: blocking flows over BFS level graphs.
+	Dinic Solver = iota
+	// EdmondsKarp augments along shortest paths (BFS Ford–Fulkerson).
+	EdmondsKarp
+	// PushRelabel is a FIFO push–relabel with the gap heuristic.
+	PushRelabel
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case Dinic:
+		return "dinic"
+	case EdmondsKarp:
+		return "edmonds-karp"
+	case PushRelabel:
+		return "push-relabel"
+	}
+	return fmt.Sprintf("solver(%d)", int(s))
+}
+
+// MaxFlow computes the maximum s→t flow using the chosen solver, leaving
+// the flow recorded on the graph's edges. Any pre-existing flow is cleared.
+func (g *Graph) MaxFlow(s, t int, solver Solver) float64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("maxflow: terminal out of range: s=%d t=%d n=%d", s, t, g.n))
+	}
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	g.Reset()
+	switch solver {
+	case EdmondsKarp:
+		return g.edmondsKarp(s, t)
+	case PushRelabel:
+		return g.pushRelabel(s, t)
+	default:
+		return g.dinic(s, t)
+	}
+}
+
+func (g *Graph) edmondsKarp(s, t int) float64 {
+	total := 0.0
+	parent := make([]EdgeID, g.n)
+	queue := make([]int, 0, g.n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = append(queue[:0], s)
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.head[u] {
+				v := int(g.to[e])
+				if parent[v] == -1 && g.resid[e] > Eps {
+					parent[v] = e
+					if v == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Bottleneck along the path.
+		bottleneck := Inf
+		for v := t; v != s; {
+			e := parent[v]
+			if g.resid[e] < bottleneck {
+				bottleneck = g.resid[e]
+			}
+			v, _ = g.Endpoints(e)
+		}
+		for v := t; v != s; {
+			e := parent[v]
+			g.resid[e] -= bottleneck
+			g.resid[e^1] += bottleneck
+			v, _ = g.Endpoints(e)
+		}
+		total += bottleneck
+	}
+}
+
+func (g *Graph) dinic(s, t int) float64 {
+	total := 0.0
+	level := make([]int32, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for {
+		// Build level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.head[u] {
+				v := int(g.to[e])
+				if level[v] < 0 && g.resid[e] > Eps {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dinicDFS(s, t, Inf, level, iter)
+			if f <= Eps {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (g *Graph) dinicDFS(u, t int, limit float64, level []int32, iter []int) float64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(g.head[u]); iter[u]++ {
+		e := g.head[u][iter[u]]
+		v := int(g.to[e])
+		if level[v] != level[u]+1 || g.resid[e] <= Eps {
+			continue
+		}
+		d := g.dinicDFS(v, t, math.Min(limit, g.resid[e]), level, iter)
+		if d > Eps {
+			g.resid[e] -= d
+			g.resid[e^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+func (g *Graph) pushRelabel(s, t int) float64 {
+	n := g.n
+	height := make([]int, n)
+	excess := make([]float64, n)
+	count := make([]int, 2*n+1) // nodes at each height, for the gap heuristic
+	inQueue := make([]bool, n)
+	queue := make([]int, 0, n)
+
+	height[s] = n
+	count[0] = n - 1
+	count[n] = 1
+
+	enqueue := func(v int) {
+		if !inQueue[v] && v != s && v != t && excess[v] > Eps {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+
+	// Saturate source edges.
+	for _, e := range g.head[s] {
+		if e%2 != 0 { // only forward edges leave flow from s initially
+			continue
+		}
+		c := g.resid[e]
+		if c <= Eps {
+			continue
+		}
+		if math.IsInf(c, 1) {
+			// Infinite arcs out of the source would make excess infinite;
+			// cap the initial push by the total finite capacity of the
+			// graph (an upper bound on any feasible flow).
+			c = g.finiteCapSum()
+		}
+		v := int(g.to[e])
+		g.resid[e] -= c
+		g.resid[e^1] += c
+		excess[v] += c
+		excess[s] -= c
+		enqueue(v)
+	}
+
+	relabel := func(u int) {
+		count[height[u]]--
+		minH := 2 * n
+		for _, e := range g.head[u] {
+			if g.resid[e] > Eps {
+				if h := height[int(g.to[e])] + 1; h < minH {
+					minH = h
+				}
+			}
+		}
+		if count[height[u]] == 0 && height[u] < n {
+			// Gap heuristic: lift every node stranded above the gap.
+			gap := height[u]
+			for v := 0; v < n; v++ {
+				if v != s && height[v] > gap && height[v] < n {
+					count[height[v]]--
+					height[v] = n + 1
+					count[height[v]]++
+				}
+			}
+		}
+		height[u] = minH
+		count[minH]++
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for excess[u] > Eps {
+			pushed := false
+			for _, e := range g.head[u] {
+				if excess[u] <= Eps {
+					break
+				}
+				v := int(g.to[e])
+				if g.resid[e] > Eps && height[u] == height[v]+1 {
+					d := math.Min(excess[u], g.resid[e])
+					g.resid[e] -= d
+					g.resid[e^1] += d
+					excess[u] -= d
+					excess[v] += d
+					enqueue(v)
+					pushed = true
+				}
+			}
+			if !pushed {
+				relabel(u)
+				if height[u] >= 2*n {
+					break
+				}
+			}
+		}
+	}
+	return excess[t]
+}
+
+func (g *Graph) finiteCapSum() float64 {
+	sum := 0.0
+	for e := 0; e < len(g.cap); e += 2 {
+		if !math.IsInf(g.cap[e], 1) {
+			sum += g.cap[e]
+		}
+	}
+	return sum
+}
+
+// MinCut returns the edges crossing the minimum s-side cut after MaxFlow has
+// run, plus the set of nodes on the source side. The sum of the returned
+// edges' capacities equals the max-flow value (max-flow min-cut theorem).
+func (g *Graph) MinCut(s int) (edges []EdgeID, sourceSide []bool) {
+	sourceSide = make([]bool, g.n)
+	queue := []int{s}
+	sourceSide[s] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.head[u] {
+			v := int(g.to[e])
+			if !sourceSide[v] && g.resid[e] > Eps {
+				sourceSide[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for e := EdgeID(0); int(e) < len(g.to); e += 2 {
+		u, v := g.Endpoints(e)
+		if sourceSide[u] && !sourceSide[v] {
+			edges = append(edges, e)
+		}
+	}
+	return edges, sourceSide
+}
+
+// Path is one source→sink flow path with the amount routed along it.
+type Path struct {
+	Nodes  []int
+	Edges  []EdgeID
+	Amount float64
+}
+
+// Decompose breaks the current flow into at most M source→sink paths
+// (cycles in the flow, which the solvers here never produce for DAG-shaped
+// communication graphs, are dropped). The graph's flow state is preserved.
+func (g *Graph) Decompose(s, t int) []Path {
+	// Work on a copy of per-edge flow.
+	flow := make([]float64, len(g.to))
+	for e := 0; e < len(g.to); e += 2 {
+		flow[e] = g.Flow(EdgeID(e))
+	}
+	var paths []Path
+	for {
+		// Greedy DFS over positive-flow edges from s to t.
+		parent := make([]EdgeID, g.n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		stack := []int{s}
+		found := false
+		for len(stack) > 0 && !found {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.head[u] {
+				if e%2 != 0 {
+					continue
+				}
+				v := int(g.to[e])
+				if parent[v] == -1 && flow[e] > Eps {
+					parent[v] = e
+					if v == t {
+						found = true
+						break
+					}
+					stack = append(stack, v)
+				}
+			}
+		}
+		if !found {
+			return paths
+		}
+		var p Path
+		p.Amount = Inf
+		for v := t; v != s; {
+			e := parent[v]
+			if flow[e] < p.Amount {
+				p.Amount = flow[e]
+			}
+			p.Edges = append(p.Edges, e)
+			p.Nodes = append(p.Nodes, v)
+			v, _ = g.Endpoints(e)
+		}
+		p.Nodes = append(p.Nodes, s)
+		reverseInts(p.Nodes)
+		reverseEdges(p.Edges)
+		for _, e := range p.Edges {
+			flow[e] -= p.Amount
+		}
+		paths = append(paths, p)
+	}
+}
+
+func reverseInts(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func reverseEdges(a []EdgeID) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}

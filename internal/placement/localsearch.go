@@ -1,0 +1,187 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"moment/internal/flownet"
+	"moment/internal/topology"
+	"moment/internal/units"
+)
+
+// Exhaustive enumeration is exact but its candidate count grows
+// combinatorially with slots and devices; beyond a few hundred candidates
+// (large custom chassis, §2.3's vendor-built servers) Moment falls back to
+// stochastic local search: hill climbing over single-device move and
+// device-swap neighborhoods with random restarts. On the evaluated
+// machines the local search provably reaches the exhaustive optimum (see
+// tests); on larger machines it trades exactness for tractability.
+
+// LocalSearchOptions tunes the stochastic search.
+type LocalSearchOptions struct {
+	// Restarts is the number of random initial placements (default 8).
+	Restarts int
+	// MaxSteps bounds improvement steps per restart (default 200).
+	MaxSteps int
+	// Seed makes the search reproducible.
+	Seed int64
+	// Tolerance is the bisection tolerance (default 1e-4).
+	Tolerance float64
+}
+
+func (o LocalSearchOptions) defaults() LocalSearchOptions {
+	if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	return o
+}
+
+// LocalSearch finds a low-epoch-IO placement by hill climbing. It returns
+// the best placement found, its predicted time, and the number of
+// candidate evaluations spent.
+func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.defaults()
+	r := rand.New(rand.NewSource(opt.Seed))
+
+	type pointCap struct {
+		id   string
+		gpus int
+		bays int
+	}
+	var points []pointCap
+	for _, pt := range m.Points {
+		points = append(points, pointCap{id: pt.ID, gpus: pt.GPUSlots, bays: pt.Bays})
+	}
+
+	randomPlacement := func() *topology.Placement {
+		p := &topology.Placement{Name: "ls"}
+		gpuLeft := make([]int, len(points))
+		bayLeft := make([]int, len(points))
+		for i, pt := range points {
+			gpuLeft[i] = pt.gpus
+			bayLeft[i] = pt.bays
+		}
+		place := func(n int, left []int) ([]string, bool) {
+			var at []string
+			for k := 0; k < n; k++ {
+				var options []int
+				for i := range points {
+					if left[i] > 0 {
+						options = append(options, i)
+					}
+				}
+				if len(options) == 0 {
+					return nil, false
+				}
+				i := options[r.Intn(len(options))]
+				left[i]--
+				at = append(at, points[i].id)
+			}
+			return at, true
+		}
+		var ok bool
+		if p.GPUAt, ok = place(m.NumGPUs, gpuLeft); !ok {
+			return nil
+		}
+		if p.SSDAt, ok = place(m.NumSSDs, bayLeft); !ok {
+			return nil
+		}
+		return p
+	}
+
+	evaluations := 0
+	score := func(p *topology.Placement) (float64, bool) {
+		evaluations++
+		n, err := flownet.Build(m, p, d)
+		if err != nil {
+			return 0, false
+		}
+		t, err := n.Solve()
+		if err != nil {
+			return 0, false
+		}
+		return t.Sec(), true
+	}
+
+	// neighbors yields single-device moves to any point with a free slot.
+	neighbors := func(p *topology.Placement) []*topology.Placement {
+		var out []*topology.Placement
+		gpus, ssds := p.Counts()
+		for i := range p.GPUAt {
+			for _, pt := range points {
+				if pt.id == p.GPUAt[i] || gpus[pt.id] >= pt.gpus {
+					continue
+				}
+				q := p.Clone()
+				q.GPUAt[i] = pt.id
+				out = append(out, q)
+			}
+		}
+		for i := range p.SSDAt {
+			for _, pt := range points {
+				if pt.id == p.SSDAt[i] || ssds[pt.id] >= pt.bays {
+					continue
+				}
+				q := p.Clone()
+				q.SSDAt[i] = pt.id
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	var best *topology.Placement
+	bestT := 0.0
+	for restart := 0; restart < opt.Restarts; restart++ {
+		cur := randomPlacement()
+		if cur == nil {
+			continue
+		}
+		curT, ok := score(cur)
+		if !ok {
+			continue
+		}
+		for step := 0; step < opt.MaxSteps; step++ {
+			improved := false
+			for _, nb := range neighbors(cur) {
+				t, ok := score(nb)
+				if ok && t < curT*(1-1e-9) {
+					cur, curT = nb, t
+					improved = true
+					break // first-improvement hill climbing
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if best == nil || curT < bestT {
+			best, bestT = cur, curT
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("placement: local search found no feasible placement on %s", m.Name)
+	}
+	best.Name = fmt.Sprintf("%s(moment-ls)", m.Name)
+	res := &Result{
+		Best:       best,
+		Time:       units.Seconds(bestT),
+		Enumerated: evaluations,
+		Evaluated:  evaluations,
+		Demand:     d,
+		Machine:    m,
+	}
+	if bestT > 0 {
+		res.Throughput = units.Bandwidth(d.TotalDemand() / bestT)
+	}
+	return res, nil
+}

@@ -1,0 +1,264 @@
+// Package placement enumerates feasible hardware placements (which slots
+// hold the GPUs and SSDs), prunes symmetry- and rotation-equivalent
+// candidates by isomorphic reduction, and searches for the placement whose
+// max-flow-predicted epoch I/O time is minimal (paper §3.2, Problem
+// Solving).
+//
+// Devices of the same kind are interchangeable, so a candidate is a count
+// vector (GPUs and SSDs per attach point) — PCIe-switch symmetry (devices
+// on the same switch are equivalent) is therefore structural. Topological
+// symmetry (mirrored subtrees, as in Machine A's two sockets) and
+// rotation-invariant re-orderings are removed by canonical tree encoding:
+// two candidates whose rooted-forest encodings coincide after sorting
+// equivalent subtrees are the same physical configuration.
+package placement
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"moment/internal/flownet"
+	"moment/internal/topology"
+	"moment/internal/units"
+)
+
+// Enumerate lists every slot-feasible placement of m's device inventory,
+// honoring physical slot constraints (x16 dual-width for GPUs, U.2 bays
+// for SSDs). The result is not symmetry-reduced; see Dedupe.
+func Enumerate(m *topology.Machine) ([]*topology.Placement, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	gpuCaps := make([]int, len(m.Points))
+	ssdCaps := make([]int, len(m.Points))
+	for i, p := range m.Points {
+		gpuCaps[i] = p.GPUSlots
+		ssdCaps[i] = p.Bays
+	}
+	gpuDists := compositions(m.NumGPUs, gpuCaps)
+	ssdDists := compositions(m.NumSSDs, ssdCaps)
+	var out []*topology.Placement
+	for _, gd := range gpuDists {
+		for _, sd := range ssdDists {
+			p := &topology.Placement{}
+			for i, pt := range m.Points {
+				for k := 0; k < gd[i]; k++ {
+					p.GPUAt = append(p.GPUAt, pt.ID)
+				}
+				for k := 0; k < sd[i]; k++ {
+					p.SSDAt = append(p.SSDAt, pt.ID)
+				}
+			}
+			p.Name = fmt.Sprintf("cand%d", len(out))
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// compositions returns all ways to write total as a sum over len(caps)
+// non-negative parts with parts[i] <= caps[i].
+func compositions(total int, caps []int) [][]int {
+	var out [][]int
+	cur := make([]int, len(caps))
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == len(caps) {
+			if left == 0 {
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		maxHere := caps[i]
+		if left < maxHere {
+			maxHere = left
+		}
+		for v := 0; v <= maxHere; v++ {
+			cur[i] = v
+			rec(i+1, left-v)
+		}
+		cur[i] = 0
+	}
+	rec(0, total)
+	return out
+}
+
+// CanonicalKey computes an isomorphism-invariant encoding of a placed
+// machine. Each attach point is encoded as
+// (kind, uplinkGiBps, bays, gpuSlots, placedGPUs, placedSSDs, children...)
+// with children sorted by their encodings; the forest of root complexes is
+// sorted likewise (root complexes peer symmetrically over QPI). Placements
+// that differ only by swapping equivalent subtrees share a key.
+func CanonicalKey(m *topology.Machine, p *topology.Placement) (string, error) {
+	if err := p.Validate(m); err != nil {
+		return "", err
+	}
+	gpus, ssds := p.Counts()
+	children := map[string][]string{}
+	for _, pt := range m.Points {
+		if pt.Kind == topology.Switch {
+			children[pt.Parent] = append(children[pt.Parent], pt.ID)
+		}
+	}
+	var encode func(id string) string
+	encode = func(id string) string {
+		pt, _ := m.Point(id)
+		var kids []string
+		for _, c := range children[id] {
+			kids = append(kids, encode(c))
+		}
+		sort.Strings(kids)
+		return fmt.Sprintf("(%d,%.3f,%d,%d,g%d,s%d;%s)",
+			int(pt.Kind), pt.UplinkBW.GiBpsf(), pt.Bays, pt.GPUSlots,
+			gpus[id], ssds[id], strings.Join(kids, ""))
+	}
+	var roots []string
+	for _, rc := range m.RootComplexes() {
+		roots = append(roots, encode(rc))
+	}
+	sort.Strings(roots)
+	return strings.Join(roots, "|"), nil
+}
+
+// Dedupe removes symmetry-equivalent placements, keeping the first
+// representative of each canonical class (the isomorphic graph reduction
+// of §3.2).
+func Dedupe(m *topology.Machine, ps []*topology.Placement) ([]*topology.Placement, error) {
+	seen := make(map[string]bool, len(ps))
+	var out []*topology.Placement
+	for _, p := range ps {
+		key, err := CanonicalKey(m, p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Options tunes the placement search.
+type Options struct {
+	// Tolerance is the relative bisection tolerance (default 1e-4).
+	Tolerance float64
+	// Parallelism bounds concurrent candidate evaluations
+	// (default GOMAXPROCS).
+	Parallelism int
+	// SkipDedupe disables isomorphic reduction (ablation).
+	SkipDedupe bool
+	// KeepScores records every candidate's predicted time in the result.
+	KeepScores bool
+}
+
+// Scored pairs a candidate with its predicted epoch I/O time.
+type Scored struct {
+	Placement *topology.Placement
+	Time      units.Duration
+	Err       error
+}
+
+// Result summarizes a search.
+type Result struct {
+	Best       *topology.Placement
+	Time       units.Duration  // predicted epoch I/O completion time
+	Throughput units.Bandwidth // total demand / Time
+	Enumerated int             // candidates before reduction
+	Evaluated  int             // candidates scored after reduction
+	Scores     []Scored        // per-candidate results when KeepScores
+	Demand     *flownet.Demand // the demand the search optimized for
+	Machine    *topology.Machine
+}
+
+// Search enumerates placements, reduces symmetry, scores every survivor by
+// time-bisection max-flow under demand d, and returns the fastest. Scoring
+// runs on a bounded worker pool; candidates whose networks are infeasible
+// (disconnected demand) are skipped.
+func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error) {
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 1e-4
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	all, err := Enumerate(m)
+	if err != nil {
+		return nil, err
+	}
+	cands := all
+	if !opt.SkipDedupe {
+		cands, err = Dedupe(m, all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("placement: no feasible candidates for machine %s", m.Name)
+	}
+
+	scores := make([]Scored, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for i, cand := range cands {
+		wg.Add(1)
+		go func(i int, cand *topology.Placement) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scores[i] = score(m, cand, d)
+		}(i, cand)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Enumerated: len(all),
+		Evaluated:  len(cands),
+		Demand:     d,
+		Machine:    m,
+	}
+	for _, s := range scores {
+		if s.Err != nil {
+			continue
+		}
+		if res.Best == nil || s.Time < res.Time {
+			res.Best = s.Placement
+			res.Time = s.Time
+		}
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("placement: every candidate infeasible on machine %s", m.Name)
+	}
+	if res.Time > 0 {
+		res.Throughput = units.Bandwidth(d.TotalDemand() / res.Time.Sec())
+	}
+	if opt.KeepScores {
+		sort.Slice(scores, func(a, b int) bool {
+			if (scores[a].Err == nil) != (scores[b].Err == nil) {
+				return scores[a].Err == nil
+			}
+			return scores[a].Time < scores[b].Time
+		})
+		res.Scores = scores
+	}
+	best := res.Best.Clone()
+	best.Name = fmt.Sprintf("%s(moment)", m.Name)
+	res.Best = best
+	return res, nil
+}
+
+func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand) Scored {
+	n, err := flownet.Build(m, cand, d)
+	if err != nil {
+		return Scored{Placement: cand, Err: err}
+	}
+	t, err := n.Solve()
+	if err != nil {
+		return Scored{Placement: cand, Err: err}
+	}
+	return Scored{Placement: cand, Time: t}
+}

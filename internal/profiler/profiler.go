@@ -1,0 +1,214 @@
+// Package profiler implements the automatic module's bandwidth-profiling
+// step (§3.1): it "measures" the throughput of every link class by driving
+// synthetic transfers through the fabric simulator, exactly as the real
+// system measures PCIe, QPI and SSD rates with microbenchmarks before
+// building the max-flow model. On real hardware this package would wrap
+// fio/nvme-cli/p2p-bandwidth runs; here the measured values come from the
+// simulated fabric, which keeps the downstream pipeline honest (the
+// planner only ever consumes *measured* numbers, never spec constants).
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"moment/internal/simio"
+	"moment/internal/simnet"
+	"moment/internal/topology"
+	"moment/internal/units"
+)
+
+// Measurement is one profiled rate.
+type Measurement struct {
+	Name string
+	Rate units.Bandwidth
+}
+
+// Profile is the full bandwidth table of a machine.
+type Profile struct {
+	Machine string
+	// SSDRead is the effective per-device read rate under the GPU I/O
+	// stack's request size and coalescing.
+	SSDRead units.Bandwidth
+	// SSDAggregate is the combined rate of all SSDs driven concurrently.
+	SSDAggregate units.Bandwidth
+	// Links holds per-link-class measurements (x16 slots, uplinks, QPI,
+	// DRAM egress, NVLink).
+	Links []Measurement
+}
+
+// Options tunes the profiling runs.
+type Options struct {
+	// RequestBytes is the I/O request size (default 4096, one feature
+	// page of a 1024-dim float32 row).
+	RequestBytes float64
+	// Coalesce is the command-coalescing factor of the GPU I/O stack
+	// (default 2).
+	Coalesce float64
+	// QueueDepth per (GPU, SSD) queue pair (default 256).
+	QueueDepth int
+}
+
+func (o Options) defaults() Options {
+	if o.RequestBytes == 0 {
+		o.RequestBytes = 4096
+	}
+	if o.Coalesce == 0 {
+		o.Coalesce = 2
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Measure profiles machine m. SSD rates come from the queue-pair I/O
+// stack simulation; link rates from single-flow probes over the fabric.
+func Measure(m *topology.Machine, opt Options) (*Profile, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.defaults()
+	p := &Profile{Machine: m.Name}
+
+	// --- SSD microbenchmark (per device, then all devices together). ---
+	if m.NumSSDs > 0 {
+		spec := simio.SSDSpec{
+			SeqBW:   float64(m.SSDBW),
+			IOPS:    m.SSDIOPS,
+			Latency: 90e-6,
+		}
+		single, err := ssdBench([]simio.SSDSpec{spec}, 1, opt)
+		if err != nil {
+			return nil, err
+		}
+		p.SSDRead = single
+		specs := make([]simio.SSDSpec, m.NumSSDs)
+		for i := range specs {
+			specs[i] = spec
+		}
+		gpus := m.NumGPUs
+		if gpus == 0 {
+			gpus = 1
+		}
+		agg, err := ssdBench(specs, gpus, opt)
+		if err != nil {
+			return nil, err
+		}
+		p.SSDAggregate = agg
+	}
+
+	// --- Link probes: one saturating flow per link class. ---
+	for _, pt := range m.Points {
+		if pt.Kind == topology.Switch {
+			rate, err := probeLink(float64(pt.UplinkBW))
+			if err != nil {
+				return nil, err
+			}
+			p.Links = append(p.Links, Measurement{
+				Name: fmt.Sprintf("uplink:%s-%s", pt.Parent, pt.ID),
+				Rate: rate,
+			})
+		}
+	}
+	rcs := m.RootComplexes()
+	if len(rcs) > 1 {
+		rate, err := probeLink(float64(m.QPIBW))
+		if err != nil {
+			return nil, err
+		}
+		p.Links = append(p.Links, Measurement{Name: "qpi", Rate: rate})
+	}
+	x16, err := probeLink(float64(m.PCIeX16))
+	if err != nil {
+		return nil, err
+	}
+	p.Links = append(p.Links, Measurement{Name: "pcie-x16", Rate: x16})
+	dram, err := probeLink(float64(m.DRAMBW))
+	if err != nil {
+		return nil, err
+	}
+	p.Links = append(p.Links, Measurement{Name: "dram-egress", Rate: dram})
+	if len(m.NVLinks) > 0 {
+		nvl, err := probeLink(float64(m.NVLinkBW))
+		if err != nil {
+			return nil, err
+		}
+		p.Links = append(p.Links, Measurement{Name: "nvlink", Rate: nvl})
+	}
+	sort.Slice(p.Links, func(i, j int) bool { return p.Links[i].Name < p.Links[j].Name })
+	return p, nil
+}
+
+// ssdBench drives a saturating random-read workload through the queue-pair
+// stack and reports aggregate achieved bandwidth.
+func ssdBench(specs []simio.SSDSpec, gpus int, opt Options) (units.Bandwidth, error) {
+	stack, err := simio.New(simio.Config{
+		SSDs:         specs,
+		QueueDepth:   opt.QueueDepth,
+		RequestBytes: opt.RequestBytes,
+		Coalesce:     opt.Coalesce,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ids := make([]int, len(specs))
+	for i := range ids {
+		ids[i] = i
+	}
+	reqs := map[[2]int]int64{}
+	const perPair = 200_000
+	for g := 0; g < gpus; g++ {
+		if err := stack.AttachGPU(g, ids); err != nil {
+			return 0, err
+		}
+		for _, d := range ids {
+			reqs[[2]int{g, d}] = perPair
+		}
+	}
+	res, err := stack.Run(reqs)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, bw := range res.PerSSDBandwidth {
+		total += bw
+	}
+	return units.Bandwidth(total), nil
+}
+
+// probeLink saturates a single simulated link and reports the achieved
+// rate (trivially the configured rate under the fluid model; the probe
+// keeps the measurement path uniform with real profiling).
+func probeLink(rate float64) (units.Bandwidth, error) {
+	net := simnet.New()
+	l, err := net.AddLink("probe", rate)
+	if err != nil {
+		return 0, err
+	}
+	const bytes = 64 << 30
+	if _, err := net.AddFlow("probe", []simnet.LinkID{l}, bytes, 0); err != nil {
+		return 0, err
+	}
+	res, err := net.Run()
+	if err != nil {
+		return 0, err
+	}
+	if res.Makespan <= 0 {
+		return 0, fmt.Errorf("profiler: degenerate probe")
+	}
+	return units.Bandwidth(bytes / res.Makespan), nil
+}
+
+// String renders the profile as the automatic module prints it.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s bandwidth profile:\n", p.Machine)
+	fmt.Fprintf(&b, "  ssd-read       %v\n", p.SSDRead)
+	fmt.Fprintf(&b, "  ssd-aggregate  %v\n", p.SSDAggregate)
+	for _, m := range p.Links {
+		fmt.Fprintf(&b, "  %-14s %v\n", m.Name, m.Rate)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package profiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"moment/internal/topology"
+)
+
+func TestMeasureMachineA(t *testing.T) {
+	p, err := Measure(topology.MachineA(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-SSD effective read ~6 GiB/s; aggregate ~48 GiB/s (§2.2).
+	if g := p.SSDRead.GiBpsf(); g < 5.5 || g > 6.5 {
+		t.Errorf("ssd read %.2f GiB/s, want ~6", g)
+	}
+	if g := p.SSDAggregate.GiBpsf(); g < 45 || g > 49 {
+		t.Errorf("ssd aggregate %.2f GiB/s, want ~48", g)
+	}
+	byName := map[string]float64{}
+	for _, m := range p.Links {
+		byName[m.Name] = m.Rate.GiBpsf()
+	}
+	if math.Abs(byName["pcie-x16"]-20) > 0.5 {
+		t.Errorf("x16 measured %.1f, want ~20", byName["pcie-x16"])
+	}
+	if math.Abs(byName["qpi"]-20) > 0.5 {
+		t.Errorf("qpi measured %.1f, want ~20", byName["qpi"])
+	}
+	if _, ok := byName["uplink:rc0-sw0"]; !ok {
+		t.Errorf("missing uplink measurement: %v", byName)
+	}
+	s := p.String()
+	for _, want := range []string{"machine A", "ssd-aggregate", "qpi"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestMeasureWithNVLink(t *testing.T) {
+	m := topology.MachineA().WithNVLink(topology.NVLinkBridgeBW,
+		topology.NVLinkPair{A: 0, B: 1})
+	p, err := Measure(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range p.Links {
+		if l.Name == "nvlink" {
+			found = true
+			if math.Abs(l.Rate.GiBpsf()-50) > 1 {
+				t.Errorf("nvlink %.1f, want ~50", l.Rate.GiBpsf())
+			}
+		}
+	}
+	if !found {
+		t.Error("nvlink not profiled")
+	}
+}
+
+func TestMeasureMachineCNoSSDs(t *testing.T) {
+	p, err := Measure(topology.MachineC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SSDRead != 0 || p.SSDAggregate != 0 {
+		t.Error("machine C has no SSDs to profile")
+	}
+}
+
+func TestMeasureInvalidMachine(t *testing.T) {
+	m := topology.MachineA()
+	m.Points = nil
+	if _, err := Measure(m, Options{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

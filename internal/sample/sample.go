@@ -1,0 +1,309 @@
+// Package sample implements mini-batch graph sampling for GNN training:
+// k-hop random neighbor sampling with per-hop fan-outs (the paper uses
+// 2-hop [25, 10]), batch iteration over training vertices, and the
+// pre-sampling hotness profiler whose output drives DDAK (§3.3). In the
+// paper this runs as CUDA kernels; here it runs on goroutine workers,
+// preserving the access pattern the I/O simulator and DDAK consume.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"moment/internal/graph"
+)
+
+// DefaultFanouts is the paper's 2-hop random neighbor sampling setting.
+var DefaultFanouts = []int{25, 10}
+
+// Batch is one sampled mini-batch: the seed vertices, the deduplicated
+// set of all vertices whose features must be fetched, and the per-hop
+// frontier structure (block edges) for message passing.
+type Batch struct {
+	Seeds []int32
+	// Unique lists every distinct vertex in the sampled subgraph
+	// (seeds first). Feature extraction fetches exactly these rows.
+	Unique []int32
+	// Hops[i] holds the sampled edges of hop i as (dst, src) index pairs
+	// into Unique: dst aggregates from src.
+	Hops []HopBlock
+}
+
+// HopBlock is the bipartite edge block of one sampling hop.
+type HopBlock struct {
+	Dst []int32 // indices into Batch.Unique (aggregating vertices)
+	Src []int32 // indices into Batch.Unique (their sampled neighbors)
+}
+
+// TotalSampled returns the number of unique vertices in the batch.
+func (b *Batch) TotalSampled() int { return len(b.Unique) }
+
+// Sampler draws k-hop neighborhood samples from a graph.
+type Sampler struct {
+	G       *graph.Graph
+	Fanouts []int
+	rng     *rand.Rand
+}
+
+// NewSampler builds a sampler with the given fan-outs (nil = DefaultFanouts).
+func NewSampler(g *graph.Graph, fanouts []int, seed int64) (*Sampler, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sample: nil graph")
+	}
+	if fanouts == nil {
+		fanouts = DefaultFanouts
+	}
+	for _, f := range fanouts {
+		if f <= 0 {
+			return nil, fmt.Errorf("sample: non-positive fanout %d", f)
+		}
+	}
+	return &Sampler{G: g, Fanouts: fanouts, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample draws the k-hop neighborhood of the given seeds with random
+// neighbor sampling: at hop i every frontier vertex samples up to
+// Fanouts[i] of its neighbors (without replacement when the neighborhood
+// is small, with replacement above the fanout as GPU samplers do).
+func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
+	n := int32(s.G.N())
+	for _, v := range seeds {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("sample: seed %d out of range [0,%d)", v, n)
+		}
+	}
+	b := &Batch{Seeds: append([]int32(nil), seeds...)}
+	index := make(map[int32]int32, len(seeds)*4)
+	intern := func(v int32) int32 {
+		if id, ok := index[v]; ok {
+			return id
+		}
+		id := int32(len(b.Unique))
+		index[v] = id
+		b.Unique = append(b.Unique, v)
+		return id
+	}
+	frontier := make([]int32, 0, len(seeds))
+	for _, v := range seeds {
+		intern(v)
+		frontier = append(frontier, v)
+	}
+	for _, fanout := range s.Fanouts {
+		var hop HopBlock
+		next := make([]int32, 0, len(frontier)*fanout/2)
+		seenNext := make(map[int32]bool, len(frontier)*fanout/2)
+		for _, v := range frontier {
+			nbrs := s.G.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			dstIdx := index[v]
+			if len(nbrs) <= fanout {
+				for _, u := range nbrs {
+					hop.Dst = append(hop.Dst, dstIdx)
+					hop.Src = append(hop.Src, intern(u))
+					if !seenNext[u] {
+						seenNext[u] = true
+						next = append(next, u)
+					}
+				}
+				continue
+			}
+			for k := 0; k < fanout; k++ {
+				u := nbrs[s.rng.Intn(len(nbrs))]
+				hop.Dst = append(hop.Dst, dstIdx)
+				hop.Src = append(hop.Src, intern(u))
+				if !seenNext[u] {
+					seenNext[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		b.Hops = append(b.Hops, hop)
+		frontier = next
+	}
+	return b, nil
+}
+
+// BatchIterator partitions training vertices into mini-batches, shuffling
+// each epoch — the data-parallel partitioner of §3.1 splits these batches
+// evenly across GPUs.
+type BatchIterator struct {
+	train     []int32
+	batchSize int
+	rng       *rand.Rand
+	cursor    int
+}
+
+// NewBatchIterator selects ⌈frac·N⌉ training vertices (the paper trains on
+// a random 1%) and iterates them in mini-batches of batchSize.
+func NewBatchIterator(g *graph.Graph, frac float64, batchSize int, seed int64) (*BatchIterator, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("sample: train fraction %v out of (0,1]", frac)
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("sample: non-positive batch size")
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := g.N()
+	k := int(float64(n)*frac + 0.5)
+	if k == 0 {
+		k = 1
+	}
+	perm := r.Perm(n)
+	train := make([]int32, k)
+	for i := 0; i < k; i++ {
+		train[i] = int32(perm[i])
+	}
+	return &BatchIterator{train: train, batchSize: batchSize, rng: r}, nil
+}
+
+// NumTrain returns the number of training vertices.
+func (it *BatchIterator) NumTrain() int { return len(it.train) }
+
+// BatchesPerEpoch returns the number of mini-batches per epoch.
+func (it *BatchIterator) BatchesPerEpoch() int {
+	return (len(it.train) + it.batchSize - 1) / it.batchSize
+}
+
+// Next returns the next batch of seeds, reshuffling at epoch boundaries.
+// The second result is false exactly at an epoch boundary (the returned
+// batch is the first of the new epoch).
+func (it *BatchIterator) Next() ([]int32, bool) {
+	sameEpoch := true
+	if it.cursor >= len(it.train) {
+		it.rng.Shuffle(len(it.train), func(i, j int) {
+			it.train[i], it.train[j] = it.train[j], it.train[i]
+		})
+		it.cursor = 0
+		sameEpoch = false
+	}
+	end := it.cursor + it.batchSize
+	if end > len(it.train) {
+		end = len(it.train)
+	}
+	out := it.train[it.cursor:end]
+	it.cursor = end
+	return out, sameEpoch
+}
+
+// Shard splits the training set across numGPU data-parallel workers
+// (even partitioning of training vertices, §3.1 System Runtime).
+func (it *BatchIterator) Shard(numGPU int) ([][]int32, error) {
+	if numGPU <= 0 {
+		return nil, fmt.Errorf("sample: non-positive GPU count")
+	}
+	shards := make([][]int32, numGPU)
+	for i, v := range it.train {
+		shards[i%numGPU] = append(shards[i%numGPU], v)
+	}
+	return shards, nil
+}
+
+// Hotness is the per-vertex access-frequency estimate produced by
+// pre-sampling. Values sum to 1.
+type Hotness []float64
+
+// ProfileHotness runs the offline pre-sampling pass of §3.3: it samples
+// rounds×batches mini-batches and counts how often each vertex's feature
+// would be fetched. Work fans out over min(GOMAXPROCS, rounds) goroutines,
+// each with an independent RNG stream.
+func ProfileHotness(g *graph.Graph, fanouts []int, trainFrac float64, batchSize, rounds int, seed int64) (Hotness, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("sample: non-positive rounds")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rounds {
+		workers = rounds
+	}
+	countsPer := make([][]int64, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		countsPer[w] = make([]int64, g.N())
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := NewSampler(g, fanouts, seed+int64(w)*7919)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			it, err := NewBatchIterator(g, trainFrac, batchSize, seed+int64(w)*104729)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			myRounds := rounds / workers
+			if w < rounds%workers {
+				myRounds++
+			}
+			batches := it.BatchesPerEpoch() * myRounds
+			for i := 0; i < batches; i++ {
+				seeds, _ := it.Next()
+				b, err := s.Sample(seeds)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, v := range b.Unique {
+					countsPer[w][v]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := make(Hotness, g.N())
+	total := 0.0
+	for _, counts := range countsPer {
+		for v, c := range counts {
+			h[v] += float64(c)
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sample: profiling observed no accesses")
+	}
+	for v := range h {
+		h[v] /= total
+	}
+	return h, nil
+}
+
+// ZipfHotness returns the analytic Zipf(s) access distribution over n
+// ranked vertices — the paper-scale stand-in for pre-sampling when the
+// graph itself is synthetic (simulated experiments on Table 2 datasets).
+func ZipfHotness(n int, s float64) (Hotness, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: non-positive n")
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("sample: non-positive skew")
+	}
+	h := make(Hotness, n)
+	total := 0.0
+	for i := range h {
+		h[i] = 1 / pow(float64(i+1), s)
+		total += h[i]
+	}
+	for i := range h {
+		h[i] /= total
+	}
+	return h, nil
+}
+
+func pow(base, exp float64) float64 {
+	// math.Pow is the dominant cost for large n; special-case exp==1.
+	if exp == 1 {
+		return base
+	}
+	return math.Pow(base, exp)
+}

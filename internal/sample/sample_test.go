@@ -1,0 +1,303 @@
+package sample
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"moment/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenZipf(2000, 8, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleShape(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewSampler(g, []int{5, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{0, 1, 2, 3}
+	b, err := s.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Hops) != 2 {
+		t.Fatalf("hops = %d", len(b.Hops))
+	}
+	if len(b.Seeds) != 4 {
+		t.Fatalf("seeds = %d", len(b.Seeds))
+	}
+	// Seeds come first in Unique.
+	for i, v := range seeds {
+		if b.Unique[i] != v {
+			t.Errorf("Unique[%d] = %d, want seed %d", i, b.Unique[i], v)
+		}
+	}
+	// Unique really is unique, and hop indices are in range.
+	seen := map[int32]bool{}
+	for _, v := range b.Unique {
+		if seen[v] {
+			t.Fatalf("duplicate vertex %d in Unique", v)
+		}
+		seen[v] = true
+	}
+	for hi, hop := range b.Hops {
+		if len(hop.Dst) != len(hop.Src) {
+			t.Fatalf("hop %d: |dst|=%d |src|=%d", hi, len(hop.Dst), len(hop.Src))
+		}
+		for i := range hop.Dst {
+			if int(hop.Dst[i]) >= len(b.Unique) || int(hop.Src[i]) >= len(b.Unique) {
+				t.Fatalf("hop %d edge %d indexes outside Unique", hi, i)
+			}
+		}
+	}
+	// Fanout bound: hop edges <= frontier * fanout.
+	if len(b.Hops[0].Dst) > 4*5 {
+		t.Errorf("hop0 edges %d > 20", len(b.Hops[0].Dst))
+	}
+}
+
+func TestSampleEdgesAreRealEdges(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewSampler(g, []int{4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sample([]int32{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range b.Hops {
+		for i := range hop.Dst {
+			dst := b.Unique[hop.Dst[i]]
+			src := b.Unique[hop.Src[i]]
+			found := false
+			for _, u := range g.Neighbors(dst) {
+				if u == src {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("sampled edge (%d<-%d) not in graph", dst, src)
+			}
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewSampler(nil, nil, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewSampler(g, []int{0}, 1); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	s, err := NewSampler(g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Fanouts) != 2 || s.Fanouts[0] != 25 {
+		t.Errorf("default fanouts %v", s.Fanouts)
+	}
+	if _, err := s.Sample([]int32{-1}); err == nil {
+		t.Error("negative seed accepted")
+	}
+	if _, err := s.Sample([]int32{99999}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestBatchIterator(t *testing.T) {
+	g := testGraph(t)
+	it, err := NewBatchIterator(g, 0.1, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.NumTrain() != 200 {
+		t.Fatalf("train = %d, want 200", it.NumTrain())
+	}
+	if it.BatchesPerEpoch() != 7 { // ceil(200/32)
+		t.Fatalf("batches/epoch = %d", it.BatchesPerEpoch())
+	}
+	seenPerEpoch := map[int32]int{}
+	total := 0
+	for i := 0; i < it.BatchesPerEpoch(); i++ {
+		seeds, same := it.Next()
+		if i == 0 && !same {
+			// First call may reshuffle only at later boundaries.
+			t.Log("first batch flagged as boundary")
+		}
+		total += len(seeds)
+		for _, v := range seeds {
+			seenPerEpoch[v]++
+		}
+	}
+	if total != 200 {
+		t.Fatalf("epoch visited %d vertices", total)
+	}
+	for v, c := range seenPerEpoch {
+		if c != 1 {
+			t.Fatalf("vertex %d visited %d times in one epoch", v, c)
+		}
+	}
+	// Next call starts a new epoch.
+	_, same := it.Next()
+	if same {
+		t.Error("epoch boundary not flagged")
+	}
+}
+
+func TestBatchIteratorErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewBatchIterator(g, 0, 8, 1); err == nil {
+		t.Error("frac=0 accepted")
+	}
+	if _, err := NewBatchIterator(g, 1.5, 8, 1); err == nil {
+		t.Error("frac>1 accepted")
+	}
+	if _, err := NewBatchIterator(g, 0.1, 0, 1); err == nil {
+		t.Error("batch=0 accepted")
+	}
+}
+
+func TestShard(t *testing.T) {
+	g := testGraph(t)
+	it, err := NewBatchIterator(g, 0.1, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := it.Shard(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != it.NumTrain() {
+		t.Fatalf("shards cover %d of %d", total, it.NumTrain())
+	}
+	// Even split within 1.
+	for _, s := range shards {
+		if d := len(s) - len(shards[0]); d > 1 || d < -1 {
+			t.Errorf("uneven shards: %d vs %d", len(s), len(shards[0]))
+		}
+	}
+	if _, err := it.Shard(0); err == nil {
+		t.Error("0 GPUs accepted")
+	}
+}
+
+func TestProfileHotness(t *testing.T) {
+	g := testGraph(t)
+	h, err := ProfileHotness(g, []int{5, 3}, 0.1, 64, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != g.N() {
+		t.Fatalf("hotness len %d", len(h))
+	}
+	sum := 0.0
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative hotness")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("hotness sums to %v", sum)
+	}
+	// Hot (low-id, Zipf-popular) vertices should rank above the median:
+	// compare mean hotness of the first 1% of ids vs the last 50%.
+	firstPct := 0.0
+	for v := 0; v < g.N()/100; v++ {
+		firstPct += h[v]
+	}
+	tail := 0.0
+	for v := g.N() / 2; v < g.N(); v++ {
+		tail += h[v]
+	}
+	firstPct /= float64(g.N() / 100)
+	tail /= float64(g.N() - g.N()/2)
+	if firstPct < 5*tail {
+		t.Errorf("profiling lost skew: head %.2e vs tail %.2e", firstPct, tail)
+	}
+	if _, err := ProfileHotness(g, nil, 0.1, 64, 0, 1); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+}
+
+func TestZipfHotness(t *testing.T) {
+	h, err := ZipfHotness(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, v := range h {
+		sum += v
+		if i > 0 && v > h[i-1]+1e-12 {
+			t.Fatal("ZipfHotness not monotone decreasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sums to %v", sum)
+	}
+	if _, err := ZipfHotness(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ZipfHotness(10, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestZipfHotnessNormalizedProperty(t *testing.T) {
+	f := func(nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%5000) + 1
+		s := float64(sRaw%30)/10 + 0.1
+		h, err := ZipfHotness(n, s)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range h {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9 && sort.SliceIsSorted(h, func(i, j int) bool { return h[i] > h[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerDeterministicPerSeed(t *testing.T) {
+	g := testGraph(t)
+	run := func() []int32 {
+		s, err := NewSampler(g, []int{6, 4}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Sample([]int32{10, 20, 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Unique
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package simio
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// This file implements the request-granular discrete-event model of the
+// GPU-initiated NVMe queue pair (paper §3.1, "Multi-GPU Disk IO Stack"):
+// actual SQ/CQ ring buffers with head/tail indices, doorbell writes that
+// batch submissions, a per-device service loop with bounded internal
+// parallelism, and completion polling by GPU threads. The fluid model in
+// simio.Stack prices epoch-scale transfers; this model answers
+// microbenchmark questions — IOPS versus queue depth, doorbell batching,
+// ring sizing — at per-command fidelity.
+
+// QPairConfig sizes one submission/completion queue pair.
+type QPairConfig struct {
+	// Entries is the ring size (power of two, NVMe-style; default 256).
+	Entries int
+	// DoorbellBatch is how many commands the driver accumulates before
+	// ringing the doorbell (GPU stacks batch to amortize MMIO; default 1).
+	DoorbellBatch int
+	// DoorbellLatency is the MMIO write + fetch latency per doorbell ring.
+	DoorbellLatency float64
+}
+
+func (c QPairConfig) defaults() QPairConfig {
+	if c.Entries == 0 {
+		c.Entries = 256
+	}
+	if c.DoorbellBatch == 0 {
+		c.DoorbellBatch = 1
+	}
+	if c.DoorbellLatency == 0 {
+		c.DoorbellLatency = 2e-6
+	}
+	return c
+}
+
+// DeviceConfig models the SSD controller behind the queue pairs.
+type DeviceConfig struct {
+	SSDSpec
+	// Parallelism is the controller's internal channel/die concurrency:
+	// how many commands it services simultaneously (default 64).
+	Parallelism int
+}
+
+func (c DeviceConfig) defaults() DeviceConfig {
+	if c.Parallelism == 0 {
+		c.Parallelism = 64
+	}
+	return c
+}
+
+// QPairSim is a request-granular simulation of one NVMe device serving
+// one or more queue pairs.
+type QPairSim struct {
+	qp  QPairConfig
+	dev DeviceConfig
+
+	reqBytes float64
+	svcTime  float64 // per-command device occupancy
+}
+
+// NewQPairSim builds the simulator for one device and request size.
+func NewQPairSim(qp QPairConfig, dev DeviceConfig, requestBytes float64) (*QPairSim, error) {
+	qp = qp.defaults()
+	dev = dev.defaults()
+	if requestBytes <= 0 {
+		return nil, fmt.Errorf("simio: non-positive request size")
+	}
+	if qp.Entries < 2 || qp.Entries&(qp.Entries-1) != 0 {
+		return nil, fmt.Errorf("simio: ring entries %d not a power of two >= 2", qp.Entries)
+	}
+	if qp.DoorbellBatch < 1 || qp.DoorbellBatch > qp.Entries {
+		return nil, fmt.Errorf("simio: doorbell batch %d out of [1,%d]", qp.DoorbellBatch, qp.Entries)
+	}
+	if dev.SeqBW <= 0 || dev.IOPS <= 0 || dev.Latency <= 0 {
+		return nil, fmt.Errorf("simio: bad device %+v", dev.SSDSpec)
+	}
+	// Per-command device occupancy: the controller sustains IOPS across
+	// Parallelism lanes, and bandwidth across the transfer path.
+	occupancy := float64(dev.Parallelism) / dev.IOPS
+	byBW := requestBytes / dev.SeqBW * float64(dev.Parallelism)
+	if byBW > occupancy {
+		occupancy = byBW
+	}
+	return &QPairSim{qp: qp, dev: dev, reqBytes: requestBytes, svcTime: occupancy}, nil
+}
+
+// QPairResult reports a request-granular run.
+type QPairResult struct {
+	// Time is when the last completion was consumed.
+	Time float64
+	// IOPS is requests / Time.
+	IOPS float64
+	// Bandwidth is bytes / Time.
+	Bandwidth float64
+	// AvgLatency is the mean submit→completion latency.
+	AvgLatency float64
+	// MaxOutstanding is the peak number of in-flight commands observed.
+	MaxOutstanding int
+	// DoorbellRings counts MMIO doorbell writes.
+	DoorbellRings int
+}
+
+type qpEvent struct {
+	at   float64
+	kind int // 0 = submit-ready, 1 = completion, 2 = service-slot free
+	n    int // commands in this event
+}
+
+type qpEventHeap []qpEvent
+
+func (h qpEventHeap) Len() int            { return len(h) }
+func (h qpEventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h qpEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *qpEventHeap) Push(x interface{}) { *h = append(*h, x.(qpEvent)) }
+func (h *qpEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run pushes totalRequests fixed-size reads through one queue pair and
+// reports achieved IOPS/bandwidth/latency. The event loop models:
+// submissions gated by ring occupancy and doorbell batching; the device
+// draining the SQ into at most Parallelism concurrent service slots, each
+// occupied for svcTime and completing after an additional Latency;
+// completions freeing ring slots.
+func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
+	if totalRequests <= 0 {
+		return nil, fmt.Errorf("simio: non-positive request count")
+	}
+	var (
+		now          float64
+		submitted    int64 // handed to the ring (doorbell rung)
+		started      int64 // picked up by the controller
+		completed    int64
+		inRing       int // occupied SQ entries (submitted, not completed)
+		inService    int // controller slots busy
+		pendingBell  int // commands accumulated before the next doorbell
+		rings        int
+		latencySum   float64
+		maxOut       int
+		events       qpEventHeap
+		submitTimes  = make(map[int64]float64) // started order == completion order (FIFO)
+		nextComplete int64
+	)
+	// Helper: ring the doorbell for pendingBell commands.
+	ring := func(at float64) {
+		if pendingBell == 0 {
+			return
+		}
+		rings++
+		heap.Push(&events, qpEvent{at: at + s.qp.DoorbellLatency, kind: 0, n: pendingBell})
+		pendingBell = 0
+	}
+	// Seed: the GPU fills the ring as far as it can at t=0.
+	for submitted < totalRequests && inRing < s.qp.Entries {
+		submitted++
+		inRing++
+		pendingBell++
+		if pendingBell == s.qp.DoorbellBatch {
+			ring(now)
+		}
+	}
+	ring(now)
+
+	sqReady := int64(0) // commands visible to the controller
+	var tryStart func(at float64)
+	tryStart = func(at float64) {
+		for sqReady > started && inService < s.dev.Parallelism {
+			started++
+			inService++
+			submitTimes[started-1] = at
+			// The controller slot frees after the service occupancy; the
+			// completion posts after the additional device latency, which
+			// overlaps with the next command's service.
+			heap.Push(&events, qpEvent{at: at + s.svcTime, kind: 2, n: 1})
+			heap.Push(&events, qpEvent{at: at + s.svcTime + s.dev.Latency, kind: 1, n: 1})
+		}
+		if out := int(started - completed); out > maxOut {
+			maxOut = out
+		}
+	}
+
+	for completed < totalRequests {
+		if events.Len() == 0 {
+			return nil, fmt.Errorf("simio: deadlock at t=%.6f (%d/%d complete)", now, completed, totalRequests)
+		}
+		ev := heap.Pop(&events).(qpEvent)
+		now = ev.at
+		switch ev.kind {
+		case 0: // doorbell arrival: commands become visible
+			sqReady += int64(ev.n)
+			tryStart(now)
+		case 2: // service slot freed
+			inService--
+			tryStart(now)
+		case 1: // completion
+			completed++
+			inRing--
+			latencySum += now - submitTimes[nextComplete]
+			delete(submitTimes, nextComplete)
+			nextComplete++
+			// Free ring slot: the GPU immediately submits the next
+			// command if any remain.
+			if submitted < totalRequests {
+				submitted++
+				inRing++
+				pendingBell++
+				if pendingBell == s.qp.DoorbellBatch || submitted == totalRequests {
+					ring(now)
+				}
+			}
+			tryStart(now)
+		}
+	}
+	res := &QPairResult{
+		Time:           now,
+		MaxOutstanding: maxOut,
+		DoorbellRings:  rings,
+	}
+	if now > 0 {
+		res.IOPS = float64(totalRequests) / now
+		res.Bandwidth = res.IOPS * s.reqBytes
+	}
+	res.AvgLatency = latencySum / float64(totalRequests)
+	return res, nil
+}
+
+// QDCurve runs the simulator across queue depths (ring sizes) and returns
+// the achieved IOPS per depth — the canonical NVMe microbenchmark curve.
+func QDCurve(dev DeviceConfig, requestBytes float64, depths []int, requests int64) (map[int]float64, error) {
+	out := make(map[int]float64, len(depths))
+	for _, d := range depths {
+		sim, err := NewQPairSim(QPairConfig{Entries: d}, dev, requestBytes)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(requests)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = r.IOPS
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package simio
+
+import (
+	"math"
+	"testing"
+)
+
+func dev(t *testing.T) DeviceConfig {
+	t.Helper()
+	return DeviceConfig{SSDSpec: P5510()}
+}
+
+func TestQPairSaturatesIOPS(t *testing.T) {
+	// Deep ring, small requests: the device IOPS ceiling binds.
+	sim, err := NewQPairSim(QPairConfig{Entries: 1024, DoorbellBatch: 32}, dev(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := P5510().IOPS
+	if r.IOPS < want*0.9 || r.IOPS > want*1.05 {
+		t.Errorf("IOPS %.0f, want ~%.0f", r.IOPS, want)
+	}
+	if r.MaxOutstanding > 1024 {
+		t.Errorf("outstanding %d exceeded ring", r.MaxOutstanding)
+	}
+}
+
+func TestQPairBandwidthBound(t *testing.T) {
+	// Large requests: sequential bandwidth binds instead of IOPS.
+	sim, err := NewQPairSim(QPairConfig{Entries: 256, DoorbellBatch: 16}, dev(t), 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := P5510().SeqBW
+	if r.Bandwidth < want*0.9 || r.Bandwidth > want*1.05 {
+		t.Errorf("bandwidth %.2f GiB/s, want ~%.2f", r.Bandwidth/(1<<30), want/(1<<30))
+	}
+}
+
+func TestQPairShallowRingLatencyBound(t *testing.T) {
+	// QD=2: throughput ≈ depth / latency, far below the ceiling.
+	sim, err := NewQPairSim(QPairConfig{Entries: 2}, dev(t), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 / P5510().Latency // optimistic upper bound for QD=2
+	if r.IOPS > bound*1.1 {
+		t.Errorf("QD=2 IOPS %.0f exceeds latency bound %.0f", r.IOPS, bound)
+	}
+	if r.IOPS > P5510().IOPS/4 {
+		t.Errorf("QD=2 IOPS %.0f should sit far below the device ceiling", r.IOPS)
+	}
+}
+
+func TestQDCurveMonotone(t *testing.T) {
+	depths := []int{2, 8, 32, 128, 512}
+	curve, err := QDCurve(dev(t), 4096, depths, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(depths); i++ {
+		lo, hi := curve[depths[i-1]], curve[depths[i]]
+		if hi < lo*0.99 {
+			t.Errorf("IOPS fell with depth: qd%d=%.0f > qd%d=%.0f",
+				depths[i-1], lo, depths[i], hi)
+		}
+	}
+	// Deep end approaches the ceiling; shallow end does not.
+	if curve[512] < P5510().IOPS*0.85 {
+		t.Errorf("qd512 %.0f below ceiling", curve[512])
+	}
+	if curve[2] > P5510().IOPS*0.5 {
+		t.Errorf("qd2 %.0f suspiciously near ceiling", curve[2])
+	}
+}
+
+func TestDoorbellBatchingReducesRings(t *testing.T) {
+	run := func(batch int) *QPairResult {
+		sim, err := NewQPairSim(QPairConfig{Entries: 256, DoorbellBatch: batch}, dev(t), 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	one := run(1)
+	batched := run(32)
+	if batched.DoorbellRings >= one.DoorbellRings/8 {
+		t.Errorf("batching barely reduced rings: %d vs %d", batched.DoorbellRings, one.DoorbellRings)
+	}
+	// Throughput should not collapse from batching (it amortizes MMIO).
+	if batched.IOPS < one.IOPS*0.8 {
+		t.Errorf("batching cost too much throughput: %.0f vs %.0f", batched.IOPS, one.IOPS)
+	}
+}
+
+func TestQPairLatencyAccounting(t *testing.T) {
+	sim, err := NewQPairSim(QPairConfig{Entries: 4}, dev(t), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every command pays at least the device latency.
+	if r.AvgLatency < P5510().Latency {
+		t.Errorf("avg latency %.2e below device latency %.2e", r.AvgLatency, P5510().Latency)
+	}
+	if math.IsNaN(r.AvgLatency) || math.IsInf(r.AvgLatency, 0) {
+		t.Error("latency accounting broken")
+	}
+}
+
+func TestQPairConfigErrors(t *testing.T) {
+	d := dev(t)
+	if _, err := NewQPairSim(QPairConfig{}, d, 0); err == nil {
+		t.Error("zero request size accepted")
+	}
+	if _, err := NewQPairSim(QPairConfig{Entries: 3}, d, 4096); err == nil {
+		t.Error("non-power-of-two ring accepted")
+	}
+	if _, err := NewQPairSim(QPairConfig{Entries: 8, DoorbellBatch: 9}, d, 4096); err == nil {
+		t.Error("batch > ring accepted")
+	}
+	bad := d
+	bad.SeqBW = 0
+	if _, err := NewQPairSim(QPairConfig{}, bad, 4096); err == nil {
+		t.Error("zero-bandwidth device accepted")
+	}
+	sim, err := NewQPairSim(QPairConfig{}, d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(0); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestFluidAndEventModelsAgree(t *testing.T) {
+	// At deep queue depth the request-granular model should land near the
+	// fluid Stack's effective-rate prediction.
+	d := dev(t)
+	sim, err := NewQPairSim(QPairConfig{Entries: 1024, DoorbellBatch: 32}, d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid := d.DeviceRate(4096, 1)
+	if rel := math.Abs(r.IOPS-fluid) / fluid; rel > 0.1 {
+		t.Errorf("event model %.0f IOPS vs fluid %.0f (%.1f%% apart)", r.IOPS, fluid, rel*100)
+	}
+}

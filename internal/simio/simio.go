@@ -1,0 +1,242 @@
+// Package simio models Moment's multi-GPU GPU-initiated disk I/O stack
+// (paper §3.1): every GPU owns NVMe submission/completion queue pairs on
+// the SSDs it reads, submits fixed-size feature-page requests, and the
+// device serves all its queue pairs fairly under an IOPS ceiling and a
+// sequential-bandwidth ceiling. Unlike M-GIDS, which statically partitions
+// SSDs across GPUs, this stack lets any number of GPUs share any SSD —
+// the property Moment's data placement relies on.
+//
+// The simulation is fluid and event-driven: per queue pair, request
+// throughput is bounded by queueDepth/latency (in-flight limit) and by the
+// pair's fair share of the device rate min(IOPS, BW/requestBytes); rates
+// are recomputed whenever a pair drains.
+package simio
+
+import (
+	"fmt"
+	"math"
+)
+
+// SSDSpec describes one NVMe device.
+type SSDSpec struct {
+	SeqBW   float64 // bytes/second sequential read ceiling
+	IOPS    float64 // random-read requests/second ceiling
+	Latency float64 // per-request service latency (seconds)
+}
+
+// DeviceRate returns the request throughput ceiling for a request size,
+// optionally boosted by a coalescing factor (adjacent feature rows merged
+// into one NVMe command by the GPU stack, as GIDS/BaM do).
+func (s SSDSpec) DeviceRate(reqBytes, coalesce float64) float64 {
+	if reqBytes <= 0 {
+		return 0
+	}
+	if coalesce < 1 {
+		coalesce = 1
+	}
+	byRate := s.SeqBW / reqBytes
+	byIOPS := s.IOPS * coalesce
+	return math.Min(byRate, byIOPS)
+}
+
+// EffectiveBandwidth is DeviceRate expressed in bytes/second.
+func (s SSDSpec) EffectiveBandwidth(reqBytes, coalesce float64) float64 {
+	return s.DeviceRate(reqBytes, coalesce) * reqBytes
+}
+
+// Config parameterizes a Stack.
+type Config struct {
+	SSDs         []SSDSpec
+	QueueDepth   int     // submission-queue depth per (GPU, SSD) pair
+	RequestBytes float64 // bytes per request (one feature page)
+	Coalesce     float64 // command coalescing factor (>=1)
+}
+
+// Stack is a multi-GPU I/O stack over shared SSDs.
+type Stack struct {
+	cfg   Config
+	pairs map[[2]int]bool // (gpu, ssd) -> attached
+	gpus  map[int]bool
+}
+
+// New validates the configuration and returns an empty stack.
+func New(cfg Config) (*Stack, error) {
+	if len(cfg.SSDs) == 0 {
+		return nil, fmt.Errorf("simio: no SSDs")
+	}
+	for i, s := range cfg.SSDs {
+		if s.SeqBW <= 0 || s.IOPS <= 0 || s.Latency <= 0 {
+			return nil, fmt.Errorf("simio: ssd %d has non-positive parameters %+v", i, s)
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("simio: non-positive queue depth")
+	}
+	if cfg.RequestBytes <= 0 {
+		return nil, fmt.Errorf("simio: non-positive request size")
+	}
+	if cfg.Coalesce == 0 {
+		cfg.Coalesce = 1
+	}
+	if cfg.Coalesce < 1 {
+		return nil, fmt.Errorf("simio: coalesce factor %v < 1", cfg.Coalesce)
+	}
+	return &Stack{cfg: cfg, pairs: map[[2]int]bool{}, gpus: map[int]bool{}}, nil
+}
+
+// AttachGPU creates queue pairs between a GPU and the given SSDs.
+func (s *Stack) AttachGPU(gpu int, ssds []int) error {
+	if gpu < 0 {
+		return fmt.Errorf("simio: negative gpu id")
+	}
+	if len(ssds) == 0 {
+		return fmt.Errorf("simio: gpu %d attached to no SSDs", gpu)
+	}
+	for _, d := range ssds {
+		if d < 0 || d >= len(s.cfg.SSDs) {
+			return fmt.Errorf("simio: ssd %d out of range", d)
+		}
+		s.pairs[[2]int{gpu, d}] = true
+	}
+	s.gpus[gpu] = true
+	return nil
+}
+
+// Result reports a completed I/O workload.
+type Result struct {
+	// Time is the makespan: when the last request completes.
+	Time float64
+	// PerGPUBytes is the bytes delivered to each GPU id present.
+	PerGPUBytes map[int]float64
+	// PerSSDBandwidth is each SSD's average achieved bytes/second
+	// over the makespan.
+	PerSSDBandwidth []float64
+}
+
+// Run executes a workload given as request counts per (gpu, ssd) queue
+// pair. All queues start at t=0; the fluid simulation recomputes fair
+// shares at every queue-drain event.
+func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
+	type queue struct {
+		gpu, ssd int
+		remain   float64 // requests outstanding
+		rate     float64
+	}
+	var queues []*queue
+	for key, cnt := range requests {
+		if cnt < 0 {
+			return nil, fmt.Errorf("simio: negative request count for %v", key)
+		}
+		if cnt == 0 {
+			continue
+		}
+		if !s.pairs[key] {
+			return nil, fmt.Errorf("simio: no queue pair for gpu %d on ssd %d", key[0], key[1])
+		}
+		queues = append(queues, &queue{gpu: key[0], ssd: key[1], remain: float64(cnt)})
+	}
+	res := &Result{
+		PerGPUBytes:     map[int]float64{},
+		PerSSDBandwidth: make([]float64, len(s.cfg.SSDs)),
+	}
+	if len(queues) == 0 {
+		return res, nil
+	}
+
+	// Per-pair in-flight cap: queueDepth requests every Latency seconds.
+	pairCap := func(ssd int) float64 {
+		return float64(s.cfg.QueueDepth) / s.cfg.SSDs[ssd].Latency
+	}
+	deviceRate := make([]float64, len(s.cfg.SSDs))
+	for i, spec := range s.cfg.SSDs {
+		deviceRate[i] = spec.DeviceRate(s.cfg.RequestBytes, s.cfg.Coalesce)
+	}
+
+	ssdBytes := make([]float64, len(s.cfg.SSDs))
+	now := 0.0
+	for len(queues) > 0 {
+		// Water-fill each device across its active queues, honoring the
+		// per-pair in-flight cap.
+		byDev := map[int][]*queue{}
+		for _, q := range queues {
+			byDev[q.ssd] = append(byDev[q.ssd], q)
+		}
+		for dev, qs := range byDev {
+			residual := deviceRate[dev]
+			capR := pairCap(dev)
+			// Queues capped below the fair share are satisfied first.
+			unfilled := append([]*queue(nil), qs...)
+			for len(unfilled) > 0 {
+				share := residual / float64(len(unfilled))
+				progressed := false
+				rest := unfilled[:0]
+				for _, q := range unfilled {
+					if capR <= share {
+						q.rate = capR
+						residual -= capR
+						progressed = true
+					} else {
+						rest = append(rest, q)
+					}
+				}
+				if !progressed {
+					for _, q := range rest {
+						q.rate = share
+					}
+					residual = 0
+					rest = rest[:0]
+				}
+				unfilled = rest
+			}
+		}
+		// Advance to the earliest queue drain.
+		dt := math.Inf(1)
+		for _, q := range queues {
+			if q.rate <= 0 {
+				return nil, fmt.Errorf("simio: queue (%d,%d) starved", q.gpu, q.ssd)
+			}
+			if t := q.remain / q.rate; t < dt {
+				dt = t
+			}
+		}
+		for _, q := range queues {
+			served := q.rate * dt
+			if served > q.remain {
+				served = q.remain
+			}
+			q.remain -= served
+			bytes := served * s.cfg.RequestBytes
+			res.PerGPUBytes[q.gpu] += bytes
+			ssdBytes[q.ssd] += bytes
+		}
+		now += dt
+		live := queues[:0]
+		for _, q := range queues {
+			if q.remain > 1e-9 {
+				live = append(live, q)
+			}
+		}
+		queues = live
+	}
+	// Tail latency of the final completions.
+	maxLat := 0.0
+	for i := range s.cfg.SSDs {
+		if ssdBytes[i] > 0 && s.cfg.SSDs[i].Latency > maxLat {
+			maxLat = s.cfg.SSDs[i].Latency
+		}
+	}
+	res.Time = now + maxLat
+	for i := range ssdBytes {
+		if res.Time > 0 {
+			res.PerSSDBandwidth[i] = ssdBytes[i] / res.Time
+		}
+	}
+	return res, nil
+}
+
+// P5510 returns the Intel P5510 device model used throughout the
+// evaluation: ~6 GiB/s effective read bandwidth, ~930K IOPS, ~90µs read
+// latency.
+func P5510() SSDSpec {
+	return SSDSpec{SeqBW: 6 * (1 << 30), IOPS: 930_000, Latency: 90e-6}
+}

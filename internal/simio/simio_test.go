@@ -1,0 +1,217 @@
+package simio
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg2(t *testing.T) *Stack {
+	t.Helper()
+	s, err := New(Config{
+		SSDs:         []SSDSpec{P5510(), P5510()},
+		QueueDepth:   256,
+		RequestBytes: 4096,
+		Coalesce:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeviceRate(t *testing.T) {
+	d := P5510()
+	// 4K requests, no coalescing: IOPS-bound (930K < 6GiB/4K = 1.57M).
+	r := d.DeviceRate(4096, 1)
+	if math.Abs(r-930_000) > 1 {
+		t.Errorf("rate %v, want IOPS-bound 930000", r)
+	}
+	// With 2x coalescing the bandwidth ceiling binds.
+	r2 := d.DeviceRate(4096, 2)
+	want := 6 * float64(1<<30) / 4096
+	if math.Abs(r2-want) > 1 {
+		t.Errorf("rate %v, want BW-bound %v", r2, want)
+	}
+	if bw := d.EffectiveBandwidth(4096, 2); math.Abs(bw-6*float64(1<<30)) > 1 {
+		t.Errorf("effective BW %v", bw)
+	}
+	if d.DeviceRate(0, 1) != 0 {
+		t.Error("zero request size should yield zero rate")
+	}
+}
+
+func TestSingleGPUSingleSSD(t *testing.T) {
+	s := cfg2(t)
+	if err := s.AttachGPU(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// 1.5M requests of 4K at ~6 GiB/s -> ~0.98s.
+	n := int64(1_500_000)
+	res, err := s.Run(map[[2]int]int64{{0, 0}: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := float64(n) * 4096
+	if math.Abs(res.PerGPUBytes[0]-wantBytes) > 1 {
+		t.Errorf("delivered %v bytes, want %v", res.PerGPUBytes[0], wantBytes)
+	}
+	wantTime := wantBytes / (6 * float64(1<<30))
+	if math.Abs(res.Time-wantTime) > 0.01*wantTime+1e-3 {
+		t.Errorf("time %v, want ~%v", res.Time, wantTime)
+	}
+	if bw := res.PerSSDBandwidth[0]; math.Abs(bw-6*float64(1<<30)) > 0.02*6*float64(1<<30) {
+		t.Errorf("ssd bandwidth %.2f GiB/s", bw/(1<<30))
+	}
+}
+
+func TestTwoGPUsShareOneSSDFairly(t *testing.T) {
+	s := cfg2(t)
+	s.AttachGPU(0, []int{0})
+	s.AttachGPU(1, []int{0})
+	n := int64(500_000)
+	res, err := s.Run(map[[2]int]int64{{0, 0}: n, {1, 0}: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared fairly: both GPUs get equal bytes; total time doubles
+	// versus one GPU alone.
+	if math.Abs(res.PerGPUBytes[0]-res.PerGPUBytes[1]) > 1 {
+		t.Errorf("unfair split: %v vs %v", res.PerGPUBytes[0], res.PerGPUBytes[1])
+	}
+	want := 2 * float64(n) * 4096 / (6 * float64(1<<30))
+	if math.Abs(res.Time-want) > 0.02*want+1e-3 {
+		t.Errorf("time %v, want ~%v", res.Time, want)
+	}
+}
+
+func TestGPUAcrossTwoSSDsDoublesBandwidth(t *testing.T) {
+	s := cfg2(t)
+	s.AttachGPU(0, []int{0, 1})
+	n := int64(750_000)
+	res, err := s.Run(map[[2]int]int64{{0, 0}: n, {0, 1}: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * 4096 / (6 * float64(1<<30)) // both in parallel
+	if math.Abs(res.Time-want) > 0.02*want+1e-3 {
+		t.Errorf("time %v, want ~%v (parallel SSDs)", res.Time, want)
+	}
+}
+
+func TestShallowQueueLimitsThroughput(t *testing.T) {
+	// Queue depth 1 with 90us latency caps a pair at ~11.1K req/s,
+	// far below the device ceiling.
+	s, err := New(Config{
+		SSDs:         []SSDSpec{P5510()},
+		QueueDepth:   1,
+		RequestBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachGPU(0, []int{0})
+	n := int64(11_111)
+	res, err := s.Run(map[[2]int]int64{{0, 0}: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 0.9 {
+		t.Errorf("time %v, want ~1s (latency-bound)", res.Time)
+	}
+}
+
+func TestAsymmetricLoadReleasesShare(t *testing.T) {
+	s := cfg2(t)
+	s.AttachGPU(0, []int{0})
+	s.AttachGPU(1, []int{0})
+	// GPU1 has 3x the requests: after GPU0 drains, GPU1 gets the full
+	// device. Makespan = total/deviceBW.
+	res, err := s.Run(map[[2]int]int64{{0, 0}: 250_000, {1, 0}: 750_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1_000_000 * 4096 / (6 * float64(1<<30))
+	if math.Abs(res.Time-want) > 0.02*want+1e-3 {
+		t.Errorf("time %v, want ~%v", res.Time, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := cfg2(t)
+	s.AttachGPU(0, []int{0})
+	if _, err := s.Run(map[[2]int]int64{{0, 1}: 10}); err == nil {
+		t.Error("unattached pair accepted")
+	}
+	if _, err := s.Run(map[[2]int]int64{{0, 0}: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	res, err := s.Run(nil)
+	if err != nil || res.Time != 0 {
+		t.Errorf("empty workload: %v, %v", res, err)
+	}
+	res2, err := s.Run(map[[2]int]int64{{0, 0}: 0})
+	if err != nil || res2.Time != 0 {
+		t.Errorf("zero-count workload: %v, %v", res2, err)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	good := Config{SSDs: []SSDSpec{P5510()}, QueueDepth: 8, RequestBytes: 4096}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.SSDs = nil; return c },
+		func(c Config) Config { c.SSDs = []SSDSpec{{SeqBW: 0, IOPS: 1, Latency: 1}}; return c },
+		func(c Config) Config { c.QueueDepth = 0; return c },
+		func(c Config) Config { c.RequestBytes = 0; return c },
+		func(c Config) Config { c.Coalesce = 0.5; return c },
+	}
+	for i, mod := range cases {
+		if _, err := New(mod(good)); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	s := cfg2(t)
+	if err := s.AttachGPU(-1, []int{0}); err == nil {
+		t.Error("negative gpu accepted")
+	}
+	if err := s.AttachGPU(0, nil); err == nil {
+		t.Error("no ssds accepted")
+	}
+	if err := s.AttachGPU(0, []int{5}); err == nil {
+		t.Error("out-of-range ssd accepted")
+	}
+}
+
+func TestEightSSDAggregate48GiB(t *testing.T) {
+	// §2.2: 8 P5510s sustain ~48 GiB/s with the GPU-initiated stack.
+	ssds := make([]SSDSpec, 8)
+	ids := make([]int, 8)
+	for i := range ssds {
+		ssds[i] = P5510()
+		ids[i] = i
+	}
+	s, err := New(Config{SSDs: ssds, QueueDepth: 256, RequestBytes: 4096, Coalesce: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := map[[2]int]int64{}
+	for g := 0; g < 4; g++ {
+		s.AttachGPU(g, ids)
+		for _, d := range ids {
+			reqs[[2]int{g, d}] = 300_000
+		}
+	}
+	res, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, bw := range res.PerSSDBandwidth {
+		total += bw
+	}
+	if gib := total / (1 << 30); gib < 46 || gib > 48.5 {
+		t.Errorf("aggregate %.1f GiB/s, want ~48", gib)
+	}
+}

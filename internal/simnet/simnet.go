@@ -1,0 +1,307 @@
+// Package simnet is a flow-level discrete-event network simulator: named
+// links with byte/second capacities, flows that follow fixed link paths,
+// and progressive-filling (max-min fair) bandwidth allocation recomputed at
+// every flow arrival/completion. It plays the role of the real fabric in
+// Moment's runtime: where flownet *predicts* epoch I/O time by max-flow,
+// simnet *measures* it by simulating the actual transfers — the two
+// quantities Fig 13 compares.
+//
+// The simulator is deterministic and single-threaded per Run; build one Net
+// per goroutine for parallel experiments.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinkID names a link in the network.
+type LinkID int
+
+// FlowID names a flow.
+type FlowID int
+
+type link struct {
+	name string
+	rate float64 // bytes/second; +Inf allowed
+}
+
+type flow struct {
+	name    string
+	path    []LinkID
+	bytes   float64
+	start   float64
+	done    float64 // completion time; NaN until finished
+	remain  float64
+	rate    float64 // current allocated rate
+	started bool
+}
+
+// Net is a link-capacity network with flows.
+type Net struct {
+	links []link
+	flows []flow
+	ran   bool
+}
+
+// New returns an empty network.
+func New() *Net { return &Net{} }
+
+// AddLink registers a link with the given capacity (bytes/second).
+func (n *Net) AddLink(name string, rate float64) (LinkID, error) {
+	if rate <= 0 || math.IsNaN(rate) {
+		return 0, fmt.Errorf("simnet: link %q has invalid rate %v", name, rate)
+	}
+	n.links = append(n.links, link{name: name, rate: rate})
+	return LinkID(len(n.links) - 1), nil
+}
+
+// AddFlow registers a transfer of the given bytes along path, starting at
+// time start (seconds). An empty path means the flow completes instantly at
+// start (purely local transfer, e.g. an HBM cache hit).
+func (n *Net) AddFlow(name string, path []LinkID, bytes, start float64) (FlowID, error) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		return 0, fmt.Errorf("simnet: flow %q has invalid size %v", name, bytes)
+	}
+	if start < 0 || math.IsNaN(start) {
+		return 0, fmt.Errorf("simnet: flow %q has invalid start %v", name, start)
+	}
+	for _, l := range path {
+		if l < 0 || int(l) >= len(n.links) {
+			return 0, fmt.Errorf("simnet: flow %q references unknown link %d", name, l)
+		}
+	}
+	n.flows = append(n.flows, flow{
+		name:   name,
+		path:   append([]LinkID(nil), path...),
+		bytes:  bytes,
+		start:  start,
+		remain: bytes,
+		done:   math.NaN(),
+	})
+	return FlowID(len(n.flows) - 1), nil
+}
+
+// maxMinRates computes progressive-filling fair rates for the active flows.
+// active maps flow index -> true. Rates are written into n.flows[i].rate.
+func (n *Net) maxMinRates(active []int) {
+	for _, fi := range active {
+		n.flows[fi].rate = 0
+	}
+	residual := make([]float64, len(n.links))
+	for i, l := range n.links {
+		residual[i] = l.rate
+	}
+	countOn := make([]int, len(n.links))
+	frozen := make([]bool, len(n.flows))
+	remaining := 0
+	for _, fi := range active {
+		if len(n.flows[fi].path) == 0 {
+			// Pathless flows are infinitely fast; handled by caller.
+			frozen[fi] = true
+			n.flows[fi].rate = math.Inf(1)
+			continue
+		}
+		remaining++
+		for _, l := range n.flows[fi].path {
+			countOn[l]++
+		}
+	}
+	for remaining > 0 {
+		// Find the tightest link.
+		bottleneck := -1
+		share := math.Inf(1)
+		for li := range n.links {
+			if countOn[li] == 0 {
+				continue
+			}
+			s := residual[li] / float64(countOn[li])
+			if s < share {
+				share = s
+				bottleneck = li
+			}
+		}
+		if bottleneck == -1 {
+			// Remaining flows traverse only infinite links.
+			for _, fi := range active {
+				if !frozen[fi] {
+					n.flows[fi].rate = math.Inf(1)
+					frozen[fi] = true
+					remaining--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share.
+		for _, fi := range active {
+			if frozen[fi] {
+				continue
+			}
+			crosses := false
+			for _, l := range n.flows[fi].path {
+				if l == LinkID(bottleneck) {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			n.flows[fi].rate = share
+			frozen[fi] = true
+			remaining--
+			for _, l := range n.flows[fi].path {
+				residual[l] -= share
+				countOn[l]--
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+			}
+		}
+	}
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	// Makespan is the time the last flow finishes.
+	Makespan float64
+	// FlowDone holds each flow's completion time.
+	FlowDone []float64
+	// LinkBytes holds the total bytes carried per link.
+	LinkBytes []float64
+}
+
+// Run simulates to completion and returns per-flow completion times,
+// makespan, and per-link carried bytes. Run may be called once per Net.
+func (n *Net) Run() (*Result, error) {
+	if n.ran {
+		return nil, fmt.Errorf("simnet: Run called twice")
+	}
+	n.ran = true
+	linkBytes := make([]float64, len(n.links))
+
+	// Event times: flow starts (sorted) and completions (computed).
+	now := 0.0
+	pending := make([]int, 0, len(n.flows)) // not yet started, sorted by start
+	for i := range n.flows {
+		if n.flows[i].bytes == 0 {
+			n.flows[i].done = n.flows[i].start
+			continue
+		}
+		if len(n.flows[i].path) == 0 {
+			n.flows[i].done = n.flows[i].start
+			continue
+		}
+		pending = append(pending, i)
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		return n.flows[pending[a]].start < n.flows[pending[b]].start
+	})
+	var active []int
+
+	for len(pending) > 0 || len(active) > 0 {
+		// Admit flows that have started.
+		for len(pending) > 0 && n.flows[pending[0]].start <= now+1e-12 {
+			fi := pending[0]
+			pending = pending[1:]
+			n.flows[fi].started = true
+			active = append(active, fi)
+		}
+		if len(active) == 0 {
+			// Jump to the next start.
+			now = n.flows[pending[0]].start
+			continue
+		}
+		n.maxMinRates(active)
+		// Next event: earliest completion among active, or next start.
+		nextEvent := math.Inf(1)
+		for _, fi := range active {
+			f := &n.flows[fi]
+			if f.rate <= 0 {
+				continue
+			}
+			t := f.remain / f.rate
+			if t < nextEvent {
+				nextEvent = t
+			}
+		}
+		if len(pending) > 0 {
+			if dt := n.flows[pending[0]].start - now; dt < nextEvent {
+				nextEvent = dt
+			}
+		}
+		if math.IsInf(nextEvent, 1) {
+			return nil, fmt.Errorf("simnet: %d flows starved (zero rate) at t=%.3f", len(active), now)
+		}
+		if nextEvent < 0 {
+			nextEvent = 0
+		}
+		// Advance time, draining remain and accounting link bytes.
+		for _, fi := range active {
+			f := &n.flows[fi]
+			moved := f.rate * nextEvent
+			if math.IsInf(moved, 1) || moved > f.remain {
+				moved = f.remain
+			}
+			f.remain -= moved
+			for _, l := range f.path {
+				linkBytes[l] += moved
+			}
+		}
+		now += nextEvent
+		// Retire completed flows.
+		out := active[:0]
+		for _, fi := range active {
+			f := &n.flows[fi]
+			if f.remain <= 1e-6 {
+				f.done = now
+				f.remain = 0
+			} else {
+				out = append(out, fi)
+			}
+		}
+		active = out
+	}
+
+	res := &Result{Makespan: 0, FlowDone: make([]float64, len(n.flows)), LinkBytes: linkBytes}
+	for i := range n.flows {
+		res.FlowDone[i] = n.flows[i].done
+		if n.flows[i].done > res.Makespan {
+			res.Makespan = n.flows[i].done
+		}
+	}
+	return res, nil
+}
+
+// LinkName returns the registered name of a link.
+func (n *Net) LinkName(l LinkID) string { return n.links[l].name }
+
+// NumLinks returns the number of links.
+func (n *Net) NumLinks() int { return len(n.links) }
+
+// NumFlows returns the number of flows.
+func (n *Net) NumFlows() int { return len(n.flows) }
+
+// InitialRates returns the max-min fair rate each flow would receive if
+// every flow were active simultaneously (start times ignored). Used as a
+// fairness probe: the relative rates are the equilibrium service shares of
+// the network, without running a full simulation. Pathless flows report
+// +Inf. The Net is left unmodified and can still be Run.
+func (n *Net) InitialRates() []float64 {
+	active := make([]int, 0, len(n.flows))
+	for i := range n.flows {
+		active = append(active, i)
+	}
+	saved := make([]float64, len(n.flows))
+	for i := range n.flows {
+		saved[i] = n.flows[i].rate
+	}
+	n.maxMinRates(active)
+	out := make([]float64, len(n.flows))
+	for i := range n.flows {
+		out[i] = n.flows[i].rate
+		n.flows[i].rate = saved[i]
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleFlow(t *testing.T) {
+	n := New()
+	l, err := n.AddLink("pipe", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddFlow("f", []LinkID{l}, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-10) > 1e-9 {
+		t.Errorf("makespan %v, want 10", res.Makespan)
+	}
+	if math.Abs(res.LinkBytes[l]-100) > 1e-6 {
+		t.Errorf("link bytes %v", res.LinkBytes[l])
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	// Two equal flows share a link: both finish at 2*B/C together.
+	n := New()
+	l, _ := n.AddLink("pipe", 10)
+	n.AddFlow("a", []LinkID{l}, 100, 0)
+	n.AddFlow("b", []LinkID{l}, 100, 0)
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowDone[0]-20) > 1e-6 || math.Abs(res.FlowDone[1]-20) > 1e-6 {
+		t.Errorf("done = %v, want both 20", res.FlowDone)
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	// A 50-byte and a 150-byte flow share a 10 B/s link. Phase 1: both at
+	// 5 B/s until the short one finishes at t=10. Phase 2: long flow gets
+	// 10 B/s for its remaining 100 bytes -> done at t=20.
+	n := New()
+	l, _ := n.AddLink("pipe", 10)
+	n.AddFlow("short", []LinkID{l}, 50, 0)
+	n.AddFlow("long", []LinkID{l}, 150, 0)
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowDone[0]-10) > 1e-6 {
+		t.Errorf("short done %v, want 10", res.FlowDone[0])
+	}
+	if math.Abs(res.FlowDone[1]-20) > 1e-6 {
+		t.Errorf("long done %v, want 20", res.FlowDone[1])
+	}
+}
+
+func TestMaxMinBottleneckIsolation(t *testing.T) {
+	// Flow A crosses links L1(10) and L2(100); flow B crosses only L2.
+	// Max-min: A is bottlenecked at 10 on L1; B then gets 90 on L2.
+	n := New()
+	l1, _ := n.AddLink("l1", 10)
+	l2, _ := n.AddLink("l2", 100)
+	n.AddFlow("a", []LinkID{l1, l2}, 100, 0) // 10 B/s -> 10s
+	n.AddFlow("b", []LinkID{l2}, 900, 0)     // 90 B/s -> 10s
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowDone[0]-10) > 1e-6 {
+		t.Errorf("a done %v, want 10", res.FlowDone[0])
+	}
+	if math.Abs(res.FlowDone[1]-10) > 1e-6 {
+		t.Errorf("b done %v, want 10 (90 B/s share)", res.FlowDone[1])
+	}
+}
+
+func TestStaggeredStarts(t *testing.T) {
+	// Second flow arrives mid-way: first flow runs alone at 10 B/s for 5s
+	// (50 bytes), then both share at 5 B/s.
+	n := New()
+	l, _ := n.AddLink("pipe", 10)
+	n.AddFlow("early", []LinkID{l}, 100, 0)
+	n.AddFlow("late", []LinkID{l}, 50, 5)
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// early: 50 bytes left at t=5, shares 5 B/s until late finishes at
+	// t=15 (50 bytes at 5 B/s), then 0 bytes left? early has 50-50=0 at
+	// t=15 too: both end at 15.
+	if math.Abs(res.FlowDone[0]-15) > 1e-6 {
+		t.Errorf("early done %v, want 15", res.FlowDone[0])
+	}
+	if math.Abs(res.FlowDone[1]-15) > 1e-6 {
+		t.Errorf("late done %v, want 15", res.FlowDone[1])
+	}
+}
+
+func TestZeroByteAndPathlessFlows(t *testing.T) {
+	n := New()
+	l, _ := n.AddLink("pipe", 10)
+	n.AddFlow("zero", []LinkID{l}, 0, 3)
+	n.AddFlow("local", nil, 1e9, 2) // HBM hit: instant
+	n.AddFlow("real", []LinkID{l}, 10, 0)
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowDone[0] != 3 || res.FlowDone[1] != 2 {
+		t.Errorf("trivial flows done at %v", res.FlowDone[:2])
+	}
+	if math.Abs(res.FlowDone[2]-1) > 1e-6 {
+		t.Errorf("real done %v", res.FlowDone[2])
+	}
+}
+
+func TestIdleGapBetweenStarts(t *testing.T) {
+	n := New()
+	l, _ := n.AddLink("pipe", 10)
+	n.AddFlow("a", []LinkID{l}, 10, 0)  // done at 1
+	n.AddFlow("b", []LinkID{l}, 10, 50) // starts at 50, done at 51
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowDone[1]-51) > 1e-6 {
+		t.Errorf("b done %v, want 51", res.FlowDone[1])
+	}
+	if math.Abs(res.Makespan-51) > 1e-6 {
+		t.Errorf("makespan %v", res.Makespan)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	n := New()
+	if _, err := n.AddLink("bad", 0); err == nil {
+		t.Error("zero-rate link accepted")
+	}
+	if _, err := n.AddLink("bad", math.NaN()); err == nil {
+		t.Error("NaN link accepted")
+	}
+	l, _ := n.AddLink("ok", 5)
+	if _, err := n.AddFlow("f", []LinkID{l}, -1, 0); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	if _, err := n.AddFlow("f", []LinkID{l}, 1, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := n.AddFlow("f", []LinkID{99}, 1, 0); err == nil {
+		t.Error("unknown link accepted")
+	}
+	n.AddFlow("f", []LinkID{l}, 1, 0)
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Random networks: total bytes on each link equal the sum of the
+	// sizes of flows crossing it; makespan >= max over links of
+	// carried/capacity (a link cannot exceed its rate on average).
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := New()
+		nl := 2 + r.Intn(5)
+		links := make([]LinkID, nl)
+		rates := make([]float64, nl)
+		for i := range links {
+			rates[i] = float64(1 + r.Intn(50))
+			links[i], _ = n.AddLink("l", rates[i])
+		}
+		nf := 1 + r.Intn(8)
+		expected := make([]float64, nl)
+		for f := 0; f < nf; f++ {
+			plen := 1 + r.Intn(nl)
+			perm := r.Perm(nl)[:plen]
+			path := make([]LinkID, plen)
+			for i, p := range perm {
+				path[i] = links[p]
+			}
+			bytes := float64(1 + r.Intn(1000))
+			for _, p := range perm {
+				expected[p] += bytes
+			}
+			n.AddFlow("f", path, bytes, float64(r.Intn(3)))
+		}
+		res, err := n.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range links {
+			if math.Abs(res.LinkBytes[i]-expected[i]) > 1e-5*(1+expected[i]) {
+				t.Fatalf("trial %d: link %d carried %.2f, want %.2f",
+					trial, i, res.LinkBytes[i], expected[i])
+			}
+			if minTime := expected[i] / rates[i]; res.Makespan < minTime-1e-6 {
+				t.Fatalf("trial %d: makespan %.3f beats link lower bound %.3f",
+					trial, res.Makespan, minTime)
+			}
+		}
+	}
+}
+
+func TestNamesAndCounts(t *testing.T) {
+	n := New()
+	l, _ := n.AddLink("qpi", 5)
+	if n.LinkName(l) != "qpi" || n.NumLinks() != 1 {
+		t.Error("link bookkeeping broken")
+	}
+	n.AddFlow("f", []LinkID{l}, 1, 0)
+	if n.NumFlows() != 1 {
+		t.Error("flow bookkeeping broken")
+	}
+}
+
+func TestInitialRates(t *testing.T) {
+	n := New()
+	l1, _ := n.AddLink("l1", 10)
+	l2, _ := n.AddLink("l2", 100)
+	n.AddFlow("a", []LinkID{l1, l2}, 100, 0)
+	n.AddFlow("b", []LinkID{l2}, 900, 5) // start time ignored by the probe
+	n.AddFlow("local", nil, 10, 0)
+	rates := n.InitialRates()
+	if math.Abs(rates[0]-10) > 1e-9 {
+		t.Errorf("flow a rate %v, want 10", rates[0])
+	}
+	if math.Abs(rates[1]-90) > 1e-9 {
+		t.Errorf("flow b rate %v, want 90", rates[1])
+	}
+	if !math.IsInf(rates[2], 1) {
+		t.Errorf("pathless flow rate %v, want +Inf", rates[2])
+	}
+	// Probe must not disturb a subsequent Run.
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowDone[0]-10) > 1e-6 {
+		t.Errorf("run after probe: flow a done %v", res.FlowDone[0])
+	}
+}

@@ -1,0 +1,447 @@
+// Package tensor provides the dense float32 linear algebra the functional
+// GNN training path runs on: row-major matrices, goroutine-parallel matmul
+// kernels, activation and loss primitives, and the segment operations GNN
+// aggregation needs. It stands in for the CUDA kernels of the paper's
+// training backend; correctness (not device speed) is the point, though
+// kernels do parallelize across GOMAXPROCS workers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a row-major dense float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: bad shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float32) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: data length %d != %dx%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// Rand fills a new matrix with scaled uniform values (Glorot-style range).
+func Rand(rows, cols int, seed int64) *Matrix {
+	m := New(rows, cols)
+	r := rand.New(rand.NewSource(seed))
+	scale := float32(math.Sqrt(6.0 / float64(rows+cols)))
+	for i := range m.Data {
+		m.Data[i] = (r.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i (aliasing the matrix storage).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// parallelFor splits [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, body func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes a×b, parallelized over rows of a.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul shape %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// MatMulATB computes aᵀ×b (used for weight gradients).
+func MatMulATB(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("tensor: matmulATB shape %dx%d ᵀ× %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Cols, b.Cols)
+	// Parallelize over output rows (a's columns) to avoid write races.
+	parallelFor(a.Cols, func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)
+			for k := lo; k < hi; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// MatMulABT computes a×bᵀ (used for input gradients).
+func MatMulABT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("tensor: matmulABT shape %dx%d × %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Rows)
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out, nil
+}
+
+// AddInPlace accumulates src into dst.
+func AddInPlace(dst, src *Matrix) error {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		return fmt.Errorf("tensor: add shape %dx%d += %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols)
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies the matrix by s in place.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddBiasInPlace adds a 1×Cols bias row to every row.
+func AddBiasInPlace(m *Matrix, bias *Matrix) error {
+	if bias.Rows != 1 || bias.Cols != m.Cols {
+		return fmt.Errorf("tensor: bias shape %dx%d for %dx%d", bias.Rows, bias.Cols, m.Rows, m.Cols)
+	}
+	parallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, b := range bias.Row(0) {
+				row[j] += b
+			}
+		}
+	})
+	return nil
+}
+
+// BiasGrad sums gradient rows into a 1×Cols bias gradient.
+func BiasGrad(grad *Matrix) *Matrix {
+	out := New(1, grad.Cols)
+	o := out.Row(0)
+	for i := 0; i < grad.Rows; i++ {
+		for j, v := range grad.Row(i) {
+			o[j] += v
+		}
+	}
+	return out
+}
+
+// ReLUInPlace applies max(0, x) and returns a mask for the backward pass.
+func ReLUInPlace(m *Matrix) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUBackward zeroes gradient entries where the forward activation was
+// clipped.
+func ReLUBackward(grad *Matrix, mask []bool) error {
+	if len(mask) != len(grad.Data) {
+		return fmt.Errorf("tensor: relu mask length %d != %d", len(mask), len(grad.Data))
+	}
+	for i := range grad.Data {
+		if !mask[i] {
+			grad.Data[i] = 0
+		}
+	}
+	return nil
+}
+
+// LeakyReLUInPlace applies x>0 ? x : alpha*x and records the mask
+// (GAT's attention nonlinearity).
+func LeakyReLUInPlace(m *Matrix, alpha float32) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = v * alpha
+		}
+	}
+	return mask
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy loss over rows and the
+// gradient w.r.t. logits. labels[i] is the class of row i.
+func SoftmaxCrossEntropy(logits *Matrix, labels []int32) (float64, *Matrix, error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("tensor: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	for i, l := range labels {
+		if l < 0 || int(l) >= logits.Cols {
+			return 0, nil, fmt.Errorf("tensor: label %d at row %d out of range [0,%d)", l, i, logits.Cols)
+		}
+	}
+	grad := New(logits.Rows, logits.Cols)
+	losses := make([]float64, logits.Rows)
+	parallelFor(logits.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := logits.Row(i)
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			g := grad.Row(i)
+			for j, v := range row {
+				e := math.Exp(float64(v - maxv))
+				g[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range g {
+				g[j] *= inv
+			}
+			p := g[labels[i]]
+			losses[i] = -math.Log(math.Max(float64(p), 1e-12))
+			g[labels[i]] -= 1
+		}
+	})
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	n := float32(logits.Rows)
+	grad.Scale(1 / n)
+	return total / float64(logits.Rows), grad, nil
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *Matrix, labels []int32) (float64, error) {
+	if len(labels) != logits.Rows {
+		return 0, fmt.Errorf("tensor: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(max(1, logits.Rows)), nil
+}
+
+// SegmentMean averages src rows into dst rows: for every edge e,
+// in.Row(srcIdx[e]) contributes to out.Row(dstIdx[e]); each output row is
+// divided by its contribution count. Rows with no contributions stay zero.
+// This is the AGGREGATE (mean) operator of Eq. 1.
+func SegmentMean(in *Matrix, dstIdx, srcIdx []int32, outRows int) (*Matrix, []int32, error) {
+	if len(dstIdx) != len(srcIdx) {
+		return nil, nil, fmt.Errorf("tensor: segment index length mismatch %d vs %d", len(dstIdx), len(srcIdx))
+	}
+	out := New(outRows, in.Cols)
+	counts := make([]int32, outRows)
+	for e := range dstIdx {
+		d, s := dstIdx[e], srcIdx[e]
+		if d < 0 || int(d) >= outRows || s < 0 || int(s) >= in.Rows {
+			return nil, nil, fmt.Errorf("tensor: segment edge %d (%d<-%d) out of range", e, d, s)
+		}
+		orow := out.Row(int(d))
+		irow := in.Row(int(s))
+		for j, v := range irow {
+			orow[j] += v
+		}
+		counts[d]++
+	}
+	for i := 0; i < outRows; i++ {
+		if counts[i] > 1 {
+			inv := 1 / float32(counts[i])
+			row := out.Row(i)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return out, counts, nil
+}
+
+// SegmentMeanBackward scatters output gradients back to inputs:
+// gradIn.Row(src) += gradOut.Row(dst) / count[dst].
+func SegmentMeanBackward(gradOut *Matrix, dstIdx, srcIdx []int32, counts []int32, inRows int) (*Matrix, error) {
+	if len(dstIdx) != len(srcIdx) {
+		return nil, fmt.Errorf("tensor: segment index length mismatch")
+	}
+	gradIn := New(inRows, gradOut.Cols)
+	for e := range dstIdx {
+		d, s := dstIdx[e], srcIdx[e]
+		if d < 0 || int(d) >= gradOut.Rows || s < 0 || int(s) >= inRows {
+			return nil, fmt.Errorf("tensor: segment edge %d out of range", e)
+		}
+		c := counts[d]
+		if c == 0 {
+			continue
+		}
+		inv := 1 / float32(c)
+		grow := gradIn.Row(int(s))
+		orow := gradOut.Row(int(d))
+		for j, v := range orow {
+			grow[j] += v * inv
+		}
+	}
+	return gradIn, nil
+}
+
+// GatherRows copies in.Row(idx[i]) into out row i.
+func GatherRows(in *Matrix, idx []int32) (*Matrix, error) {
+	out := New(len(idx), in.Cols)
+	for i, v := range idx {
+		if v < 0 || int(v) >= in.Rows {
+			return nil, fmt.Errorf("tensor: gather index %d out of range", v)
+		}
+		copy(out.Row(i), in.Row(int(v)))
+	}
+	return out, nil
+}
+
+// Concat joins a and b column-wise.
+func Concat(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("tensor: concat rows %d vs %d", a.Rows, b.Rows)
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i)[:a.Cols], a.Row(i))
+			copy(out.Row(i)[a.Cols:], b.Row(i))
+		}
+	})
+	return out, nil
+}
+
+// SplitCols splits m into the first k columns and the rest (inverse of
+// Concat for the backward pass).
+func SplitCols(m *Matrix, k int) (*Matrix, *Matrix, error) {
+	if k <= 0 || k >= m.Cols {
+		return nil, nil, fmt.Errorf("tensor: split at %d of %d cols", k, m.Cols)
+	}
+	a := New(m.Rows, k)
+	b := New(m.Rows, m.Cols-k)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:k])
+		copy(b.Row(i), m.Row(i)[k:])
+	}
+	return a, b, nil
+}
+
+// L2Norm returns the Frobenius norm.
+func (m *Matrix) L2Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,396 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMulSmall(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := Rand(7, 7, 1)
+	id := New(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	c, err := MatMul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if !approxEq(float64(c.Data[i]), float64(a.Data[i]), 1e-6) {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestMatMulTransposesAgree(t *testing.T) {
+	// MatMulATB(a, b) == MatMul(aᵀ, b) and MatMulABT(a, b) == MatMul(a, bᵀ).
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 2+r.Intn(6), 2+r.Intn(6), 2+r.Intn(6)
+		a := Rand(k, m, int64(trial))
+		b := Rand(k, n, int64(trial+100))
+		at := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		want, err := MatMul(at, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMulATB(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if !approxEq(float64(got.Data[i]), float64(want.Data[i]), 1e-4) {
+				t.Fatalf("ATB mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+		c := Rand(n, k, int64(trial+200))
+		ct := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				ct.Set(j, i, c.At(i, j))
+			}
+		}
+		wantABT, err := MatMul(at, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotABT, err := MatMulABT(at, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantABT.Data {
+			if !approxEq(float64(gotABT.Data[i]), float64(wantABT.Data[i]), 1e-4) {
+				t.Fatalf("ABT mismatch at %d", i)
+			}
+		}
+	}
+	a := Rand(2, 3, 1)
+	if _, err := MatMulATB(a, Rand(4, 2, 1)); err == nil {
+		t.Error("ATB shape mismatch accepted")
+	}
+	if _, err := MatMulABT(a, Rand(2, 4, 1)); err == nil {
+		t.Error("ABT shape mismatch accepted")
+	}
+}
+
+func TestAddBiasAndGrad(t *testing.T) {
+	m, _ := FromSlice(2, 3, []float32{1, 1, 1, 2, 2, 2})
+	bias, _ := FromSlice(1, 3, []float32{10, 20, 30})
+	if err := AddBiasInPlace(m, bias); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 11 || m.At(1, 2) != 32 {
+		t.Errorf("bias add wrong: %v", m.Data)
+	}
+	bg := BiasGrad(m)
+	if bg.At(0, 0) != 11+12 || bg.At(0, 2) != 31+32 {
+		t.Errorf("bias grad %v", bg.Data)
+	}
+	if err := AddBiasInPlace(m, New(1, 2)); err == nil {
+		t.Error("bias shape mismatch accepted")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	m, _ := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	mask := ReLUInPlace(m)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Errorf("relu[%d] = %v", i, m.Data[i])
+		}
+	}
+	grad, _ := FromSlice(1, 4, []float32{5, 5, 5, 5})
+	if err := ReLUBackward(grad, mask); err != nil {
+		t.Fatal(err)
+	}
+	if grad.Data[0] != 0 || grad.Data[2] != 5 {
+		t.Errorf("relu grad %v", grad.Data)
+	}
+	if err := ReLUBackward(grad, mask[:2]); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	m, _ := FromSlice(1, 3, []float32{-2, 0, 4})
+	LeakyReLUInPlace(m, 0.1)
+	if !approxEq(float64(m.Data[0]), -0.2, 1e-6) || m.Data[2] != 4 {
+		t.Errorf("leaky relu %v", m.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientCheck(t *testing.T) {
+	logits := Rand(4, 5, 9)
+	labels := []int32{0, 3, 2, 4}
+	loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+	// Numerical gradient check on a handful of entries.
+	const eps = 1e-3
+	for _, idx := range []int{0, 3, 7, 12, 19} {
+		orig := logits.Data[idx]
+		logits.Data[idx] = orig + eps
+		lp, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits.Data[idx] = orig - eps
+		lm, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if !approxEq(numeric, float64(grad.Data[idx]), 1e-3) {
+			t.Errorf("grad[%d] analytic %v vs numeric %v", idx, grad.Data[idx], numeric)
+		}
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int32{0}); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int32{9, 0, 0, 0}); err == nil {
+		t.Error("label out of range accepted")
+	}
+}
+
+func TestSoftmaxGradSumsToZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 2+r.Intn(6)
+		logits := Rand(rows, cols, seed)
+		labels := make([]int32, rows)
+		for i := range labels {
+			labels[i] = int32(r.Intn(cols))
+		}
+		_, grad, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			return false
+		}
+		// Each row's gradient sums to zero (softmax simplex constraint).
+		for i := 0; i < rows; i++ {
+			var s float64
+			for _, v := range grad.Row(i) {
+				s += float64(v)
+			}
+			if math.Abs(s) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits, _ := FromSlice(3, 2, []float32{1, 0, 0, 1, 1, 0})
+	acc, err := Accuracy(logits, []int32{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(acc, 2.0/3, 1e-9) {
+		t.Errorf("accuracy %v", acc)
+	}
+	if _, err := Accuracy(logits, []int32{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSegmentMeanAndBackward(t *testing.T) {
+	in, _ := FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	dst := []int32{0, 0, 1}
+	src := []int32{0, 1, 2}
+	out, counts, err := SegmentMean(in, dst, src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 2 || out.At(0, 1) != 3 { // mean of rows 0,1
+		t.Errorf("segment mean row0 %v", out.Row(0))
+	}
+	if out.At(1, 0) != 5 {
+		t.Errorf("segment mean row1 %v", out.Row(1))
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+	gradOut, _ := FromSlice(2, 2, []float32{2, 2, 6, 6})
+	gradIn, err := SegmentMeanBackward(gradOut, dst, src, counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gradIn.At(0, 0) != 1 || gradIn.At(1, 0) != 1 || gradIn.At(2, 0) != 6 {
+		t.Errorf("grad in %v", gradIn.Data)
+	}
+	if _, _, err := SegmentMean(in, dst, src[:1], 2); err == nil {
+		t.Error("index length mismatch accepted")
+	}
+	if _, _, err := SegmentMean(in, []int32{5}, []int32{0}, 2); err == nil {
+		t.Error("dst out of range accepted")
+	}
+}
+
+func TestSegmentMeanGradientCheck(t *testing.T) {
+	// d/dx of sum(SegmentMean(x)) must match numeric estimate.
+	r := rand.New(rand.NewSource(4))
+	in := Rand(5, 3, 11)
+	dst := []int32{0, 0, 1, 2, 2, 2}
+	src := []int32{0, 1, 2, 3, 4, 0}
+	lossOf := func(m *Matrix) float64 {
+		out, _, err := SegmentMean(m, dst, src, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	_, counts, err := SegmentMean(in, dst, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := New(3, 3)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	grad, err := SegmentMeanBackward(ones, dst, src, counts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-2
+	for trial := 0; trial < 8; trial++ {
+		idx := r.Intn(len(in.Data))
+		orig := in.Data[idx]
+		in.Data[idx] = orig + eps
+		lp := lossOf(in)
+		in.Data[idx] = orig - eps
+		lm := lossOf(in)
+		in.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if !approxEq(numeric, float64(grad.Data[idx]), 1e-3) {
+			t.Errorf("segment grad[%d] analytic %v vs numeric %v", idx, grad.Data[idx], numeric)
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	in, _ := FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	out, err := GatherRows(in, []int32{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 5 || out.At(1, 1) != 2 {
+		t.Errorf("gather %v", out.Data)
+	}
+	if _, err := GatherRows(in, []int32{9}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestConcatSplit(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b, _ := FromSlice(2, 1, []float32{9, 8})
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cols != 3 || c.At(0, 2) != 9 || c.At(1, 0) != 3 {
+		t.Errorf("concat %v", c.Data)
+	}
+	a2, b2, err := SplitCols(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a2.Data[i] != a.Data[i] {
+			t.Fatal("split != original a")
+		}
+	}
+	for i := range b.Data {
+		if b2.Data[i] != b.Data[i] {
+			t.Fatal("split != original b")
+		}
+	}
+	if _, err := Concat(a, New(3, 1)); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, _, err := SplitCols(c, 0); err == nil {
+		t.Error("bad split accepted")
+	}
+}
+
+func TestCloneScaleZeroNorm(t *testing.T) {
+	m := Rand(3, 3, 5)
+	c := m.Clone()
+	c.Scale(2)
+	if approxEq(m.L2Norm(), c.L2Norm(), 1e-9) {
+		t.Error("clone aliases original")
+	}
+	if !approxEq(c.L2Norm(), 2*m.L2Norm(), 1e-4) {
+		t.Errorf("scale norm %v vs %v", c.L2Norm(), m.L2Norm())
+	}
+	c.Zero()
+	if c.L2Norm() != 0 {
+		t.Error("zero failed")
+	}
+}
+
+func TestFromSliceAndNewPanics(t *testing.T) {
+	if _, err := FromSlice(2, 2, []float32{1}); err == nil {
+		t.Error("bad data length accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad shape")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := FromSlice(1, 2, []float32{1, 2})
+	b, _ := FromSlice(1, 2, []float32{10, 20})
+	if err := AddInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 11 || a.Data[1] != 22 {
+		t.Errorf("add %v", a.Data)
+	}
+	if err := AddInPlace(a, New(2, 2)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

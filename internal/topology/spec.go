@@ -1,0 +1,263 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"moment/internal/units"
+)
+
+// FormatSpec serializes a machine to the textual spec format, the offline
+// stand-in for live lspci/dmidecode extraction. The format is line-based:
+//
+//	machine A
+//	qpi 26GiB/s
+//	dram 384GiB 36GiB/s
+//	gpus 4 mem=40GiB cachefrac=0.50
+//	ssds 8 cap=3.84TiB bw=6GiB/s iops=930000
+//	pcie x16=20GiB/s x4=7GiB/s
+//	nodes 1 nic=0Gbps
+//	point rc0 root bays=4 gpuslots=0
+//	point sw0 switch parent=rc0 uplink=20GiB/s bays=4 gpuslots=4
+//	nvlink 0 1 bw=50GiB/s
+func FormatSpec(m *Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s\n", m.Name)
+	fmt.Fprintf(&b, "qpi %.3fGiB/s\n", m.QPIBW.GiBpsf())
+	fmt.Fprintf(&b, "dram %.3fGiB %.3fGiB/s\n", m.DRAMPerSocket.GiBf(), m.DRAMBW.GiBpsf())
+	fmt.Fprintf(&b, "gpus %d mem=%.3fGiB cachefrac=%.4f\n", m.NumGPUs, m.GPUMemory.GiBf(), m.GPUCacheFrac)
+	fmt.Fprintf(&b, "ssds %d cap=%.3fGiB bw=%.3fGiB/s iops=%.0f\n",
+		m.NumSSDs, m.SSDCapacity.GiBf(), m.SSDBW.GiBpsf(), m.SSDIOPS)
+	fmt.Fprintf(&b, "pcie x16=%.3fGiB/s x4=%.3fGiB/s\n", m.PCIeX16.GiBpsf(), m.PCIeX4.GiBpsf())
+	fmt.Fprintf(&b, "nodes %d nic=%.3fGiB/s\n", m.NumNodes, m.NICBW.GiBpsf())
+	for _, p := range m.Points {
+		switch p.Kind {
+		case RootComplex:
+			fmt.Fprintf(&b, "point %s root bays=%d gpuslots=%d\n", p.ID, p.Bays, p.GPUSlots)
+		case Switch:
+			fmt.Fprintf(&b, "point %s switch parent=%s uplink=%.3fGiB/s bays=%d gpuslots=%d\n",
+				p.ID, p.Parent, p.UplinkBW.GiBpsf(), p.Bays, p.GPUSlots)
+		}
+	}
+	for _, nv := range m.NVLinks {
+		fmt.Fprintf(&b, "nvlink %d %d bw=%.3fGiB/s\n", nv.A, nv.B, m.NVLinkBW.GiBpsf())
+	}
+	return b.String()
+}
+
+// ParseSpec reads a machine spec produced by FormatSpec (or hand-written).
+// Unknown directives are rejected so typos surface early.
+func ParseSpec(r io.Reader) (*Machine, error) {
+	m := &Machine{NumNodes: 1}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if err := parseSpecLine(m, fields); err != nil {
+			return nil, fmt.Errorf("topology: spec line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading spec: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseSpecLine(m *Machine, fields []string) error {
+	kv := func(s, key string) (string, bool) {
+		if strings.HasPrefix(s, key+"=") {
+			return s[len(key)+1:], true
+		}
+		return "", false
+	}
+	switch fields[0] {
+	case "machine":
+		if len(fields) != 2 {
+			return fmt.Errorf("machine wants one name")
+		}
+		m.Name = fields[1]
+	case "qpi":
+		if len(fields) != 2 {
+			return fmt.Errorf("qpi wants one rate")
+		}
+		bw, err := units.ParseBandwidth(fields[1])
+		if err != nil {
+			return err
+		}
+		m.QPIBW = bw
+	case "dram":
+		if len(fields) != 3 {
+			return fmt.Errorf("dram wants size and rate")
+		}
+		sz, err := units.ParseBytes(fields[1])
+		if err != nil {
+			return err
+		}
+		bw, err := units.ParseBandwidth(fields[2])
+		if err != nil {
+			return err
+		}
+		m.DRAMPerSocket, m.DRAMBW = sz, bw
+	case "gpus":
+		if len(fields) < 2 {
+			return fmt.Errorf("gpus wants a count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		m.NumGPUs = n
+		for _, f := range fields[2:] {
+			if v, ok := kv(f, "mem"); ok {
+				if m.GPUMemory, err = units.ParseBytes(v); err != nil {
+					return err
+				}
+			} else if v, ok := kv(f, "cachefrac"); ok {
+				if m.GPUCacheFrac, err = strconv.ParseFloat(v, 64); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("gpus: unknown field %q", f)
+			}
+		}
+	case "ssds":
+		if len(fields) < 2 {
+			return fmt.Errorf("ssds wants a count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		m.NumSSDs = n
+		for _, f := range fields[2:] {
+			if v, ok := kv(f, "cap"); ok {
+				if m.SSDCapacity, err = units.ParseBytes(v); err != nil {
+					return err
+				}
+			} else if v, ok := kv(f, "bw"); ok {
+				if m.SSDBW, err = units.ParseBandwidth(v); err != nil {
+					return err
+				}
+			} else if v, ok := kv(f, "iops"); ok {
+				if m.SSDIOPS, err = strconv.ParseFloat(v, 64); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("ssds: unknown field %q", f)
+			}
+		}
+	case "pcie":
+		for _, f := range fields[1:] {
+			if v, ok := kv(f, "x16"); ok {
+				bw, err := units.ParseBandwidth(v)
+				if err != nil {
+					return err
+				}
+				m.PCIeX16 = bw
+			} else if v, ok := kv(f, "x4"); ok {
+				bw, err := units.ParseBandwidth(v)
+				if err != nil {
+					return err
+				}
+				m.PCIeX4 = bw
+			} else {
+				return fmt.Errorf("pcie: unknown field %q", f)
+			}
+		}
+	case "nodes":
+		if len(fields) < 2 {
+			return fmt.Errorf("nodes wants a count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		m.NumNodes = n
+		for _, f := range fields[2:] {
+			if v, ok := kv(f, "nic"); ok {
+				if m.NICBW, err = units.ParseBandwidth(v); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("nodes: unknown field %q", f)
+			}
+		}
+	case "point":
+		if len(fields) < 3 {
+			return fmt.Errorf("point wants id and kind")
+		}
+		p := AttachPoint{ID: fields[1]}
+		switch fields[2] {
+		case "root":
+			p.Kind = RootComplex
+		case "switch":
+			p.Kind = Switch
+		default:
+			return fmt.Errorf("point: unknown kind %q", fields[2])
+		}
+		for _, f := range fields[3:] {
+			if v, ok := kv(f, "parent"); ok {
+				p.Parent = v
+			} else if v, ok := kv(f, "uplink"); ok {
+				bw, err := units.ParseBandwidth(v)
+				if err != nil {
+					return err
+				}
+				p.UplinkBW = bw
+			} else if v, ok := kv(f, "bays"); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				p.Bays = n
+			} else if v, ok := kv(f, "gpuslots"); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				p.GPUSlots = n
+			} else {
+				return fmt.Errorf("point: unknown field %q", f)
+			}
+		}
+		m.Points = append(m.Points, p)
+	case "nvlink":
+		if len(fields) < 3 {
+			return fmt.Errorf("nvlink wants two gpu indices")
+		}
+		a, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		b, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		for _, f := range fields[3:] {
+			if v, ok := kv(f, "bw"); ok {
+				bw, err := units.ParseBandwidth(v)
+				if err != nil {
+					return err
+				}
+				m.NVLinkBW = bw
+			} else {
+				return fmt.Errorf("nvlink: unknown field %q", f)
+			}
+		}
+		m.NVLinks = append(m.NVLinks, NVLinkPair{A: a, B: b})
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}

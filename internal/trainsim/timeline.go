@@ -1,0 +1,163 @@
+package trainsim
+
+import (
+	"fmt"
+	"strings"
+
+	"moment/internal/units"
+)
+
+// StageTimes is the per-iteration cost of each pipeline stage on one GPU
+// (§3.1 System Runtime: sampling → feature extraction → model training).
+type StageTimes struct {
+	Sample  float64
+	IO      float64
+	Compute float64
+}
+
+// Segment is one stage execution on the timeline.
+type Segment struct {
+	Stage      string // "sample", "io", "compute"
+	Round      int
+	Start, End float64
+}
+
+// Timeline is the exact software-pipeline schedule of an epoch: each stage
+// is a serially-reused resource; iteration i's stage starts when both the
+// resource and iteration i's previous stage are done.
+type Timeline struct {
+	Rounds int
+	Total  float64
+	// Busy fraction of each stage resource over the epoch.
+	SampleUtil, IOUtil, ComputeUtil float64
+	// Critical names the dominant stage.
+	Critical string
+	// Segments holds the first min(Rounds, keep) rounds' stage intervals
+	// for rendering.
+	Segments []Segment
+}
+
+// PipelineTimeline schedules rounds iterations of the three-stage pipeline
+// and reports total time and per-stage utilization, keeping the first
+// `keep` rounds of segments for display (0 keeps none).
+func PipelineTimeline(st StageTimes, rounds, keep int) (*Timeline, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("trainsim: non-positive round count")
+	}
+	if st.Sample < 0 || st.IO < 0 || st.Compute < 0 {
+		return nil, fmt.Errorf("trainsim: negative stage time %+v", st)
+	}
+	var sampleEnd, ioEnd, compEnd float64
+	tl := &Timeline{Rounds: rounds}
+	for i := 0; i < rounds; i++ {
+		sStart := sampleEnd
+		sampleEnd = sStart + st.Sample
+		ioStart := sampleEnd
+		if ioEnd > ioStart {
+			ioStart = ioEnd
+		}
+		ioEnd = ioStart + st.IO
+		cStart := ioEnd
+		if compEnd > cStart {
+			cStart = compEnd
+		}
+		compEnd = cStart + st.Compute
+		if i < keep {
+			tl.Segments = append(tl.Segments,
+				Segment{Stage: "sample", Round: i, Start: sStart, End: sampleEnd},
+				Segment{Stage: "io", Round: i, Start: ioStart, End: ioEnd},
+				Segment{Stage: "compute", Round: i, Start: cStart, End: compEnd},
+			)
+		}
+	}
+	tl.Total = compEnd
+	if tl.Total > 0 {
+		tl.SampleUtil = st.Sample * float64(rounds) / tl.Total
+		tl.IOUtil = st.IO * float64(rounds) / tl.Total
+		tl.ComputeUtil = st.Compute * float64(rounds) / tl.Total
+	}
+	switch {
+	case st.IO >= st.Sample && st.IO >= st.Compute:
+		tl.Critical = "io"
+	case st.Compute >= st.Sample:
+		tl.Critical = "compute"
+	default:
+		tl.Critical = "sample"
+	}
+	return tl, nil
+}
+
+// TimelineOf derives the exact pipeline schedule for a simulated epoch,
+// spreading each stage's epoch total evenly over the rounds.
+func TimelineOf(r *Result, keep int) (*Timeline, error) {
+	if r == nil || r.Stats == nil {
+		return nil, fmt.Errorf("trainsim: result lacks stats")
+	}
+	if r.OOM != "" {
+		return nil, fmt.Errorf("trainsim: cannot draw a timeline for an OOM run (%s)", r.OOM)
+	}
+	rounds := r.Stats.BatchesPerEpoch
+	if rounds <= 0 {
+		rounds = 1
+	}
+	// Per-GPU rounds: the result's stage totals are already per GPU.
+	perGPU := rounds / maxInt(1, len(r.PerGPUIOBW))
+	if perGPU <= 0 {
+		perGPU = 1
+	}
+	st := StageTimes{
+		Sample:  r.SampleTime.Sec() / float64(perGPU),
+		IO:      r.IOTime.Sec() / float64(perGPU),
+		Compute: r.ComputeTime.Sec() / float64(perGPU),
+	}
+	return PipelineTimeline(st, perGPU, keep)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render draws an ASCII Gantt chart of the kept segments, one row per
+// stage, scaled to width columns.
+func (tl *Timeline) Render(width int) string {
+	if width <= 10 {
+		width = 72
+	}
+	if len(tl.Segments) == 0 {
+		return "(no segments kept)\n"
+	}
+	span := 0.0
+	for _, s := range tl.Segments {
+		if s.End > span {
+			span = s.End
+		}
+	}
+	if span == 0 {
+		return "(zero-length timeline)\n"
+	}
+	rows := map[string][]byte{}
+	for _, stage := range []string{"sample", "io", "compute"} {
+		rows[stage] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range tl.Segments {
+		row := rows[s.Stage]
+		lo := int(s.Start / span * float64(width-1))
+		hi := int(s.End / span * float64(width-1))
+		mark := byte('0' + byte(s.Round%10))
+		for i := lo; i <= hi && i < width; i++ {
+			row[i] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline timeline (first %d rounds over %s, critical stage: %s)\n",
+		len(tl.Segments)/3, units.Seconds(span), tl.Critical)
+	for _, stage := range []string{"sample", "io", "compute"} {
+		fmt.Fprintf(&b, "  %-8s %s\n", stage, rows[stage])
+	}
+	fmt.Fprintf(&b, "  utilization: sample %.0f%%, io %.0f%%, compute %.0f%%\n",
+		tl.SampleUtil*100, tl.IOUtil*100, tl.ComputeUtil*100)
+	return b.String()
+}

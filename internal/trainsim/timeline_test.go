@@ -1,0 +1,115 @@
+package trainsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"moment/internal/gnn"
+	"moment/internal/topology"
+)
+
+func TestPipelineTimelineBasics(t *testing.T) {
+	st := StageTimes{Sample: 1, IO: 3, Compute: 2}
+	tl, err := PipelineTimeline(st, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: total = fill + rounds * max stage.
+	want := 1 + 2 + 10*3.0
+	if math.Abs(tl.Total-want) > 1e-9 {
+		t.Errorf("total %v, want %v", tl.Total, want)
+	}
+	if tl.Critical != "io" {
+		t.Errorf("critical = %q", tl.Critical)
+	}
+	if tl.IOUtil < 0.85 {
+		t.Errorf("io util %.2f, want near 1", tl.IOUtil)
+	}
+	if len(tl.Segments) != 9 {
+		t.Errorf("kept %d segments, want 9", len(tl.Segments))
+	}
+	// Segments of each stage never overlap (serial resource).
+	for _, stage := range []string{"sample", "io", "compute"} {
+		var prevEnd float64
+		for _, s := range tl.Segments {
+			if s.Stage != stage {
+				continue
+			}
+			if s.Start < prevEnd-1e-12 {
+				t.Errorf("%s segments overlap: start %v < prev end %v", stage, s.Start, prevEnd)
+			}
+			prevEnd = s.End
+		}
+	}
+}
+
+func TestPipelineTimelineMatchesEpochFormulaProperty(t *testing.T) {
+	// SimulateEpoch assembles epochs as maxStage + fill; the exact
+	// schedule must agree.
+	f := func(a, b, c uint16, nRaw uint8) bool {
+		st := StageTimes{
+			Sample:  float64(a%1000) / 100,
+			IO:      float64(b%1000) / 100,
+			Compute: float64(c%1000) / 100,
+		}
+		rounds := int(nRaw%50) + 1
+		tl, err := PipelineTimeline(st, rounds, 0)
+		if err != nil {
+			return false
+		}
+		stageMax := math.Max(st.Sample, math.Max(st.IO, st.Compute))
+		closed := float64(rounds)*stageMax + (st.Sample + st.IO + st.Compute - stageMax)
+		return math.Abs(tl.Total-closed) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineTimelineErrors(t *testing.T) {
+	if _, err := PipelineTimeline(StageTimes{}, 0, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := PipelineTimeline(StageTimes{Sample: -1}, 1, 0); err == nil {
+		t.Error("negative stage accepted")
+	}
+}
+
+func TestTimelineOfEpoch(t *testing.T) {
+	m := topology.MachineA()
+	p, err := topology.ClassicPlacement(m, topology.LayoutC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateEpoch(Config{Machine: m, Placement: p,
+		Workload: Workload{Dataset: dataset(t, "IG"), Model: gnn.KindSAGE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := TimelineOf(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact schedule should land near the closed-form epoch estimate.
+	if rel := math.Abs(tl.Total-r.EpochTime.Sec()) / r.EpochTime.Sec(); rel > 0.05 {
+		t.Errorf("timeline total %.2fs vs epoch %.2fs (%.1f%% apart)",
+			tl.Total, r.EpochTime.Sec(), rel*100)
+	}
+	if tl.Critical != "io" {
+		t.Errorf("IGB on A should be IO-bound, got %q", tl.Critical)
+	}
+	out := tl.Render(72)
+	for _, want := range []string{"sample", "io", "compute", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if _, err := TimelineOf(nil, 0); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := TimelineOf(&Result{OOM: "x", Stats: r.Stats}, 0); err == nil {
+		t.Error("OOM result accepted")
+	}
+}

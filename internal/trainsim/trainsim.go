@@ -1,0 +1,774 @@
+package trainsim
+
+import (
+	"fmt"
+	"math"
+
+	"moment/internal/ddak"
+	"moment/internal/flownet"
+	"moment/internal/gnn"
+	"moment/internal/topology"
+	"moment/internal/units"
+)
+
+// Policy selects the data-placement algorithm.
+type Policy int
+
+const (
+	// PolicyDDAK is the data-distribution-aware knapsack (§3.3).
+	PolicyDDAK Policy = iota
+	// PolicyHash is the capacity-proportional hash baseline.
+	PolicyHash
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyHash {
+		return "hash"
+	}
+	return "ddak"
+}
+
+// SSDMode selects how GPUs reach SSDs.
+type SSDMode int
+
+const (
+	// SharedSSD lets every GPU read every SSD (Moment's multi-GPU I/O
+	// stack, §3.1).
+	SharedSSD SSDMode = iota
+	// PartitionedSSD statically assigns SSDs to GPUs and replicates the
+	// dataset per group (the M-GIDS extension, §4.1 Baselines).
+	PartitionedSSD
+)
+
+// CacheMode selects how the GPU HBM feature caches are organized.
+type CacheMode int
+
+const (
+	// CacheReplicated: every GPU caches the same hottest vertices; all
+	// GPU-cache hits are local (Hyperion/GNNLab-style hot caching).
+	CacheReplicated CacheMode = iota
+	// CachePartitioned: the collective HBM capacity holds distinct
+	// vertices; peers are served over the PCIe fabric (or NVLink).
+	CachePartitioned
+	// CachePaired: NVLink-bridged GPU pairs partition their combined
+	// capacity (2x distinct vertices per pair, half served over the
+	// bridge); pairs replicate each other. This is how Moment exploits
+	// NVLink in Fig 18. GPUs without a bridge behave as CacheReplicated.
+	CachePaired
+)
+
+// String names the cache mode.
+func (c CacheMode) String() string {
+	switch c {
+	case CachePartitioned:
+		return "partitioned"
+	case CachePaired:
+		return "paired"
+	}
+	return "replicated"
+}
+
+// Config describes one simulated training setup.
+type Config struct {
+	Machine   *topology.Machine
+	Placement *topology.Placement
+	Workload  Workload
+
+	Policy Policy
+	Mode   SSDMode
+	Cache  CacheMode
+
+	// VirtualVertices is the rank-bucket resolution (default 50000).
+	VirtualVertices int
+	// PoolN is DDAK's pooling factor (default 100, §3.3).
+	PoolN int
+	// CPUCacheVertexFrac is the fraction of vertices cached in CPU memory
+	// (default 0.01 per §4.1).
+	CPUCacheVertexFrac float64
+	// StorageShardFrac is the fraction of the (non-cached) feature store
+	// this machine holds on its SSDs — 1 for a standalone machine, 1/N
+	// for a node of an N-way cluster whose cold data is partitioned
+	// (§5 multi-node generalization). Cache capacity still holds the full
+	// replicated hot head.
+	StorageShardFrac float64
+	// SampleRate is sampled edges/second/GPU for the sampling stage
+	// (default 2e9, GPU-resident sampling).
+	SampleRate float64
+}
+
+// Result is one simulated epoch.
+type Result struct {
+	// OOM is non-empty when the configuration cannot run (e.g. the graph
+	// topology and feature cache exceed host memory); all other fields
+	// are zero then.
+	OOM string
+
+	EpochTime   units.Duration
+	IOTime      units.Duration // measured by the fabric simulator
+	PredictedIO units.Duration // predicted by max-flow (Fig 13)
+	ComputeTime units.Duration // per-GPU model compute over the epoch
+	SampleTime  units.Duration
+
+	PerGPUIOBW   []units.Bandwidth // average fabric inlet rate per GPU
+	QPIBytes     float64
+	FetchEpoch   float64 // feature bytes fetched per epoch (whole job)
+	FabricEpoch  float64 // bytes that actually crossed the fabric
+	HitGPU       float64 // fraction of fetches served by GPU caches
+	HitCPU       float64
+	Throughput   float64 // training vertices per second
+	Stats        *Stats
+	BinAssign    *ddak.ItemAssignment
+	PreprocessOK bool
+}
+
+// plan carries everything derived before data placement: workload stats,
+// cache organization, tier masses, and the flow-network demand.
+type plan struct {
+	cfg     Config
+	stats   *Stats
+	items   []ddak.Item
+	partner []int
+
+	hitGPU           float64
+	gpuDistinctBytes float64
+	localHit         []float64
+	nvlHit           []float64
+	gpuMass, cpuMass float64
+	ssdMass          float64
+
+	fetchEpoch    float64
+	cpuCacheBytes float64
+	gpuCacheBytes float64
+	replicas      float64
+	ssdsPerGPU    int
+
+	demand *flownet.Demand
+}
+
+// PlanDemand exposes the flow-network demand SimulateEpoch plans with, so
+// that placement search can score candidates against the exact workload
+// the runtime will execute.
+func PlanDemand(cfg Config) (*flownet.Demand, *Stats, error) {
+	pl, oom, err := buildPlan(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if oom != nil {
+		return nil, nil, fmt.Errorf("trainsim: %s", oom.OOM)
+	}
+	return pl.demand, pl.stats, nil
+}
+
+// buildPlan normalizes the config, checks memory feasibility, derives the
+// workload stats and cache organization, and constructs the flow demand.
+// A non-nil second return is an OOM pseudo-result.
+func buildPlan(cfg Config) (*plan, *Result, error) {
+	m := cfg.Machine
+	if m == nil || cfg.Placement == nil {
+		return nil, nil, fmt.Errorf("trainsim: nil machine or placement")
+	}
+	w := cfg.Workload.Defaults()
+	w.NumGPUs = m.NumGPUs
+	if cfg.CPUCacheVertexFrac == 0 {
+		cfg.CPUCacheVertexFrac = 0.01
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 2e9
+	}
+	if cfg.PoolN == 0 {
+		cfg.PoolN = 100
+	}
+	if cfg.StorageShardFrac <= 0 || cfg.StorageShardFrac > 1 {
+		cfg.StorageShardFrac = 1
+	}
+	if cfg.Policy == PolicyHash {
+		// Hash-based partitioning spreads embeddings uniformly across the
+		// whole hierarchy, including the GPU caches — so the caches hold
+		// mostly cold vertices (§3.3: "naive uniform distribution methods
+		// ... are not effective"). Model this as partitioned caches with
+		// capacity-share hit rates.
+		cfg.Cache = CachePartitioned
+	}
+	cfg.Workload = w
+	stats, err := ComputeStats(w, cfg.VirtualVertices)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := w.Dataset
+	rowBytes := float64(d.FeatureBytesPerVertex())
+	nGPU := m.NumGPUs
+	rcs := m.RootComplexes()
+
+	// ---- Memory feasibility ------------------------------------------
+	cpuCacheBytes := cfg.CPUCacheVertexFrac * float64(d.Vertices) * rowBytes
+	totalDRAM := float64(m.DRAMPerSocket.Int64()) * float64(len(rcs))
+	if float64(d.TopologyStorage.Int64())+cpuCacheBytes > totalDRAM {
+		return nil, &Result{OOM: fmt.Sprintf(
+			"host memory: topology %s + feature cache %.0f GiB exceed %.0f GiB DRAM",
+			d.TopologyStorage, cpuCacheBytes/(1<<30), totalDRAM/(1<<30))}, nil
+	}
+	featBytes := float64(d.FeatureStorage.Int64())
+	ssdTotalCap := float64(m.SSDCapacity.Int64()) * float64(m.NumSSDs)
+	replicas := 1.0
+	ssdsPerGPU := 0
+	if cfg.Mode == PartitionedSSD {
+		if nGPU <= 0 || m.NumSSDs < nGPU {
+			return nil, &Result{OOM: "fewer SSDs than GPUs under static partitioning"}, nil
+		}
+		ssdsPerGPU = m.NumSSDs / nGPU
+		replicas = float64(nGPU) // dataset replicated per GPU's SSD group
+	}
+	if featBytes*replicas*cfg.StorageShardFrac > ssdTotalCap {
+		return nil, &Result{OOM: fmt.Sprintf(
+			"ssd capacity: %.1f TiB x %.0f replicas exceed %.1f TiB",
+			featBytes*cfg.StorageShardFrac/(1<<40), replicas, ssdTotalCap/(1<<40))}, nil
+	}
+
+	gpuCacheBytes := float64(m.GPUMemory.Int64()) * m.GPUCacheFrac
+
+	// ---- GPU cache organization --------------------------------------
+	items := make([]ddak.Item, len(stats.VirtualHot))
+	for i := range items {
+		items[i] = ddak.Item{Hot: stats.VirtualHot[i], Bytes: stats.VirtualBytes[i]}
+	}
+	partner := nvlinkPartners(m)
+	var hitGPU float64           // total GPU-cache hit mass
+	var gpuDistinctBytes float64 // distinct cached bytes (removed from DDAK items)
+	localHit := make([]float64, nGPU)
+	nvlHit := make([]float64, nGPU)
+	switch cfg.Cache {
+	case CachePartitioned:
+		// Handled via DDAK bins below (collective distinct capacity,
+		// peers served across the fabric).
+		gpuDistinctBytes = 0
+	case CachePaired:
+		m1 := replicatedMass(items, gpuCacheBytes)
+		m2 := replicatedMass(items, 2*gpuCacheBytes)
+		anyPaired := false
+		for g := 0; g < nGPU; g++ {
+			if partner[g] >= 0 {
+				localHit[g] = m2 / 2
+				nvlHit[g] = m2 / 2
+				anyPaired = true
+			} else {
+				localHit[g] = m1
+			}
+		}
+		if anyPaired {
+			gpuDistinctBytes = 2 * gpuCacheBytes
+			hitGPU = m2
+		} else {
+			gpuDistinctBytes = gpuCacheBytes
+			hitGPU = m1
+		}
+	default: // CacheReplicated
+		m1 := replicatedMass(items, gpuCacheBytes)
+		for g := 0; g < nGPU; g++ {
+			localHit[g] = m1
+		}
+		gpuDistinctBytes = gpuCacheBytes
+		hitGPU = m1
+	}
+
+	// ---- Provisional tier budgets (greedy hot-first fill) -------------
+	var gpuMass, cpuMass float64
+	if cfg.Cache == CachePartitioned {
+		gpuMass, cpuMass = tierMasses(stats, gpuCacheBytes*float64(nGPU), cpuCacheBytes)
+	} else {
+		// Aggregate GPU-cache service across (possibly mixed paired and
+		// unpaired) GPUs, so supply exactly covers demand.
+		agg := 0.0
+		for g := 0; g < nGPU; g++ {
+			agg += localHit[g] + nvlHit[g]
+		}
+		gpuMass = agg / float64(nGPU)
+		hitGPU = gpuMass
+		_, cpuMass = tierMasses(stats, gpuDistinctBytes, cpuCacheBytes)
+	}
+	if cfg.Policy == PolicyHash {
+		// Uniform spread: every cache captures only its capacity share.
+		total := float64(d.FeatureStorage.Int64())
+		gpuMass = math.Min(1, gpuCacheBytes*float64(nGPU)/total)
+		cpuMass = math.Min(1-gpuMass, cpuCacheBytes/total)
+	}
+	ssdMass := 1 - gpuMass - cpuMass
+	if ssdMass < 0 {
+		ssdMass = 0
+	}
+
+	fetchEpoch := stats.FetchBytesEpoch
+	perGPUFetch := fetchEpoch / float64(nGPU)
+
+	// ---- Max-flow prediction (§3.2) ------------------------------------
+	dem := &flownet.Demand{
+		PerGPU:   make([]float64, nGPU),
+		DRAM:     map[string]float64{},
+		SSDTotal: ssdMass * fetchEpoch,
+	}
+	switch cfg.Cache {
+	case CachePartitioned:
+		localShare := gpuMass / float64(nGPU)
+		for g := range dem.PerGPU {
+			dem.PerGPU[g] = perGPUFetch * (1 - localShare)
+		}
+		dem.HBMPeer = make([]float64, nGPU)
+		for g := range dem.HBMPeer {
+			dem.HBMPeer[g] = gpuMass / float64(nGPU) * fetchEpoch * float64(nGPU-1) / float64(nGPU)
+		}
+	case CachePaired:
+		dem.HBMPeer = make([]float64, nGPU)
+		for g := range dem.PerGPU {
+			dem.PerGPU[g] = perGPUFetch * (1 - localHit[g])
+			if partner[g] >= 0 {
+				dem.HBMPeer[g] = nvlHit[partner[g]] * perGPUFetch
+			}
+		}
+	default:
+		for g := range dem.PerGPU {
+			dem.PerGPU[g] = perGPUFetch * (1 - localHit[g])
+		}
+	}
+	for _, rc := range rcs {
+		dem.DRAM[rc] = cpuMass * fetchEpoch / float64(len(rcs))
+	}
+	return &plan{
+		cfg:              cfg,
+		stats:            stats,
+		items:            items,
+		partner:          partner,
+		hitGPU:           hitGPU,
+		gpuDistinctBytes: gpuDistinctBytes,
+		localHit:         localHit,
+		nvlHit:           nvlHit,
+		gpuMass:          gpuMass,
+		cpuMass:          cpuMass,
+		ssdMass:          ssdMass,
+		fetchEpoch:       fetchEpoch,
+		cpuCacheBytes:    cpuCacheBytes,
+		gpuCacheBytes:    gpuCacheBytes,
+		replicas:         replicas,
+		ssdsPerGPU:       ssdsPerGPU,
+		demand:           dem,
+	}, nil, nil
+}
+
+// SimulateEpoch runs the full pipeline: workload stats → provisional tier
+// budgets → max-flow prediction → fabric-fair traffic plan → DDAK/hash
+// data placement → fabric simulation → pipelined epoch assembly.
+func SimulateEpoch(cfg Config) (*Result, error) {
+	pl, oom, err := buildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if oom != nil {
+		return oom, nil
+	}
+	cfg = pl.cfg
+	m := cfg.Machine
+	w := cfg.Workload
+	d := w.Dataset
+	nGPU := m.NumGPUs
+	rcs := m.RootComplexes()
+	stats := pl.stats
+	hitGPU := pl.hitGPU
+	localHit := pl.localHit
+	nvlHit := pl.nvlHit
+	partner := pl.partner
+	items := pl.items
+	gpuMass, cpuMass, ssdMass := pl.gpuMass, pl.cpuMass, pl.ssdMass
+	fetchEpoch := pl.fetchEpoch
+	perGPUFetch := fetchEpoch / float64(nGPU)
+	cpuCacheBytes := pl.cpuCacheBytes
+	gpuCacheBytes := pl.gpuCacheBytes
+	gpuDistinctBytes := pl.gpuDistinctBytes
+	replicas := pl.replicas
+	ssdsPerGPU := pl.ssdsPerGPU
+
+	net, err := flownet.Build(m, cfg.Placement, pl.demand)
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := net.Solve()
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Fabric-fair traffic plan --------------------------------------
+	// Bin_traffic must reflect the service share each bin gets on the real
+	// fabric under fair sharing — raw max-flow has degenerate optima that
+	// concentrate traffic on arbitrary symmetric SSDs. A probe run of the
+	// fabric simulator yields the max-min fair service shares instead.
+	ssdShare, _, err := fairShares(m, cfg.Placement, cfg.Mode, ssdsPerGPU)
+	if err != nil {
+		return nil, err
+	}
+	// The CPU cache's socket split follows GPU locality: caching hot
+	// vertices in the DRAM of a socket with no GPUs only adds QPI
+	// crossings (the Fig 17 effect), so each socket's share tracks the
+	// GPUs it hosts (smoothed so an empty socket still takes overflow).
+	dramShare := dramLocalityShares(m, cfg.Placement)
+
+	// ---- Data placement over virtual vertices ---------------------------
+	var bins []ddak.Bin
+	gpuBin := make([]int, 0, nGPU)
+	placeItems := items
+	if cfg.Cache == CachePartitioned {
+		for g := 0; g < nGPU; g++ {
+			gpuBin = append(gpuBin, len(bins))
+			bins = append(bins, ddak.Bin{
+				Name: fmt.Sprintf("hbm%d", g), Tier: ddak.TierGPU,
+				Capacity: gpuCacheBytes,
+				Traffic:  gpuMass / float64(nGPU) * fetchEpoch,
+			})
+		}
+	} else {
+		// The replicated/paired cache head never reaches DDAK.
+		placeItems = itemsAfterCache(items, gpuDistinctBytes)
+	}
+	if cfg.StorageShardFrac < 1 {
+		// Cluster node: only a shard of each (non-cached) rank bucket
+		// lives on this machine's SSDs; the access mass per local byte
+		// is unchanged, so scale item sizes by the shard fraction.
+		sharded := make([]ddak.Item, len(placeItems))
+		for i, it := range placeItems {
+			sharded[i] = ddak.Item{Hot: it.Hot, Bytes: it.Bytes * cfg.StorageShardFrac}
+		}
+		placeItems = sharded
+	}
+	dramBin := map[string]int{}
+	for _, rc := range rcs {
+		dramBin[rc] = len(bins)
+		bins = append(bins, ddak.Bin{
+			Name: "dram:" + rc, Tier: ddak.TierCPU,
+			Capacity: cpuCacheBytes / float64(len(rcs)),
+			Traffic:  cpuMass * fetchEpoch * dramShare[rc],
+		})
+	}
+	ssdBin0 := len(bins)
+	for j := 0; j < m.NumSSDs; j++ {
+		bins = append(bins, ddak.Bin{
+			Name: fmt.Sprintf("ssd%d", j), Tier: ddak.TierSSD,
+			Capacity: float64(m.SSDCapacity.Int64()) / replicas,
+			Traffic:  ssdMass * fetchEpoch * ssdShare[j],
+		})
+	}
+	var assign *ddak.ItemAssignment
+	switch cfg.Policy {
+	case PolicyHash:
+		assign, err = ddak.HashPlaceItems(placeItems, bins)
+	default:
+		assign, err = ddak.PlaceItems(placeItems, bins, cfg.PoolN, fetchEpoch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cache == CachePartitioned {
+		hitGPU = assign.HitRateItems(ddak.TierGPU)
+		for g := 0; g < nGPU; g++ {
+			localHit[g] = hitGPU / float64(nGPU)
+		}
+	}
+	hitCPU := assign.HitRateItems(ddak.TierCPU) * sumHot(placeItems)
+
+	// ---- Fabric simulation ----------------------------------------------
+	fab, err := NewFabric(m, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	fabricScale := fetchEpoch
+	if cfg.Cache != CachePartitioned {
+		fabricScale = fetchEpoch * sumHot(placeItems)
+	}
+	served := assign.ServedBytesItems(fabricScale)
+	for g := 0; g < nGPU; g++ {
+		// GPU-cache flows.
+		if cfg.Cache == CachePartitioned {
+			for i, bi := range gpuBin {
+				bytes := served[bi] / float64(nGPU)
+				path, err := fab.PathHBMToGPU(i, g)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := fab.Net.AddFlow(fmt.Sprintf("hbm%d>g%d", i, g), path, bytes, 0); err != nil {
+					return nil, err
+				}
+			}
+		} else if nvlHit[g] > 0 {
+			path, err := fab.PathHBMToGPU(partner[g], g)
+			if err != nil {
+				return nil, err
+			}
+			bytes := nvlHit[g] * perGPUFetch
+			if _, err := fab.Net.AddFlow(fmt.Sprintf("nvl>g%d", g), path, bytes, 0); err != nil {
+				return nil, err
+			}
+		}
+		// CPU-memory flows.
+		for _, rc := range rcs {
+			bytes := served[dramBin[rc]] / float64(nGPU)
+			path, err := fab.PathDRAMToGPU(rc, g)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fab.Net.AddFlow(fmt.Sprintf("dram:%s>g%d", rc, g), path, bytes, 0); err != nil {
+				return nil, err
+			}
+		}
+		// SSD flows.
+		for j := 0; j < m.NumSSDs; j++ {
+			var bytes float64
+			if cfg.Mode == PartitionedSSD {
+				if j/ssdsPerGPU != g {
+					continue
+				}
+				ssdTier := 0.0
+				for k := ssdBin0; k < len(served); k++ {
+					ssdTier += served[k]
+				}
+				bytes = ssdTier / float64(nGPU) / float64(ssdsPerGPU)
+			} else {
+				bytes = served[ssdBin0+j] / float64(nGPU)
+			}
+			path, err := fab.PathSSDToGPU(j, g)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fab.Net.AddFlow(fmt.Sprintf("ssd%d>g%d", j, g), path, bytes, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	runRes, err := fab.Net.Run()
+	if err != nil {
+		return nil, err
+	}
+	ioTime := runRes.Makespan
+
+	// ---- Compute + sampling stages --------------------------------------
+	iterPerGPU := math.Ceil(float64(stats.BatchesPerEpoch) / float64(nGPU))
+	cost := gnn.DefaultCostModel(w.Model, d.FeatureDim, 2)
+	iterSec, err := cost.IterationSeconds(int64(stats.UniquePerBatch), int64(stats.EdgesPerBatch))
+	if err != nil {
+		return nil, err
+	}
+	computeTime := iterSec * iterPerGPU
+	sampleTime := stats.EdgesPerBatch / cfg.SampleRate * iterPerGPU
+
+	// ---- Pipelined epoch (§3.1 System Runtime) --------------------------
+	stageMax := math.Max(ioTime, math.Max(computeTime, sampleTime))
+	fill := (ioTime + computeTime + sampleTime - stageMax) / math.Max(iterPerGPU, 1)
+	epoch := stageMax + fill
+
+	fabricBytes := 0.0
+	perGPUBW := make([]units.Bandwidth, nGPU)
+	for g := 0; g < nGPU; g++ {
+		in := runRes.LinkBytes[fab.gpuIn[g]]
+		for pair, l := range fab.nvl {
+			if pair[1] == g {
+				in += runRes.LinkBytes[l]
+			}
+		}
+		fabricBytes += in
+		if ioTime > 0 {
+			perGPUBW[g] = units.Bandwidth(in / ioTime)
+		}
+	}
+
+	train := float64(d.TrainVertices())
+	res := &Result{
+		EpochTime:    units.Seconds(epoch),
+		IOTime:       units.Seconds(ioTime),
+		PredictedIO:  predicted,
+		ComputeTime:  units.Seconds(computeTime),
+		SampleTime:   units.Seconds(sampleTime),
+		PerGPUIOBW:   perGPUBW,
+		QPIBytes:     fab.QPIBytes(runRes),
+		FetchEpoch:   fetchEpoch,
+		FabricEpoch:  fabricBytes,
+		HitGPU:       hitGPU,
+		HitCPU:       hitCPU,
+		Stats:        stats,
+		BinAssign:    assign,
+		PreprocessOK: true,
+	}
+	if epoch > 0 {
+		res.Throughput = train / epoch
+	}
+	return res, nil
+}
+
+// fairShares probes the fabric with symmetric unit flows and returns the
+// max-min fair service share of each SSD and each socket's DRAM.
+func fairShares(m *topology.Machine, p *topology.Placement, mode SSDMode, ssdsPerGPU int) (ssd []float64, dram map[string]float64, err error) {
+	fab, err := NewFabric(m, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	type key struct {
+		kind string
+		idx  int
+		rc   string
+	}
+	var keys []key
+	const probeBytes = 1 << 30
+	for j := 0; j < m.NumSSDs; j++ {
+		for g := 0; g < m.NumGPUs; g++ {
+			if mode == PartitionedSSD && j/ssdsPerGPU != g {
+				continue
+			}
+			path, err := fab.PathSSDToGPU(j, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := fab.Net.AddFlow("probe", path, probeBytes, 0); err != nil {
+				return nil, nil, err
+			}
+			keys = append(keys, key{kind: "ssd", idx: j})
+		}
+	}
+	for _, rc := range m.RootComplexes() {
+		for g := 0; g < m.NumGPUs; g++ {
+			path, err := fab.PathDRAMToGPU(rc, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := fab.Net.AddFlow("probe", path, probeBytes, 0); err != nil {
+				return nil, nil, err
+			}
+			keys = append(keys, key{kind: "dram", rc: rc})
+		}
+	}
+	rates := fab.Net.InitialRates()
+	ssd = make([]float64, m.NumSSDs)
+	dram = map[string]float64{}
+	for _, rc := range m.RootComplexes() {
+		dram[rc] = 0
+	}
+	ssdSum, dramSum := 0.0, 0.0
+	for i, k := range keys {
+		r := rates[i]
+		if math.IsInf(r, 1) {
+			r = 0
+		}
+		if k.kind == "ssd" {
+			ssd[k.idx] += r
+			ssdSum += r
+		} else {
+			dram[k.rc] += r
+			dramSum += r
+		}
+	}
+	for j := range ssd {
+		if ssdSum > 0 {
+			ssd[j] /= ssdSum
+		} else if m.NumSSDs > 0 {
+			ssd[j] = 1 / float64(m.NumSSDs)
+		}
+	}
+	for rc := range dram {
+		if dramSum > 0 {
+			dram[rc] /= dramSum
+		} else {
+			dram[rc] = 1 / float64(len(dram))
+		}
+	}
+	return ssd, dram, nil
+}
+
+// dramLocalityShares weights each socket's CPU-cache traffic by the GPUs
+// it (transitively) hosts.
+func dramLocalityShares(m *topology.Machine, p *topology.Placement) map[string]float64 {
+	rcs := m.RootComplexes()
+	counts := map[string]float64{}
+	const smooth = 0.25
+	total := smooth * float64(len(rcs))
+	for _, rc := range rcs {
+		counts[rc] = smooth
+	}
+	for _, at := range p.GPUAt {
+		sock, err := m.Socket(at)
+		if err != nil {
+			continue
+		}
+		counts[sock]++
+		total++
+	}
+	for rc := range counts {
+		counts[rc] /= total
+	}
+	return counts
+}
+
+func nvlinkPartners(m *topology.Machine) []int {
+	partner := make([]int, m.NumGPUs)
+	for i := range partner {
+		partner[i] = -1
+	}
+	for _, nv := range m.NVLinks {
+		if partner[nv.A] == -1 && partner[nv.B] == -1 {
+			partner[nv.A] = nv.B
+			partner[nv.B] = nv.A
+		}
+	}
+	return partner
+}
+
+// tierMasses greedily fills tiers hot-first and returns the access mass
+// captured by the GPU tier and CPU tier.
+func tierMasses(stats *Stats, gpuCap, cpuCap float64) (gpuMass, cpuMass float64) {
+	remainingGPU, remainingCPU := gpuCap, cpuCap
+	for i := range stats.VirtualHot {
+		b := stats.VirtualBytes[i]
+		switch {
+		case remainingGPU >= b:
+			remainingGPU -= b
+			gpuMass += stats.VirtualHot[i]
+		case remainingCPU >= b:
+			remainingCPU -= b
+			cpuMass += stats.VirtualHot[i]
+		default:
+			// SSD tier; keep scanning — a smaller later bucket might
+			// still fit (sizes vary between head and tail items).
+		}
+	}
+	return gpuMass, cpuMass
+}
+
+// replicatedMass is the hotness captured by one cache's worth of the
+// hottest items (items must be in hot-first order, as ComputeStats emits).
+func replicatedMass(items []ddak.Item, cap float64) float64 {
+	mass := 0.0
+	for _, it := range items {
+		if cap < it.Bytes {
+			break
+		}
+		cap -= it.Bytes
+		mass += it.Hot
+	}
+	return mass
+}
+
+// itemsAfterCache strips the replicated cache head from the item list.
+func itemsAfterCache(items []ddak.Item, cap float64) []ddak.Item {
+	i := 0
+	for ; i < len(items); i++ {
+		if cap < items[i].Bytes {
+			break
+		}
+		cap -= items[i].Bytes
+	}
+	rest := items[i:]
+	if len(rest) == 0 {
+		rest = []ddak.Item{{Hot: 0, Bytes: 1}}
+	}
+	return rest
+}
+
+func sumHot(items []ddak.Item) float64 {
+	t := 0.0
+	for _, it := range items {
+		t += it.Hot
+	}
+	return t
+}

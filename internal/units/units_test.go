@@ -1,0 +1,216 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteConstructors(t *testing.T) {
+	cases := []struct {
+		got  Bytes
+		want int64
+	}{
+		{B(7), 7},
+		{KB(1), 1 << 10},
+		{MB(2), 2 << 20},
+		{GB(3), 3 << 30},
+		{TB(1), 1 << 40},
+		{KB(0.5), 512},
+	}
+	for _, c := range cases {
+		if c.got.Int64() != c.want {
+			t.Errorf("got %d, want %d", c.got.Int64(), c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{B(512), "512B"},
+		{KB(1), "1.00KiB"},
+		{MB(1.5), "1.50MiB"},
+		{GB(56), "56.00GiB"},
+		{TB(3.2), "3.20TiB"},
+		{B(-2048), "-2.00KiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+		err  bool
+	}{
+		{"512", B(512), false},
+		{"512B", B(512), false},
+		{"1K", KB(1), false},
+		{"1KB", KB(1), false},
+		{"1KiB", KB(1), false},
+		{"3.84TB", TB(3.84), false},
+		{"14 GB", GB(14), false},
+		{"768GiB", GB(768), false},
+		{"1024MB", GB(1), false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"12XB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q): expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		b := Bytes(raw)
+		parsed, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		// String() rounds to 2 decimals, so allow 1% relative slack.
+		diff := math.Abs(float64(parsed - b))
+		return diff <= math.Max(1, 0.01*float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthConstructors(t *testing.T) {
+	if got := GiBps(20).GiBpsf(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("GiBps(20).GiBpsf() = %v", got)
+	}
+	if got := float64(Gbps(100)); math.Abs(got-12.5e9) > 1 {
+		t.Errorf("Gbps(100) = %v bytes/s, want 12.5e9", got)
+	}
+	if got := float64(MiBps(2048)); math.Abs(got-float64(GB(2))) > 1 {
+		t.Errorf("MiBps(2048) = %v", got)
+	}
+}
+
+func TestBandwidthTimeFor(t *testing.T) {
+	bw := GiBps(2)
+	d := bw.TimeFor(GB(4))
+	if math.Abs(d.Sec()-2) > 1e-9 {
+		t.Errorf("TimeFor = %v, want 2s", d)
+	}
+	if !Bandwidth(0).TimeFor(GB(1)).IsInf() {
+		t.Error("zero bandwidth should yield infinite duration")
+	}
+	if !Bandwidth(-1).TimeFor(GB(1)).IsInf() {
+		t.Error("negative bandwidth should yield infinite duration")
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := GiBps(6).String(); got != "6.00GiB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := MiBps(5).String(); got != "5.00MiB/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := Seconds(1.5)
+	if d.Std() != 1500*time.Millisecond {
+		t.Errorf("Std() = %v", d.Std())
+	}
+	if Duration(math.Inf(1)).Std() != time.Duration(math.MaxInt64) {
+		t.Error("infinite duration should saturate")
+	}
+	if Duration(math.Inf(-1)).Std() != time.Duration(math.MinInt64) {
+		t.Error("negative infinite duration should saturate")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{Seconds(2.5), "2.500s"},
+		{Seconds(0.012), "12.000ms"},
+		{Seconds(12e-6), "12.000us"},
+		{Seconds(0), "0s"},
+		{Duration(math.Inf(1)), "+inf"},
+		{Duration(math.Inf(-1)), "-inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	bw := Rate(GB(10), Seconds(5))
+	if math.Abs(bw.GiBpsf()-2) > 1e-9 {
+		t.Errorf("Rate = %v, want 2 GiB/s", bw)
+	}
+	if !math.IsInf(float64(Rate(GB(1), 0)), 1) {
+		t.Error("zero time should give infinite rate")
+	}
+}
+
+func TestRateTimeForInverseProperty(t *testing.T) {
+	f := func(nRaw uint32, dMilli uint16) bool {
+		n := Bytes(nRaw) + 1
+		d := Seconds(float64(dMilli)/1e3 + 1e-3)
+		bw := Rate(n, d)
+		back := bw.TimeFor(n)
+		return math.Abs(back.Sec()-d.Sec()) < 1e-9*math.Max(1, d.Sec())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+		err  bool
+	}{
+		{"20GiB/s", GiBps(20), false},
+		{"6GB/s", GiBps(6), false},
+		{"36GiB", GiBps(36), false},
+		{"100Gbps", Gbps(100), false},
+		{"10mbps", Bandwidth(10e6 / 8), false},
+		{"512KB/s", Bandwidth(512 << 10), false},
+		{"", 0, true},
+		{"fast", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("ParseBandwidth(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && math.Abs(float64(got-c.want)) > 1 {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+}
