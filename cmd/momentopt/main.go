@@ -25,8 +25,13 @@ func main() {
 		model       = flag.String("model", "graphsage", "model: graphsage or gat")
 		gpus        = flag.Int("gpus", 0, "restrict GPU count (0 = machine default)")
 		scores      = flag.Bool("scores", false, "print every candidate's predicted time")
+		verifyPlan  = flag.Bool("verify", false, "self-check every solve: certify max-flows and audit placements")
 	)
 	flag.Parse()
+
+	if *verifyPlan {
+		moment.EnableSelfChecks()
+	}
 
 	m, err := loadMachine(*machineName, *specPath)
 	if err != nil {

@@ -86,6 +86,16 @@ func (a *Assignment) Validate(bytesPerVertex float64) error {
 	return nil
 }
 
+// Self-check hooks, installed by internal/verify when self-verification is
+// enabled (they stay nil otherwise). Declared here rather than imported so
+// ddak does not depend on the verification subsystem.
+var (
+	// Check audits every Place result before it is returned.
+	Check func(a *Assignment, hot []float64, bytesPerVertex float64) error
+	// CheckItems audits every PlaceItems result before it is returned.
+	CheckItems func(a *ItemAssignment, items []Item) error
+)
+
 // Place runs DDAK. Vertices are sorted by descending hotness and placed
 // poolN at a time (the paper pools n=100 decisions to bound planning cost);
 // each pool goes to the bin with the minimum filling priority
@@ -128,22 +138,10 @@ func Place(hot []float64, bytesPerVertex float64, bins []Bin, poolN int) (*Assig
 	}
 
 	pick := func() int {
-		best := -1
-		bestP := math.Inf(1)
-		for i := range a.Bins {
-			if slots[i] <= 0 {
-				continue
-			}
-			p := priority(i)
-			switch {
-			case best == -1, p < bestP,
-				p == bestP && tierLess(a.Bins[i].Tier, a.Bins[best].Tier),
-				p == bestP && a.Bins[i].Tier == a.Bins[best].Tier && i < best:
-				best = i
-				bestP = p
-			}
-		}
-		return best
+		return pickBin(len(a.Bins),
+			func(i int) bool { return slots[i] > 0 },
+			priority,
+			func(i int) Tier { return a.Bins[i].Tier })
 	}
 
 	cursor := 0
@@ -169,6 +167,11 @@ func Place(hot []float64, bytesPerVertex float64, bins []Bin, poolN int) (*Assig
 		a.Used[bin] += float64(take) * bytesPerVertex
 		slots[bin] -= take
 		a.Pools++
+	}
+	if Check != nil {
+		if err := Check(a, hot, bytesPerVertex); err != nil {
+			return nil, fmt.Errorf("ddak: self-check failed: %w", err)
+		}
 	}
 	return a, nil
 }
@@ -252,6 +255,40 @@ func checkInputs(hot []float64, bytesPerVertex float64, bins []Bin) error {
 }
 
 func tierLess(a, b Tier) bool { return a < b }
+
+// prioEq compares filling priorities with a relative epsilon. Priorities are
+// products of accumulated float ratios, so two bins that are equal in exact
+// arithmetic almost never compare == once any access or fill has built up —
+// exact comparison left the documented GPU > CPU > SSD tie-break dead.
+func prioEq(a, b float64) bool {
+	if a == b { // covers 0==0 and Inf==Inf
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// pickBin selects the eligible bin with minimum filling priority, breaking
+// near-ties (relative 1e-9) by tier (GPU > CPU > SSD) and then by bin order.
+// Returns -1 when no bin is eligible.
+func pickBin(n int, eligible func(int) bool, priority func(int) float64, tier func(int) Tier) int {
+	best := -1
+	bestP := math.Inf(1)
+	for i := 0; i < n; i++ {
+		if !eligible(i) {
+			continue
+		}
+		p := priority(i)
+		switch {
+		case best == -1, p < bestP && !prioEq(p, bestP):
+			best, bestP = i, p
+		case prioEq(p, bestP) && tierLess(tier(i), tier(best)):
+			// Near-tie: prefer the faster tier. Bin order needs no case —
+			// ascending iteration already keeps the earliest index.
+			best, bestP = i, p
+		}
+	}
+	return best
+}
 
 func sortByHotness(hot []float64) []int32 {
 	order := make([]int32, len(hot))
@@ -385,21 +422,13 @@ func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*Ite
 	}
 	pickTier := func(need float64, honorCaps bool) int {
 		for _, tier := range []Tier{TierGPU, TierCPU, TierSSD} {
-			best := -1
-			bestP := math.Inf(1)
-			for i := range a.Bins {
-				if a.Bins[i].Tier != tier || free[i] < need {
-					continue
-				}
-				if honorCaps && capped(i) {
-					continue
-				}
-				p := priority(i)
-				if best == -1 || p < bestP || (p == bestP && i < best) {
-					best = i
-					bestP = p
-				}
-			}
+			best := pickBin(len(a.Bins),
+				func(i int) bool {
+					return a.Bins[i].Tier == tier && free[i] >= need &&
+						!(honorCaps && capped(i))
+				},
+				priority,
+				func(i int) Tier { return a.Bins[i].Tier })
 			if best >= 0 {
 				return best
 			}
@@ -431,6 +460,11 @@ func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*Ite
 			placed++
 		}
 		a.Pools++
+	}
+	if CheckItems != nil {
+		if err := CheckItems(a, items); err != nil {
+			return nil, fmt.Errorf("ddak: self-check failed: %w", err)
+		}
 	}
 	return a, nil
 }

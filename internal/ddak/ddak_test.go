@@ -421,3 +421,77 @@ func TestHashPlaceItemsIgnoresHotness(t *testing.T) {
 			d.HitRateItems(TierGPU), h.HitRateItems(TierGPU))
 	}
 }
+
+// Regression: pick() used to compare computed float priorities with ==, so
+// the documented GPU > CPU > SSD tie-break almost never fired once any
+// access/fill had accumulated. 0.1+0.2 and 0.3 are equal in exact
+// arithmetic but differ in float64; the near-tie must go to the GPU bin
+// even though the CPU bin's float happens to be the strictly smaller one.
+func TestPickBinNearTiePrefersFasterTier(t *testing.T) {
+	// Computed at runtime — Go folds constant expressions exactly, which
+	// would erase the float discrepancy this test depends on.
+	x, y, half := 0.1, 0.2, 0.5
+	prios := []float64{0.3 * half, (x + y) * half} // 0.15 vs 0.15000000000000002
+	if prios[0] == prios[1] {
+		t.Fatal("test premise broken: priorities compare exactly equal")
+	}
+	tiers := []Tier{TierCPU, TierGPU}
+	got := pickBin(2,
+		func(int) bool { return true },
+		func(i int) float64 { return prios[i] },
+		func(i int) Tier { return tiers[i] })
+	if got != 1 {
+		t.Errorf("near-tie picked bin %d (tier %v), want GPU bin 1", got, tiers[got])
+	}
+	// A genuine gap must still win over tier preference.
+	gap := []float64{0.10, 0.15}
+	got = pickBin(2,
+		func(int) bool { return true },
+		func(i int) float64 { return gap[i] },
+		func(i int) Tier { return tiers[i] })
+	if got != 0 {
+		t.Errorf("clear minimum lost to tier tie-break: picked %d", got)
+	}
+	// Equal priority and equal tier: earliest index wins.
+	got = pickBin(2,
+		func(int) bool { return true },
+		func(int) float64 { return 0.5 },
+		func(int) Tier { return TierSSD })
+	if got != 0 {
+		t.Errorf("index tie-break picked %d, want 0", got)
+	}
+}
+
+// Two equal-priority bins through the full Place path: with identical
+// capacity and traffic the GPU bin must be preferred on every tie, so it
+// can never end up with fewer vertices than the CPU bin listed before it.
+func TestPlaceEqualPriorityBinsPreferGPU(t *testing.T) {
+	bins := []Bin{
+		{Name: "dram", Tier: TierCPU, Capacity: 50, Traffic: 100},
+		{Name: "hbm", Tier: TierGPU, Capacity: 50, Traffic: 100},
+	}
+	hot := make([]float64, 100)
+	for i := range hot {
+		hot[i] = 1.0 / float64(i+3) // distinct, accumulating sums
+	}
+	a, err := Place(hot, 1, bins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	// The very first (hottest) pool must land on the GPU bin.
+	if a.Of[0] != 1 {
+		t.Errorf("hottest vertex in bin %d (%s), want GPU", a.Of[0], a.Bins[a.Of[0]].Name)
+	}
+	// Ties broken toward GPU keep the two equal bins in lockstep: the GPU
+	// bin's access mass can trail the CPU bin's only by sub-epsilon noise,
+	// never by a whole vertex.
+	if a.Access[0]-a.Access[1] > hot[len(hot)-1] {
+		t.Errorf("GPU access %v trails CPU access %v by a full vertex", a.Access[1], a.Access[0])
+	}
+	if a.Used[0] != 50 || a.Used[1] != 50 {
+		t.Errorf("bins not filled evenly: %v", a.Used)
+	}
+}

@@ -285,17 +285,41 @@ func (n *Network) trackLink(name string, rate float64, edges ...maxflow.EdgeID) 
 	n.linkRate[name] += rate * float64(len(edges))
 }
 
+// Check, when non-nil, audits every solved network before Solve returns
+// (flow certificate, supply/utilization invariants). It is installed by
+// internal/verify when self-verification is enabled; declared here rather
+// than imported so flownet does not depend on the verification subsystem.
+var Check func(*Network) error
+
 // Solve runs the time-bisection and returns the minimum time to deliver all
 // per-GPU demand. The flow for that horizon stays on the graph for the
 // metric accessors below.
 func (n *Network) Solve() (units.Duration, error) {
-	t, err := n.bis.MinTime(1e-4)
+	return n.SolveTol(1e-4)
+}
+
+// SolveTol is Solve with an explicit relative bisection tolerance.
+func (n *Network) SolveTol(tol float64) (units.Duration, error) {
+	t, err := n.bis.MinTime(tol)
 	if err != nil {
 		return 0, fmt.Errorf("flownet: %s/%s: %w", n.Machine.Name, n.Placement.Name, err)
 	}
 	n.solvedT = t
+	if Check != nil {
+		if err := Check(n); err != nil {
+			return 0, fmt.Errorf("flownet: %s/%s: self-check failed: %w",
+				n.Machine.Name, n.Placement.Name, err)
+		}
+	}
 	return units.Seconds(t), nil
 }
+
+// Demand returns the demand the network was built for.
+func (n *Network) Demand() *Demand { return n.demand }
+
+// SolvedHorizon returns the horizon (seconds) of the last successful Solve,
+// or 0 if the network is unsolved.
+func (n *Network) SolvedHorizon() float64 { return n.solvedT }
 
 // Throughput returns aggregate delivered bytes/second at the solved horizon.
 func (n *Network) Throughput() (units.Bandwidth, error) {

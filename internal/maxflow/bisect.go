@@ -42,6 +42,7 @@ func NewTimeBisector(g *Graph, s, t int, demand float64) *TimeBisector {
 // AddRateEdge registers edge e as a bandwidth edge with the given rate
 // (bytes/second). Infinite rates stay infinite at every horizon.
 func (b *TimeBisector) AddRateEdge(e EdgeID, rate float64) {
+	b.G.checkForwardEdge(e, "AddRateEdge")
 	if rate < 0 || math.IsNaN(rate) {
 		panic(fmt.Sprintf("maxflow: invalid rate %v", rate))
 	}
@@ -51,6 +52,7 @@ func (b *TimeBisector) AddRateEdge(e EdgeID, rate float64) {
 
 // AddFixedEdge registers edge e as a horizon-independent byte budget.
 func (b *TimeBisector) AddFixedEdge(e EdgeID, bytes float64) {
+	b.G.checkForwardEdge(e, "AddFixedEdge")
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("maxflow: invalid byte budget %v", bytes))
 	}
@@ -76,6 +78,12 @@ func (b *TimeBisector) apply(t float64) {
 // leaving the corresponding flow on the graph.
 func (b *TimeBisector) Feasible(t float64) bool {
 	if t <= 0 {
+		// Nothing moves at a zero horizon. Still apply the horizon-0
+		// capacities and clear any flow so callers reading Flow() or
+		// Capacity() afterwards don't see stale state from an earlier
+		// probe at a different horizon.
+		b.apply(0)
+		b.G.Reset()
 		return b.Demand <= Eps
 	}
 	b.apply(t)
@@ -93,6 +101,10 @@ func relEps(v float64) float64 {
 // feasible flow for the reported horizon.
 func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 	if b.Demand <= Eps {
+		// Same hygiene as Feasible(0): leave the graph in the consistent
+		// zero-horizon state rather than whatever a previous probe wrote.
+		b.apply(0)
+		b.G.Reset()
 		return 0, nil
 	}
 	if tol <= 0 {

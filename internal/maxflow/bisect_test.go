@@ -175,4 +175,53 @@ func TestBisectorInvalidInputsPanic(t *testing.T) {
 	}
 	mustPanic("negative rate", func() { b.AddRateEdge(e, -1) })
 	mustPanic("nan fixed", func() { b.AddFixedEdge(e, math.NaN()) })
+	// Regression: registering a residual companion (odd id) used to corrupt
+	// residual invariants on the first apply(); it must panic up front.
+	mustPanic("odd rate edge", func() { b.AddRateEdge(e^1, 1) })
+	mustPanic("odd fixed edge", func() { b.AddFixedEdge(e^1, 1) })
+	mustPanic("rate edge out of range", func() { b.AddRateEdge(EdgeID(42), 1) })
+}
+
+// Regression: Feasible(t<=0) used to return without touching the graph,
+// leaving capacities and flow from the previous probe in place while
+// reporting on the zero-demand case — subsequent Flow() reads were garbage.
+func TestBisectorZeroHorizonClearsStaleState(t *testing.T) {
+	g := New(3)
+	e1 := g.AddEdge(0, 1, 0)
+	e2 := g.AddEdge(1, 2, 0)
+	b := NewTimeBisector(g, 0, 2, 100)
+	b.AddRateEdge(e1, 10)
+	b.AddFixedEdge(e2, 100)
+	if !b.Feasible(20) {
+		t.Fatal("t=20 should be feasible")
+	}
+	if f := g.Flow(e1); f < 99 {
+		t.Fatalf("probe at t=20 should leave flow, got %v", f)
+	}
+	if b.Feasible(0) {
+		t.Fatal("t=0 must be infeasible for positive demand")
+	}
+	if f := g.Flow(e1); f != 0 {
+		t.Errorf("stale flow %v on rate edge after Feasible(0), want 0", f)
+	}
+	if f := g.Flow(e2); f != 0 {
+		t.Errorf("stale flow %v on fixed edge after Feasible(0), want 0", f)
+	}
+	if c := g.Capacity(e1); c != 0 {
+		t.Errorf("rate edge capacity %v at horizon 0, want 0", c)
+	}
+	if c := g.Capacity(e2); c != 100 {
+		t.Errorf("fixed edge capacity %v at horizon 0, want 100", c)
+	}
+
+	// Zero demand at zero horizon is feasible, and equally clean.
+	b0 := NewTimeBisector(g, 0, 2, 0)
+	b0.AddRateEdge(e1, 10)
+	b0.AddFixedEdge(e2, 0)
+	if !b0.Feasible(0) {
+		t.Fatal("zero demand must be feasible at t=0")
+	}
+	if f := g.Flow(e1); f != 0 {
+		t.Errorf("flow %v after zero-demand probe, want 0", f)
+	}
 }

@@ -91,13 +91,28 @@ func (g *Graph) AddEdge(u, v int, capacity float64) EdgeID {
 
 // SetCapacity resets edge e's capacity and clears any flow on it.
 // Typically used between bisection probes; call Reset to clear all flow.
+// Only forward edge ids returned by AddEdge are accepted: writing through a
+// residual companion (odd id) would desynchronize cap/resid bookkeeping and
+// silently corrupt every subsequent solve.
 func (g *Graph) SetCapacity(e EdgeID, capacity float64) {
+	g.checkForwardEdge(e, "SetCapacity")
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("maxflow: invalid capacity %v", capacity))
 	}
 	g.cap[e] = capacity
 	g.resid[e] = capacity
 	g.resid[e^1] = 0
+}
+
+// checkForwardEdge panics when e is out of range or names a residual
+// companion (odd id) rather than a forward edge from AddEdge.
+func (g *Graph) checkForwardEdge(e EdgeID, op string) {
+	if e < 0 || int(e) >= len(g.to) {
+		panic(fmt.Sprintf("maxflow: %s: edge %d out of range [0,%d)", op, e, len(g.to)))
+	}
+	if e&1 != 0 {
+		panic(fmt.Sprintf("maxflow: %s: edge %d is a residual companion (odd id); use forward edge %d", op, e, e^1))
+	}
 }
 
 // Capacity returns edge e's original capacity.
@@ -394,7 +409,71 @@ func (g *Graph) pushRelabel(s, t int) float64 {
 			}
 		}
 	}
-	return excess[t]
+	// Second phase: the preflow left on the edges is not necessarily a
+	// flow. Eps-thresholded discharge can abandon sub-Eps excess at a node,
+	// and float cancellation at large scales (returning a finiteCapSum-sized
+	// excess across an infinite source arc rounds at ulp of that sum) can
+	// annihilate small amounts from one edge's record but not its
+	// neighbor's. Rebalance the recorded flows so conservation holds.
+	g.rebalance(s, t)
+	// Rebalancing cancels flow upstream and may unsaturate a former cut
+	// edge; finish with augmenting paths so the flow is maximal again.
+	return excess[t] + g.dinic(s, t)
+}
+
+// rebalance converts the edge-recorded preflow into a valid flow: at every
+// internal node whose recorded inflow exceeds its recorded outflow, cancel
+// the surplus on incoming flow-carrying edges, propagating it upstream
+// until it is absorbed at the source, the sink, or a deficit node. Works
+// purely on the edge bookkeeping, so it also repairs imbalances that exist
+// only there (where no residual path back to the source survives).
+func (g *Graph) rebalance(s, t int) {
+	surplus := make([]float64, g.n)
+	for i := 0; i < len(g.to); i += 2 {
+		f := g.Flow(EdgeID(i))
+		if f <= 0 {
+			continue
+		}
+		surplus[int(g.to[i])] += f
+		surplus[int(g.to[i^1])] -= f
+	}
+	inWork := make([]bool, g.n)
+	work := make([]int, 0, g.n)
+	push := func(v int) {
+		if v != s && v != t && surplus[v] > Eps/2 && !inWork[v] {
+			inWork[v] = true
+			work = append(work, v)
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		push(v)
+	}
+	// Each cancellation either clears a node's surplus or zeroes an edge's
+	// flow; the budget is a safety net against float ping-pong on cycles.
+	for budget := 4 * g.n * len(g.to); len(work) > 0 && budget > 0; budget-- {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		for _, e := range g.head[v] {
+			if surplus[v] <= 0 {
+				break
+			}
+			if e&1 == 0 {
+				continue // even ids in head[v] leave v; odd ids mirror edges into v
+			}
+			f := g.Flow(e ^ 1)
+			if f <= 0 {
+				continue
+			}
+			d := math.Min(surplus[v], f)
+			g.resid[e^1] += d
+			g.resid[e] -= d
+			surplus[v] -= d
+			u := int(g.to[e])
+			surplus[u] += d
+			push(u)
+		}
+	}
 }
 
 func (g *Graph) finiteCapSum() float64 {

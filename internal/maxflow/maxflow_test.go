@@ -307,6 +307,29 @@ func TestInvalidInputsPanic(t *testing.T) {
 	})
 }
 
+// Regression: SetCapacity through a residual companion (odd id) used to
+// silently corrupt the cap/resid invariant; it must panic instead.
+func TestSetCapacityRejectsResidualEdge(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	mustPanic("odd id", func() { g.SetCapacity(e^1, 3) })
+	mustPanic("out of range", func() { g.SetCapacity(EdgeID(99), 3) })
+	mustPanic("negative id", func() { g.SetCapacity(EdgeID(-2), 3) })
+	// The forward edge itself must still be writable.
+	g.SetCapacity(e, 3)
+	if g.Capacity(e) != 3 {
+		t.Fatalf("capacity = %v, want 3", g.Capacity(e))
+	}
+}
+
 func TestSolverString(t *testing.T) {
 	if Dinic.String() != "dinic" || EdmondsKarp.String() != "edmonds-karp" || PushRelabel.String() != "push-relabel" {
 		t.Error("solver names changed")
@@ -388,5 +411,62 @@ func TestBisectionMonotoneInDemandProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression: push–relabel saturates infinite source arcs with the total
+// finite capacity of the graph. On networks mixing ~1e10 capacities with
+// near-Eps ones, returning that huge excess across the infinite arc rounds
+// at ulp(1e10) ≈ 1e-5, annihilating small amounts from the source arc's
+// record but not from downstream edges — the terminal "flow" violated
+// conservation at internal nodes by several Eps. The rebalance second phase
+// repairs the edge bookkeeping; this network (found by the differential
+// fuzzer, seed 195) reproduced the stranding.
+func TestPushRelabelPreflowConservation(t *testing.T) {
+	build := func() *Graph {
+		g := New(12)
+		g.AddEdge(0, 2, Inf)
+		g.AddEdge(0, 3, 2.535364897054643e-06)
+		g.AddEdge(2, 4, 7.867444635905543)
+		g.AddEdge(2, 5, 20.55773233823611)
+		g.AddEdge(3, 4, 84.74226788907367)
+		g.AddEdge(3, 5, 8.569850121189482e+10)
+		g.AddEdge(4, 6, 82.71214557085904)
+		g.AddEdge(4, 7, 14.544122502422377)
+		g.AddEdge(4, 7, 12.239377229854673)
+		g.AddEdge(5, 6, 4.455243879174475e+10)
+		g.AddEdge(5, 7, 84.88597237353588)
+		g.AddEdge(6, 8, 9.8485983136785)
+		g.AddEdge(6, 9, 3.500149582370192e+10)
+		g.AddEdge(7, 11, 2.651265309570906)
+		g.AddEdge(8, 10, 7.977778676014446e-06)
+		g.AddEdge(9, 10, 81.8638921268878)
+		g.AddEdge(9, 11, 33.54809575920687)
+		return g
+	}
+	s, sink := 0, 1 // the sink is unreachable: the maximum flow is zero
+	for _, sv := range []Solver{Dinic, EdmondsKarp, PushRelabel} {
+		g := build()
+		v := g.MaxFlow(s, sink, sv)
+		if v > Eps {
+			t.Errorf("%v: value %v, want 0 (sink unreachable)", sv, v)
+		}
+		in := make([]float64, g.N())
+		out := make([]float64, g.N())
+		for i := 0; i < g.M(); i++ {
+			e := EdgeID(2 * i)
+			u, w := g.Endpoints(e)
+			f := g.Flow(e)
+			out[u] += f
+			in[w] += f
+		}
+		for nd := 0; nd < g.N(); nd++ {
+			if nd == s || nd == sink {
+				continue
+			}
+			if d := math.Abs(in[nd] - out[nd]); d > Eps {
+				t.Errorf("%v: conservation violated at node %d: in %v, out %v", sv, nd, in[nd], out[nd])
+			}
+		}
 	}
 }

@@ -201,18 +201,33 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 		return nil, fmt.Errorf("placement: no feasible candidates for machine %s", m.Name)
 	}
 
+	// Fixed-size worker pool: exactly min(Parallelism, len(cands)) scoring
+	// goroutines pull candidate indices from a channel. (A previous version
+	// spawned one goroutine per candidate before acquiring a semaphore,
+	// bursting thousands of goroutines on large enumerations.)
 	scores := make([]Scored, len(cands))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
-	for i, cand := range cands {
-		wg.Add(1)
-		go func(i int, cand *topology.Placement) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			scores[i] = score(m, cand, d)
-		}(i, cand)
+	workers := opt.Parallelism
+	if workers > len(cands) {
+		workers = len(cands)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if evalHook != nil {
+					evalHook()
+				}
+				scores[i] = score(m, cands[i], d, opt.Tolerance)
+			}
+		}()
+	}
+	for i := range cands {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	res := &Result{
@@ -248,15 +263,31 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	best := res.Best.Clone()
 	best.Name = fmt.Sprintf("%s(moment)", m.Name)
 	res.Best = best
+	if Check != nil {
+		if err := Check(m, d, opt, res); err != nil {
+			return nil, fmt.Errorf("placement: self-check failed: %w", err)
+		}
+	}
 	return res, nil
 }
 
-func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand) Scored {
+// Check, when non-nil, audits every Search result before it is returned
+// (winner re-scores to the reported time, throughput consistent, placement
+// valid). Installed by internal/verify when self-verification is enabled;
+// declared here rather than imported so placement does not depend on the
+// verification subsystem.
+var Check func(m *topology.Machine, d *flownet.Demand, opt Options, res *Result) error
+
+// evalHook, when non-nil, is invoked by each worker at the start of every
+// candidate evaluation (test instrumentation for the concurrency bound).
+var evalHook func()
+
+func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand, tol float64) Scored {
 	n, err := flownet.Build(m, cand, d)
 	if err != nil {
 		return Scored{Placement: cand, Err: err}
 	}
-	t, err := n.Solve()
+	t, err := n.SolveTol(tol)
 	if err != nil {
 		return Scored{Placement: cand, Err: err}
 	}

@@ -2,7 +2,10 @@ package placement
 
 import (
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"moment/internal/flownet"
 	"moment/internal/topology"
@@ -454,5 +457,62 @@ func TestSearchAdaptsToDegradedQPI(t *testing.T) {
 	if onDegraded.Time.Sec() > tHealthyChoice.Sec()*1.001 {
 		t.Errorf("degraded-aware search %.3fs worse than naive choice %.3fs",
 			onDegraded.Time.Sec(), tHealthyChoice.Sec())
+	}
+}
+
+// Regression: Search used to spawn one goroutine per candidate before
+// acquiring the semaphore, so a large enumeration launched thousands of
+// goroutines at once. The worker pool must run at most Parallelism
+// concurrent evaluations and allocate at most Parallelism worker
+// goroutines.
+func TestSearchWorkerPoolBounded(t *testing.T) {
+	const parallelism = 2
+	var cur, peak, calls int64
+	evalHook = func() {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		atomic.AddInt64(&calls, 1)
+		time.Sleep(100 * time.Microsecond) // widen the overlap window
+		atomic.AddInt64(&cur, -1)
+	}
+	defer func() { evalHook = nil }()
+
+	before := runtime.NumGoroutine()
+	m := topology.MachineB()
+	res, err := Search(m, demand(4), Options{Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best placement")
+	}
+	if int(calls) != res.Evaluated {
+		t.Errorf("hook saw %d evaluations, want %d", calls, res.Evaluated)
+	}
+	if peak > parallelism {
+		t.Errorf("%d concurrent evaluations, Parallelism=%d", peak, parallelism)
+	}
+	// All workers must have exited; no goroutine leak either.
+	after := runtime.NumGoroutine()
+	if after > before+1 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// The pool must also cap itself at the candidate count (no idle workers
+// blocking on an empty channel) and finish with a huge Parallelism.
+func TestSearchWorkerPoolMoreWorkersThanCandidates(t *testing.T) {
+	m := topology.MachineA().WithGPUs(1)
+	res, err := Search(m, demand(1), Options{Parallelism: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Time <= 0 {
+		t.Fatalf("bad result %+v", res)
 	}
 }

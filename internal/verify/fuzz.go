@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"moment/internal/maxflow"
+)
+
+// RandomNetwork deterministically derives a pseudo-random flow network from
+// rng: a layered DAG (2–5 layers, 1–4 nodes wide) with dense inter-layer
+// edges, occasional parallel duplicates and layer-skipping shortcuts, plus
+// virtual source/sink arcs that are sometimes infinite — the same shape as
+// the planner's augmented communication graphs. Capacities mix three
+// regimes (O(100) uniform, near-Eps, and bandwidth-scale 1e9..1e11) to
+// exercise the comparison-epsilon semantics. Every s→t path traverses at
+// least one finite inter-layer edge, so the maximum flow is always finite.
+//
+// The same rng state always yields the same network; seed rand.NewSource
+// explicitly for reproducible fuzzing.
+func RandomNetwork(rng *rand.Rand) (g *maxflow.Graph, s, t int) {
+	layers := 2 + rng.Intn(4)
+	width := 1 + rng.Intn(4)
+	g = maxflow.New(2 + layers*width)
+	s, t = 0, 1
+	node := func(l, w int) int { return 2 + l*width + w }
+
+	capOf := func() float64 {
+		switch rng.Intn(10) {
+		case 0:
+			return maxflow.Eps * (0.1 + 10*rng.Float64()) // near the comparison epsilon
+		case 1, 2:
+			return 1e9 * (1 + 100*rng.Float64()) // profiled-bandwidth scale
+		default:
+			return 100 * rng.Float64()
+		}
+	}
+	// Virtual arcs may be infinite, like the planner's SSD-pool arcs.
+	virtualCap := func() float64 {
+		if rng.Intn(4) == 0 {
+			return maxflow.Inf
+		}
+		return capOf()
+	}
+
+	for w := 0; w < width; w++ {
+		if rng.Float64() < 0.8 {
+			g.AddEdge(s, node(0, w), virtualCap())
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for a := 0; a < width; a++ {
+			for b := 0; b < width; b++ {
+				if rng.Float64() < 0.75 {
+					g.AddEdge(node(l, a), node(l+1, b), capOf())
+					if rng.Float64() < 0.2 {
+						g.AddEdge(node(l, a), node(l+1, b), capOf()) // parallel edge
+					}
+				}
+			}
+			if l+2 < layers && rng.Float64() < 0.15 {
+				g.AddEdge(node(l, a), node(l+2, rng.Intn(width)), capOf())
+			}
+		}
+	}
+	for w := 0; w < width; w++ {
+		if rng.Float64() < 0.8 {
+			g.AddEdge(node(layers-1, w), t, virtualCap())
+		}
+	}
+	return g, s, t
+}
+
+// CheckDifferential cross-checks all three solvers on independent clones of
+// g: each solution must carry a valid certificate (CheckFlow), the three
+// values must agree, and the Dinic solution must survive the Decompose
+// round trip. Returns the agreed maximum-flow value.
+func CheckDifferential(g *maxflow.Graph, s, t int) (float64, error) {
+	solvers := []maxflow.Solver{maxflow.Dinic, maxflow.EdmondsKarp, maxflow.PushRelabel}
+	vals := make([]float64, len(solvers))
+	totalCap := 0.0
+	for i := 0; i < g.M(); i++ {
+		if c := g.Capacity(maxflow.EdgeID(2 * i)); !math.IsInf(c, 1) {
+			totalCap += c
+		}
+	}
+	for i, sv := range solvers {
+		c := g.Clone()
+		v := c.MaxFlow(s, t, sv)
+		cert, err := CheckFlow(c, s, t)
+		if err != nil {
+			return 0, fmt.Errorf("%v: %w", sv, err)
+		}
+		if math.Abs(cert.Value-v) > tol(v)+float64(g.M())*maxflow.Eps+capSlack(totalCap) {
+			return 0, fmt.Errorf("%v reported %v but edges carry %v", sv, v, cert.Value)
+		}
+		vals[i] = v
+		if sv == maxflow.Dinic {
+			if err := CheckDecompose(c, s, t, v); err != nil {
+				return 0, fmt.Errorf("%v: %w", sv, err)
+			}
+		}
+	}
+	for i := 1; i < len(vals); i++ {
+		slack := tol(math.Max(vals[0], vals[i])) + float64(g.M())*maxflow.Eps + capSlack(totalCap)
+		if math.Abs(vals[i]-vals[0]) > slack {
+			return 0, fmt.Errorf("solver disagreement: %v=%v vs %v=%v",
+				solvers[0], vals[0], solvers[i], vals[i])
+		}
+	}
+	return vals[0], nil
+}

@@ -34,6 +34,7 @@ import (
 	"moment/internal/placement"
 	"moment/internal/topology"
 	"moment/internal/trainsim"
+	"moment/internal/verify"
 )
 
 // Core topology types.
@@ -176,3 +177,16 @@ func DefaultDistDGL() baselines.DistDGLConfig { return baselines.DefaultDistDGL(
 
 // Experiments regenerates every paper table and figure in order.
 func Experiments() ([]*Table, error) { return experiments.All() }
+
+// EnableSelfChecks turns on planner self-verification: every flow solve,
+// placement search, and DDAK layout audits its own output (max-flow
+// certificates, capacity and accounting invariants) and fails loudly
+// instead of returning a silently wrong plan. Costs roughly one extra
+// solve per audited call.
+func EnableSelfChecks() { verify.Enable() }
+
+// DisableSelfChecks removes the self-verification hooks.
+func DisableSelfChecks() { verify.Disable() }
+
+// SelfChecksEnabled reports whether planner self-verification is on.
+func SelfChecksEnabled() bool { return verify.Enabled() }
