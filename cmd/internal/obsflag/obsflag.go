@@ -1,0 +1,90 @@
+// Package obsflag wires the shared observability command-line flags
+// (-trace, -metrics) into the moment commands: it installs a process-wide
+// observer when either flag is set, and flushes the collected trace and
+// metrics when the command finishes.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moment"
+)
+
+// Flags holds the registered observability flags.
+type Flags struct {
+	tracePath   string
+	metrics     bool
+	metricsJSON string
+	obs         *moment.Observer
+}
+
+// Register adds -trace, -metrics and -metrics-json to the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.tracePath, "trace", "",
+		"write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+	flag.BoolVar(&f.metrics, "metrics", false,
+		"dump collected metrics in Prometheus text format to stdout on exit")
+	flag.StringVar(&f.metricsJSON, "metrics-json", "",
+		"write collected metrics as JSON to this file on exit")
+	return f
+}
+
+// Enable installs the process-wide observer when any observability flag is
+// set and returns it (nil when observability is off). Call after flag.Parse
+// and before doing work; diagnostics are routed to stderr.
+func (f *Flags) Enable() *moment.Observer {
+	if f.tracePath == "" && !f.metrics && f.metricsJSON == "" {
+		return nil
+	}
+	f.obs = moment.NewObserver()
+	f.obs.SetLogOutput(os.Stderr)
+	moment.SetDefaultObserver(f.obs)
+	return f.obs
+}
+
+// Flush writes the trace file and metric dumps requested by the flags.
+// Safe to call when observability is off (no-op).
+func (f *Flags) Flush() error {
+	if f.obs == nil {
+		return nil
+	}
+	if f.tracePath != "" {
+		w, err := os.Create(f.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := f.obs.WriteTrace(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n",
+			f.tracePath, f.obs.Tracer().Len())
+	}
+	if f.metrics {
+		fmt.Println("--- metrics ---")
+		if err := f.obs.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if f.metricsJSON != "" {
+		w, err := os.Create(f.metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := f.obs.WriteMetricsJSON(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 //	momentbench                   # everything, as aligned tables
 //	momentbench fig10 fig16       # selected figures
 //	momentbench -json > out.json  # machine-readable
+//	momentbench -bench BENCH.json # per-experiment benchmark records
 package main
 
 import (
@@ -16,11 +17,29 @@ import (
 	"strings"
 
 	"moment"
+	"moment/cmd/internal/obsflag"
 )
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
+	benchPath := flag.String("bench", "",
+		"write machine-readable per-experiment benchmark records (JSON) to this file")
+	oflags := obsflag.Register()
 	flag.Parse()
+	oflags.Enable()
+	if *benchPath != "" {
+		if err := writeBench(*benchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench:", err)
+			os.Exit(1)
+		}
+		if len(flag.Args()) == 0 {
+			if err := oflags.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	tables, err := moment.Experiments()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "momentbench:", err)
@@ -49,4 +68,32 @@ func main() {
 	for _, t := range selected {
 		fmt.Println(t)
 	}
+	if err := oflags.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "momentbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeBench generates the per-experiment benchmark records and writes them
+// as an indented JSON array suitable for committing as BENCH_*.json.
+func writeBench(path string) error {
+	recs, err := moment.BenchRecords()
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark records to %s\n", len(recs), path)
+	return nil
 }

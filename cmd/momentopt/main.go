@@ -6,6 +6,7 @@
 //
 //	momentopt -machine B -dataset IG -model graphsage
 //	momentopt -spec server.spec -dataset UK -model gat -scores
+//	momentopt -machine B -dataset IG -trace trace.json -metrics
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"moment"
+	"moment/cmd/internal/obsflag"
 )
 
 func main() {
@@ -27,7 +29,9 @@ func main() {
 		scores      = flag.Bool("scores", false, "print every candidate's predicted time")
 		verifyPlan  = flag.Bool("verify", false, "self-check every solve: certify max-flows and audit placements")
 	)
+	oflags := obsflag.Register()
 	flag.Parse()
+	oflags.Enable()
 
 	if *verifyPlan {
 		moment.EnableSelfChecks()
@@ -57,6 +61,9 @@ func main() {
 	fmt.Print(plan.Report())
 	if *scores {
 		fmt.Println("candidate predicted epoch IO times: (see plan report above)")
+	}
+	if err := oflags.Flush(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	momentsim -machine A -layout c -dataset IG -model graphsage
 //	momentsim -machine B -layout moment -dataset CL -model gat -policy hash
 //	momentsim -machine A -layout c -baseline mgids
+//	momentsim -machine B -layout moment -trace trace.json -metrics
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"moment"
+	"moment/cmd/internal/obsflag"
 )
 
 func main() {
@@ -29,7 +31,15 @@ func main() {
 		baseline    = flag.String("baseline", "", "simulate a baseline instead: mgids, mhyperion or distdgl")
 		timeline    = flag.Bool("timeline", false, "render the per-iteration pipeline schedule")
 	)
+	oflags := obsflag.Register()
 	flag.Parse()
+	oflags.Enable()
+	// Flush on every non-fatal exit path (fatal exits skip the dumps).
+	defer func() {
+		if err := oflags.Flush(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var m *moment.Machine
 	switch strings.ToUpper(*machineName) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"moment/internal/ddak"
+	"moment/internal/obs"
 	"moment/internal/placement"
 	"moment/internal/profiler"
 	"moment/internal/topology"
@@ -35,6 +36,10 @@ type Input struct {
 	Search placement.Options
 	// Sim tunes the epoch simulation knobs other than machine/placement.
 	Sim trainsim.Config
+	// Observer receives spans and metrics for the whole run; it is also
+	// propagated into the search and simulation stages (nil falls back to
+	// the process default observer).
+	Observer *obs.Observer
 }
 
 // Plan is the automatic module's output.
@@ -68,9 +73,15 @@ func CoOptimize(in Input) (*Plan, error) {
 	if err := in.Machine.Validate(); err != nil {
 		return nil, err
 	}
+	o := obs.Active(in.Observer)
+	sp := o.Begin("co-optimize")
+	sp.SetStr("machine", in.Machine.Name)
+	sp.SetStr("dataset", in.Workload.Dataset.Name)
+	defer sp.End()
+	scoped := o.In(sp)
 
 	// Step 1-2: profiling.
-	prof, err := profiler.Measure(in.Machine, profiler.Options{})
+	prof, err := profiler.Measure(in.Machine, profiler.Options{Observer: scoped})
 	if err != nil {
 		return nil, err
 	}
@@ -91,17 +102,26 @@ func CoOptimize(in Input) (*Plan, error) {
 		return nil, fmt.Errorf("core: machine %s has no feasible placements", in.Machine.Name)
 	}
 	simCfg.Placement = cands[0]
+	demSp := sp.Child("demand")
 	dem, _, err := trainsim.PlanDemand(simCfg)
+	demSp.End()
 	if err != nil {
 		return nil, err
 	}
-	res, err := placement.Search(in.Machine, dem, in.Search)
+	searchOpt := in.Search
+	if searchOpt.Observer == nil {
+		searchOpt.Observer = scoped
+	}
+	res, err := placement.Search(in.Machine, dem, searchOpt)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 4: DDAK data placement + epoch simulation under the winner.
 	simCfg.Placement = res.Best
+	if simCfg.Observer == nil {
+		simCfg.Observer = scoped
+	}
 	epoch, err := trainsim.SimulateEpoch(simCfg)
 	if err != nil {
 		return nil, err
@@ -110,7 +130,7 @@ func CoOptimize(in Input) (*Plan, error) {
 		return nil, fmt.Errorf("core: chosen plan cannot run: %s", epoch.OOM)
 	}
 
-	return &Plan{
+	plan := &Plan{
 		Profile:             prof,
 		Placement:           res.Best,
 		PredictedIO:         res.Time,
@@ -120,7 +140,11 @@ func CoOptimize(in Input) (*Plan, error) {
 		DataPlacement:       epoch.BinAssign,
 		Epoch:               epoch,
 		PlanningTime:        time.Since(start),
-	}, nil
+	}
+	sp.SetFloat("planning_seconds", plan.PlanningTime.Seconds())
+	sp.SetInt("candidates_evaluated", plan.Evaluated)
+	o.Gauge("core_planning_seconds").Set(plan.PlanningTime.Seconds())
+	return plan, nil
 }
 
 // Report renders a human-readable summary of the plan, in the spirit of

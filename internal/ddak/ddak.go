@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"moment/internal/obs"
 )
 
 // Tier ranks the storage hierarchy; lower is faster (paper: GPU > CPU > SSD).
@@ -377,6 +379,16 @@ type ItemAssignment struct {
 // uncapped bin remains, at which point capacity alone governs.
 // trafficScale <= 0 disables traffic caps.
 func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*ItemAssignment, error) {
+	return PlaceItemsObserved(items, bins, poolN, trafficScale, nil)
+}
+
+// PlaceItemsObserved is PlaceItems with instrumentation: a "ddak" span,
+// pool-step and priority-inversion counters, and per-bin fill-ratio gauges.
+// A priority inversion is a pool decision that lands on a slower tier while
+// a faster-tier bin still had room — i.e. the max-flow traffic cap, not
+// capacity, forced the spill. Inversion detection is only computed when an
+// observer is attached, so the unobserved path pays nothing.
+func PlaceItemsObserved(items []Item, bins []Bin, poolN int, trafficScale float64, o *obs.Observer) (*ItemAssignment, error) {
 	if err := checkItems(items, bins); err != nil {
 		return nil, err
 	}
@@ -435,6 +447,11 @@ func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*Ite
 		}
 		return -1
 	}
+	sp := o.Begin("ddak")
+	sp.SetInt("items", len(items))
+	sp.SetInt("bins", len(bins))
+	defer sp.End()
+	inversions := 0
 	cursor := 0
 	for cursor < len(order) {
 		need := items[order[cursor]].Bytes
@@ -445,6 +462,16 @@ func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*Ite
 		if bin < 0 {
 			return nil, fmt.Errorf("ddak: no bin can hold item %d (%.0f bytes)",
 				order[cursor], need)
+		}
+		if o != nil {
+			// Any faster-tier bin with room must have been traffic-capped,
+			// or pickTier would have chosen it.
+			for i := range a.Bins {
+				if a.Bins[i].Tier < a.Bins[bin].Tier && free[i] >= need {
+					inversions++
+					break
+				}
+			}
 		}
 		placed := 0
 		for placed < poolN && cursor < len(order) {
@@ -460,6 +487,19 @@ func PlaceItems(items []Item, bins []Bin, poolN int, trafficScale float64) (*Ite
 			placed++
 		}
 		a.Pools++
+	}
+	if o != nil {
+		o.Counter("ddak_pool_steps_total").Add(float64(a.Pools))
+		o.Counter("ddak_priority_inversions_total").Add(float64(inversions))
+		for i, b := range a.Bins {
+			fill := 0.0
+			if b.Capacity > 0 {
+				fill = a.Used[i] / b.Capacity
+			}
+			o.Gauge("ddak_bin_fill_ratio", obs.L("bin", b.Name)).Set(fill)
+		}
+		sp.SetInt("pools", a.Pools)
+		sp.SetInt("inversions", inversions)
 	}
 	if CheckItems != nil {
 		if err := CheckItems(a, items); err != nil {

@@ -21,8 +21,10 @@ package flownet
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"moment/internal/maxflow"
+	"moment/internal/obs"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -98,7 +100,8 @@ type Network struct {
 
 	demand  *Demand
 	bis     *maxflow.TimeBisector
-	solvedT float64 // horizon of the last Solve; 0 if unsolved
+	solvedT float64       // horizon of the last Solve; 0 if unsolved
+	obsrv   *obs.Observer // nil = no instrumentation
 
 	// Edge bookkeeping for metrics.
 	demandEdge []maxflow.EdgeID            // gpu -> t
@@ -298,10 +301,33 @@ func (n *Network) Solve() (units.Duration, error) {
 	return n.SolveTol(1e-4)
 }
 
+// SetObserver attaches an observer so each Solve reports solver work
+// (augmenting paths, bisection iterations, wall time). Nil detaches.
+func (n *Network) SetObserver(o *obs.Observer) { n.obsrv = o }
+
 // SolveTol is Solve with an explicit relative bisection tolerance.
 func (n *Network) SolveTol(tol float64) (units.Duration, error) {
+	o := n.obsrv
+	var before maxflow.SolveStats
+	var wall time.Time
+	if o != nil {
+		before = n.G.Stats()
+		wall = time.Now()
+	}
 	t, err := n.bis.MinTime(tol)
+	if o != nil {
+		after := n.G.Stats()
+		o.Counter("maxflow_solves_total").Add(float64(after.Solves - before.Solves))
+		o.Counter("maxflow_augmenting_paths_total").Add(float64(after.AugmentingPaths - before.AugmentingPaths))
+		o.Counter("maxflow_relabels_total").Add(float64(after.Relabels - before.Relabels))
+		o.Histogram("maxflow_bisection_iterations").Observe(float64(n.bis.Iterations))
+		o.Histogram("maxflow_bisection_probes").Observe(float64(n.bis.Probes))
+		o.Histogram("flownet_solve_seconds").Observe(time.Since(wall).Seconds())
+	}
 	if err != nil {
+		if o != nil {
+			o.Counter("flownet_infeasible_total").Inc()
+		}
 		return 0, fmt.Errorf("flownet: %s/%s: %w", n.Machine.Name, n.Placement.Name, err)
 	}
 	n.solvedT = t

@@ -32,6 +32,14 @@ type TimeBisector struct {
 	rates      []float64
 	fixedEdges []EdgeID
 	fixed      []float64
+
+	// Probes counts Feasible evaluations (each one max-flow solve) and
+	// Iterations counts halving steps of the bisection loop, excluding the
+	// doubling phase; both reset at the start of each MinTime. Plain ints:
+	// bisectors are not shared across goroutines, and callers report them
+	// to an observer after the solve rather than paying atomics inside it.
+	Probes     int
+	Iterations int
 }
 
 // NewTimeBisector wraps g for bisection between terminals s and t.
@@ -77,6 +85,7 @@ func (b *TimeBisector) apply(t float64) {
 // Feasible reports whether all demand can be delivered within horizon t,
 // leaving the corresponding flow on the graph.
 func (b *TimeBisector) Feasible(t float64) bool {
+	b.Probes++
 	if t <= 0 {
 		// Nothing moves at a zero horizon. Still apply the horizon-0
 		// capacities and clear any flow so callers reading Flow() or
@@ -100,6 +109,7 @@ func relEps(v float64) float64 {
 // feasible (up to maxDoublings), then bisects. On return the graph holds a
 // feasible flow for the reported horizon.
 func (b *TimeBisector) MinTime(tol float64) (float64, error) {
+	b.Probes, b.Iterations = 0, 0
 	if b.Demand <= Eps {
 		// Same hygiene as Feasible(0): leave the graph in the consistent
 		// zero-horizon state rather than whatever a previous probe wrote.
@@ -136,6 +146,7 @@ func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 		return 0, ErrInfeasible
 	}
 	for hi-lo > tol*hi {
+		b.Iterations++
 		mid := (lo + hi) / 2
 		if b.Feasible(mid) {
 			hi = mid

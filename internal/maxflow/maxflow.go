@@ -36,7 +36,25 @@ type Graph struct {
 	cap   []float64 // original capacity
 	resid []float64 // remaining (residual) capacity
 	label []string  // optional node labels for diagnostics
+	stats SolveStats
 }
+
+// SolveStats counts the work done by this graph's solvers, cumulative over
+// every MaxFlow call (graphs are per-goroutine, so plain ints suffice; the
+// increments cost nothing measurable even with observability disabled).
+type SolveStats struct {
+	// AugmentingPaths counts successful augmentations: shortest paths
+	// (Edmonds–Karp), blocking-flow augmentations (Dinic), and the
+	// repair-phase augmentations after push–relabel.
+	AugmentingPaths int64
+	// Relabels counts push–relabel height increases.
+	Relabels int64
+	// Solves counts MaxFlow invocations.
+	Solves int64
+}
+
+// Stats returns the cumulative solver work counters.
+func (g *Graph) Stats() SolveStats { return g.stats }
 
 // New returns an empty flow network with n nodes, numbered 0..n-1.
 func New(n int) *Graph {
@@ -153,6 +171,7 @@ func (g *Graph) Clone() *Graph {
 		cap:   append([]float64(nil), g.cap...),
 		resid: append([]float64(nil), g.resid...),
 		label: append([]string(nil), g.label...),
+		stats: g.stats,
 	}
 	for v := range g.head {
 		c.head[v] = append([]EdgeID(nil), g.head[v]...)
@@ -194,6 +213,7 @@ func (g *Graph) MaxFlow(s, t int, solver Solver) float64 {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
+	g.stats.Solves++
 	g.Reset()
 	switch solver {
 	case EdmondsKarp:
@@ -250,6 +270,7 @@ func (g *Graph) edmondsKarp(s, t int) float64 {
 			g.resid[e^1] += bottleneck
 			v, _ = g.Endpoints(e)
 		}
+		g.stats.AugmentingPaths++
 		total += bottleneck
 	}
 }
@@ -288,6 +309,7 @@ func (g *Graph) dinic(s, t int) float64 {
 			if f <= Eps {
 				break
 			}
+			g.stats.AugmentingPaths++
 			total += f
 		}
 	}
@@ -356,6 +378,7 @@ func (g *Graph) pushRelabel(s, t int) float64 {
 	}
 
 	relabel := func(u int) {
+		g.stats.Relabels++
 		count[height[u]]--
 		minH := 2 * n
 		for _, e := range g.head[u] {

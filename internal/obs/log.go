@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Logger is the injectable diagnostic sink for library code: packages
+// under internal/ must never write to stdout (or any global stream)
+// unconditionally, so anything they want to say goes through a Logger
+// whose output the caller chooses. A Logger with no output — including
+// the nil Logger — discards everything.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+}
+
+// NewLogger returns a logger writing to w (nil discards).
+func NewLogger(w io.Writer) *Logger { return &Logger{w: w} }
+
+// SetOutput redirects the logger (nil discards).
+func (l *Logger) SetOutput(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+// SetPrefix sets a per-line prefix (e.g. "moment: ").
+func (l *Logger) SetPrefix(p string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.prefix = p
+	l.mu.Unlock()
+}
+
+// Printf writes one formatted line, appending a newline when missing.
+// No-op (and format args unevaluated beyond the call itself) when the
+// logger is nil or has no output.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	w := l.w
+	prefix := l.prefix
+	l.mu.Unlock()
+	if w == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if len(msg) == 0 || msg[len(msg)-1] != '\n' {
+		msg += "\n"
+	}
+	fmt.Fprint(w, prefix+msg)
+}

@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered Prometheus-style:
+// name{key="value"}.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+// The nil counter (from a disabled observer) ignores updates.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter. Negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	atomicAddFloat(&c.bits, v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil || math.IsNaN(v) {
+		return
+	}
+	atomicAddFloat(&g.bits, v)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func atomicAddFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// histBuckets are the default upper bounds: factor-4 exponential from 1µs
+// to ~10^6, covering both sub-millisecond solve times (seconds) and
+// iteration counts (unitless) without configuration.
+var histBuckets = func() []float64 {
+	var b []float64
+	for v := 1e-6; v < 2e6; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket exponential histogram with sum/count/min/max,
+// safe for concurrent use.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   []uint64
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(histBuckets)+1), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(histBuckets, v) // first bucket with bound >= v
+	h.mu.Lock()
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of samples (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns bucket cumulative counts, count, sum, min, max.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.count, h.sum, h.min, h.max
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	kind   metricKind
+	name   string // base name, no labels
+	series string // full series key incl. labels
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Lookup creates on first use; handles are
+// cached by callers for hot paths. Safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*metricEntry
+	order   []string // series keys in creation order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*metricEntry{}}
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(kind metricKind, name string, labels []Label) *metricEntry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		return e
+	}
+	e := &metricEntry{kind: kind, name: name, series: key, labels: append([]Label(nil), labels...)}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = newHistogram()
+	}
+	r.entries[key] = e
+	r.order = append(r.order, key)
+	return e
+}
+
+// Counter returns the named counter series, creating it on first use.
+// Asking for an existing series under a different kind returns a fresh
+// disconnected metric rather than panicking (the mismatch shows up as a
+// missing series in the dump).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindCounter, name, labels)
+	if e.c == nil {
+		return &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the named gauge series, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindGauge, name, labels)
+	if e.g == nil {
+		return &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the named histogram series, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindHistogram, name, labels)
+	if e.h == nil {
+		return newHistogram()
+	}
+	return e.h
+}
+
+// Snapshot returns every scalar series value (counters and gauges) keyed
+// by its full series name, plus histogram counts as name+"_count". Useful
+// for tests and quick assertions.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.order))
+	for _, key := range r.order {
+		entries = append(entries, r.entries[key])
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out[e.series] = e.c.Value()
+		case kindGauge:
+			out[e.series] = e.g.Value()
+		case kindHistogram:
+			out[e.series+"_count"] = float64(e.h.Count())
+			out[e.series+"_sum"] = e.h.Sum()
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one # TYPE header per metric name, histogram _bucket/_sum/_count
+// series with cumulative le bounds).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.order))
+	for _, key := range r.order {
+		entries = append(entries, r.entries[key])
+	}
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].series < entries[j].series
+	})
+	var b strings.Builder
+	lastTyped := ""
+	for _, e := range entries {
+		if e.name != lastTyped {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, map[metricKind]string{
+				kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram",
+			}[e.kind])
+			lastTyped = e.name
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %s\n", e.series, formatVal(e.c.Value()))
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", e.series, formatVal(e.g.Value()))
+		case kindHistogram:
+			cum, count, sum, _, _ := e.h.snapshot()
+			for i, bound := range histBuckets {
+				fmt.Fprintf(&b, "%s %d\n", histSeries(e.name, e.labels, fmt.Sprintf("%g", bound)), cum[i])
+			}
+			fmt.Fprintf(&b, "%s %d\n", histSeries(e.name, e.labels, "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s %s\n", seriesKey(e.name+"_sum", e.labels), formatVal(sum))
+			fmt.Fprintf(&b, "%s %d\n", seriesKey(e.name+"_count", e.labels), count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func histSeries(name string, labels []Label, le string) string {
+	ls := append(append([]Label(nil), labels...), L("le", le))
+	return seriesKey(name+"_bucket", ls)
+}
+
+func formatVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// jsonHistogram is the JSON exposition of one histogram series.
+type jsonHistogram struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Bounds  []string `json:"bounds"`
+	Buckets []uint64 `json:"cumulative"`
+}
+
+// WriteJSON renders the registry as one JSON object:
+// {"counters":{series:value}, "gauges":{...}, "histograms":{series:{...}}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.order))
+	for _, key := range r.order {
+		entries = append(entries, r.entries[key])
+	}
+	r.mu.Unlock()
+	doc := struct {
+		Counters   map[string]float64       `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{map[string]float64{}, map[string]float64{}, map[string]jsonHistogram{}}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			doc.Counters[e.series] = e.c.Value()
+		case kindGauge:
+			doc.Gauges[e.series] = e.g.Value()
+		case kindHistogram:
+			cum, count, sum, min, max := e.h.snapshot()
+			jh := jsonHistogram{Count: count, Sum: sum, Buckets: cum}
+			if count > 0 {
+				jh.Min, jh.Max = min, max
+			}
+			for _, bnd := range histBuckets {
+				jh.Bounds = append(jh.Bounds, fmt.Sprintf("%g", bnd))
+			}
+			jh.Bounds = append(jh.Bounds, "+Inf")
+			doc.Histograms[e.series] = jh
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	c.Add(2)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	if r.Counter("hits_total") != c {
+		t.Error("same name should return the same counter")
+	}
+	g := r.Gauge("fill", L("bin", "ssd0"))
+	g.Set(0.5)
+	g.Add(0.25)
+	if got := g.Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+	if r.Gauge("fill", L("bin", "ssd1")) == g {
+		t.Error("different labels should be distinct series")
+	}
+	if r.Gauge("fill", L("bin", "ssd0")) != g {
+		t.Error("same labels should return the same gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	for _, v := range []float64{1e-5, 1e-3, 0.5, 2, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	cum, count, sum, min, max := h.snapshot()
+	if count != 5 || min != 1e-5 || max != 1e9 {
+		t.Errorf("count=%d min=%v max=%v", count, min, max)
+	}
+	if math.Abs(sum-(1e-5+1e-3+0.5+2+1e9)) > 1 {
+		t.Errorf("sum = %v", sum)
+	}
+	if cum[len(cum)-1] != 5 {
+		t.Errorf("+Inf cumulative = %d, want 5", cum[len(cum)-1])
+	}
+	// Cumulative counts are monotone.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone at %d: %v", i, cum)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("candidates_pruned_total").Add(17)
+	r.Gauge("ddak_bin_fill_ratio", L("bin", "hbm0")).Set(0.9)
+	r.Gauge("ddak_bin_fill_ratio", L("bin", "ssd3")).Set(0.1)
+	r.Histogram("maxflow_bisection_iterations").Observe(14)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE candidates_pruned_total counter",
+		"candidates_pruned_total 17",
+		"# TYPE ddak_bin_fill_ratio gauge",
+		`ddak_bin_fill_ratio{bin="hbm0"} 0.9`,
+		`ddak_bin_fill_ratio{bin="ssd3"} 0.1`,
+		"# TYPE maxflow_bisection_iterations histogram",
+		`maxflow_bisection_iterations_bucket{le="+Inf"} 1`,
+		"maxflow_bisection_iterations_sum 14",
+		"maxflow_bisection_iterations_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// TYPE header appears once per metric name even with multiple series.
+	if n := strings.Count(out, "# TYPE ddak_bin_fill_ratio"); n != 1 {
+		t.Errorf("TYPE header repeated %d times", n)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solves_total").Add(3)
+	r.Gauge("util", L("link", "qpi")).Set(0.42)
+	r.Histogram("paths").Observe(7)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]float64 `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			Sum   float64 `json:"sum"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["solves_total"] != 3 {
+		t.Errorf("counters = %v", doc.Counters)
+	}
+	if doc.Gauges[`util{link="qpi"}`] != 0.42 {
+		t.Errorf("gauges = %v", doc.Gauges)
+	}
+	if h := doc.Histograms["paths"]; h.Count != 1 || h.Sum != 7 {
+		t.Errorf("histograms = %v", doc.Histograms)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Observe(3)
+	snap := r.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 || snap["c_count"] != 1 || snap["c_sum"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	var nilReg *Registry
+	if len(nilReg.Snapshot()) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+	if err := nilReg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindMismatchDoesNotPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(1)
+	g := r.Gauge("x") // same series name, different kind
+	g.Set(5)          // lands on a disconnected gauge; no panic, no corruption
+	if r.Counter("x").Value() != 1 {
+		t.Error("counter corrupted by kind mismatch")
+	}
+}

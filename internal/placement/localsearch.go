@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"moment/internal/flownet"
+	"moment/internal/obs"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -27,6 +28,9 @@ type LocalSearchOptions struct {
 	Seed int64
 	// Tolerance is the bisection tolerance (default 1e-4).
 	Tolerance float64
+	// Observer receives spans and metrics (nil falls back to the process
+	// default observer).
+	Observer *obs.Observer
 }
 
 func (o LocalSearchOptions) defaults() LocalSearchOptions {
@@ -51,6 +55,10 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 	}
 	opt = opt.defaults()
 	r := rand.New(rand.NewSource(opt.Seed))
+	o := obs.Active(opt.Observer)
+	sp := o.Begin("placement.localsearch")
+	sp.SetStr("machine", m.Name)
+	defer sp.End()
 
 	type pointCap struct {
 		id   string
@@ -101,12 +109,16 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 	evaluations := 0
 	score := func(p *topology.Placement) (float64, bool) {
 		evaluations++
+		o.Counter("placement_localsearch_evals_total").Inc()
 		n, err := flownet.Build(m, p, d)
 		if err != nil {
+			o.Counter("placement_candidates_infeasible_total").Inc()
 			return 0, false
 		}
-		t, err := n.Solve()
+		n.SetObserver(o)
+		t, err := n.SolveTol(opt.Tolerance)
 		if err != nil {
+			o.Counter("placement_candidates_infeasible_total").Inc()
 			return 0, false
 		}
 		return t.Sec(), true
@@ -157,6 +169,7 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 				if ok && t < curT*(1-1e-9) {
 					cur, curT = nb, t
 					improved = true
+					o.Counter("placement_localsearch_moves_total").Inc()
 					break // first-improvement hill climbing
 				}
 			}
@@ -172,6 +185,8 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 		return nil, fmt.Errorf("placement: local search found no feasible placement on %s", m.Name)
 	}
 	best.Name = fmt.Sprintf("%s(moment-ls)", m.Name)
+	sp.SetInt("evaluations", evaluations)
+	sp.SetFloat("best_seconds", bestT)
 	res := &Result{
 		Best:       best,
 		Time:       units.Seconds(bestT),

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"moment/internal/flownet"
+	"moment/internal/obs"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -154,6 +155,9 @@ type Options struct {
 	SkipDedupe bool
 	// KeepScores records every candidate's predicted time in the result.
 	KeepScores bool
+	// Observer receives spans and metrics for the search (nil falls back
+	// to the process default observer; both nil = no instrumentation).
+	Observer *obs.Observer
 }
 
 // Scored pairs a candidate with its predicted epoch I/O time.
@@ -186,17 +190,34 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	if opt.Parallelism <= 0 {
 		opt.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	o := obs.Active(opt.Observer)
+	sp := o.Begin("placement.search")
+	sp.SetStr("machine", m.Name)
+	defer sp.End()
+
+	enumSp := sp.Child("enumerate")
 	all, err := Enumerate(m)
 	if err != nil {
+		enumSp.End()
 		return nil, err
 	}
+	enumSp.SetInt("candidates", len(all))
+	enumSp.End()
+	o.Counter("placement_candidates_enumerated_total").Add(float64(len(all)))
+
 	cands := all
 	if !opt.SkipDedupe {
+		pruneSp := sp.Child("prune")
 		cands, err = Dedupe(m, all)
 		if err != nil {
+			pruneSp.End()
 			return nil, err
 		}
+		pruneSp.SetInt("kept", len(cands))
+		pruneSp.SetInt("pruned", len(all)-len(cands))
+		pruneSp.End()
 	}
+	o.Counter("placement_candidates_pruned_total").Add(float64(len(all) - len(cands)))
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("placement: no feasible candidates for machine %s", m.Name)
 	}
@@ -220,7 +241,7 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 				if evalHook != nil {
 					evalHook()
 				}
-				scores[i] = score(m, cands[i], d, opt.Tolerance)
+				scores[i] = score(m, cands[i], d, opt.Tolerance, o, sp)
 			}
 		}()
 	}
@@ -263,6 +284,8 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	best := res.Best.Clone()
 	best.Name = fmt.Sprintf("%s(moment)", m.Name)
 	res.Best = best
+	sp.SetInt("evaluated", res.Evaluated)
+	sp.SetFloat("best_seconds", res.Time.Sec())
 	if Check != nil {
 		if err := Check(m, d, opt, res); err != nil {
 			return nil, fmt.Errorf("placement: self-check failed: %w", err)
@@ -282,14 +305,27 @@ var Check func(m *topology.Machine, d *flownet.Demand, opt Options, res *Result)
 // candidate evaluation (test instrumentation for the concurrency bound).
 var evalHook func()
 
-func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand, tol float64) Scored {
+func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand, tol float64,
+	o *obs.Observer, parent *obs.Span) Scored {
+	sp := parent.Fork("maxflow-score")
+	sp.SetStr("candidate", cand.Name)
+	defer sp.End()
 	n, err := flownet.Build(m, cand, d)
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		o.Counter("placement_candidates_infeasible_total").Inc()
+		o.Logf("placement: candidate %s infeasible: %v", cand.Name, err)
 		return Scored{Placement: cand, Err: err}
 	}
+	n.SetObserver(o)
 	t, err := n.SolveTol(tol)
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		o.Counter("placement_candidates_infeasible_total").Inc()
+		o.Logf("placement: candidate %s unsolvable: %v", cand.Name, err)
 		return Scored{Placement: cand, Err: err}
 	}
+	sp.SetFloat("predicted_seconds", t.Sec())
+	o.Counter("placement_candidates_scored_total").Inc()
 	return Scored{Placement: cand, Time: t}
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"moment/internal/obs"
 	"moment/internal/simio"
 	"moment/internal/simnet"
 	"moment/internal/topology"
@@ -48,6 +49,9 @@ type Options struct {
 	Coalesce float64
 	// QueueDepth per (GPU, SSD) queue pair (default 256).
 	QueueDepth int
+	// Observer receives spans and metrics for the profiling runs (nil
+	// falls back to the process default observer).
+	Observer *obs.Observer
 }
 
 func (o Options) defaults() Options {
@@ -70,6 +74,11 @@ func Measure(m *topology.Machine, opt Options) (*Profile, error) {
 		return nil, err
 	}
 	opt = opt.defaults()
+	o := obs.Active(opt.Observer)
+	sp := o.Begin("profile")
+	sp.SetStr("machine", m.Name)
+	defer sp.End()
+	opt.Observer = o.In(sp) // ssdBench nests its simio spans here
 	p := &Profile{Machine: m.Name}
 
 	// --- SSD microbenchmark (per device, then all devices together). ---
@@ -138,6 +147,13 @@ func Measure(m *topology.Machine, opt Options) (*Profile, error) {
 		p.Links = append(p.Links, Measurement{Name: "nvlink", Rate: nvl})
 	}
 	sort.Slice(p.Links, func(i, j int) bool { return p.Links[i].Name < p.Links[j].Name })
+	if o != nil {
+		o.Gauge("profiler_ssd_read_bytes_per_second").Set(float64(p.SSDRead))
+		o.Gauge("profiler_ssd_aggregate_bytes_per_second").Set(float64(p.SSDAggregate))
+		for _, l := range p.Links {
+			o.Gauge("profiler_link_bytes_per_second", obs.L("link", l.Name)).Set(float64(l.Rate))
+		}
+	}
 	return p, nil
 }
 
@@ -153,6 +169,7 @@ func ssdBench(specs []simio.SSDSpec, gpus int, opt Options) (units.Bandwidth, er
 	if err != nil {
 		return 0, err
 	}
+	stack.SetObserver(opt.Observer)
 	ids := make([]int, len(specs))
 	for i := range ids {
 		ids[i] = i

@@ -15,6 +15,8 @@ package simio
 import (
 	"fmt"
 	"math"
+
+	"moment/internal/obs"
 )
 
 // SSDSpec describes one NVMe device.
@@ -57,7 +59,12 @@ type Stack struct {
 	cfg   Config
 	pairs map[[2]int]bool // (gpu, ssd) -> attached
 	gpus  map[int]bool
+	obsrv *obs.Observer // nil = no instrumentation
 }
+
+// SetObserver attaches an observer so each Run reports a span plus queue
+// and request metrics. Nil detaches.
+func (s *Stack) SetObserver(o *obs.Observer) { s.obsrv = o }
 
 // New validates the configuration and returns an empty stack.
 func New(cfg Config) (*Stack, error) {
@@ -122,7 +129,12 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 		remain   float64 // requests outstanding
 		rate     float64
 	}
+	o := s.obsrv
+	sp := o.Begin("simio.run")
+	sp.SetInt("queue_depth", s.cfg.QueueDepth)
+	defer sp.End()
 	var queues []*queue
+	var totalReq int64
 	for key, cnt := range requests {
 		if cnt < 0 {
 			return nil, fmt.Errorf("simio: negative request count for %v", key)
@@ -134,6 +146,13 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 			return nil, fmt.Errorf("simio: no queue pair for gpu %d on ssd %d", key[0], key[1])
 		}
 		queues = append(queues, &queue{gpu: key[0], ssd: key[1], remain: float64(cnt)})
+		totalReq += cnt
+	}
+	if o != nil {
+		sp.SetInt("queue_pairs", len(queues))
+		o.Gauge("simio_queue_depth").Set(float64(s.cfg.QueueDepth))
+		o.Gauge("simio_active_queue_pairs").Set(float64(len(queues)))
+		o.Counter("simio_requests_total").Add(float64(totalReq))
 	}
 	res := &Result{
 		PerGPUBytes:     map[int]float64{},
@@ -229,6 +248,13 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 	for i := range ssdBytes {
 		if res.Time > 0 {
 			res.PerSSDBandwidth[i] = ssdBytes[i] / res.Time
+		}
+	}
+	if o != nil {
+		sp.SetFloat("drain_seconds", res.Time)
+		o.Histogram("simio_drain_seconds").Observe(res.Time)
+		for i, bw := range res.PerSSDBandwidth {
+			o.Gauge("simio_ssd_bandwidth_bytes", obs.L("ssd", fmt.Sprintf("ssd%d", i))).Set(bw)
 		}
 	}
 	return res, nil

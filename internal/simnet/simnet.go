@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"moment/internal/obs"
 )
 
 // LinkID names a link in the network.
@@ -43,7 +45,12 @@ type Net struct {
 	links []link
 	flows []flow
 	ran   bool
+	obsrv *obs.Observer // nil = no instrumentation
 }
+
+// SetObserver attaches an observer so Run reports a span plus per-link
+// utilization gauges. Nil detaches.
+func (n *Net) SetObserver(o *obs.Observer) { n.obsrv = o }
 
 // New returns an empty network.
 func New() *Net { return &Net{} }
@@ -179,6 +186,10 @@ func (n *Net) Run() (*Result, error) {
 		return nil, fmt.Errorf("simnet: Run called twice")
 	}
 	n.ran = true
+	sp := n.obsrv.Begin("simnet.run")
+	sp.SetInt("links", len(n.links))
+	sp.SetInt("flows", len(n.flows))
+	defer sp.End()
 	linkBytes := make([]float64, len(n.links))
 
 	// Event times: flow starts (sorted) and completions (computed).
@@ -269,6 +280,18 @@ func (n *Net) Run() (*Result, error) {
 		res.FlowDone[i] = n.flows[i].done
 		if n.flows[i].done > res.Makespan {
 			res.Makespan = n.flows[i].done
+		}
+	}
+	if o := n.obsrv; o != nil {
+		sp.SetFloat("makespan_seconds", res.Makespan)
+		o.Gauge("simnet_makespan_seconds").Set(res.Makespan)
+		for li, l := range n.links {
+			capBytes := l.rate * res.Makespan
+			util := 0.0
+			if capBytes > 0 && !math.IsInf(capBytes, 1) {
+				util = linkBytes[li] / capBytes
+			}
+			o.Gauge("simnet_link_utilization", obs.L("link", l.name)).Set(util)
 		}
 	}
 	return res, nil

@@ -77,6 +77,83 @@ func TestPipelineTimelineErrors(t *testing.T) {
 	}
 }
 
+func TestRenderEdgeCases(t *testing.T) {
+	st := StageTimes{Sample: 1, IO: 3, Compute: 2}
+	tl, err := PipelineTimeline(st, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Degenerate widths fall back to the 72-column default.
+	for _, w := range []int{-5, 0, 10} {
+		out := tl.Render(w)
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "  sample") {
+				continue
+			}
+			// "  %-8s " prefix is 11 columns, then the chart row.
+			if got := len(line) - 11; got != 72 {
+				t.Errorf("Render(%d): chart row %d columns, want default 72", w, got)
+			}
+		}
+	}
+
+	// Explicit width is honored.
+	out := tl.Render(40)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  io") {
+			if got := len(line) - 11; got != 40 {
+				t.Errorf("Render(40): chart row %d columns", got)
+			}
+		}
+	}
+
+	// keep < rounds: the header reports the kept rounds, not the simulated.
+	if !strings.Contains(out, "first 3 rounds") {
+		t.Errorf("Render header should say kept rounds:\n%s", out)
+	}
+
+	// keep = 0 keeps no segments.
+	none, err := PipelineTimeline(st, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := none.Render(72); got != "(no segments kept)\n" {
+		t.Errorf("no-segment render = %q", got)
+	}
+
+	// All-zero stage times: segments exist but span zero time.
+	zero, err := PipelineTimeline(StageTimes{}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.Render(72); got != "(zero-length timeline)\n" {
+		t.Errorf("zero-length render = %q", got)
+	}
+
+	// keep > rounds keeps exactly rounds*3 segments and still renders.
+	over, err := PipelineTimeline(st, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over.Segments) != 2*3 {
+		t.Errorf("keep>rounds kept %d segments, want 6", len(over.Segments))
+	}
+	if out := over.Render(30); !strings.Contains(out, "first 2 rounds") {
+		t.Errorf("keep>rounds header wrong:\n%s", out)
+	}
+
+	// Round digits wrap modulo 10; round 10 is marked '0' again.
+	many, err := PipelineTimeline(StageTimes{Sample: 0, IO: 1, Compute: 0}, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := many.Render(120)
+	if !strings.Contains(wide, "9") || !strings.Contains(wide, "0") {
+		t.Errorf("12-round render missing wrapped digits:\n%s", wide)
+	}
+}
+
 func TestTimelineOfEpoch(t *testing.T) {
 	m := topology.MachineA()
 	p, err := topology.ClassicPlacement(m, topology.LayoutC)

@@ -7,6 +7,7 @@ import (
 	"moment/internal/ddak"
 	"moment/internal/flownet"
 	"moment/internal/gnn"
+	"moment/internal/obs"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -95,6 +96,9 @@ type Config struct {
 	// SampleRate is sampled edges/second/GPU for the sampling stage
 	// (default 2e9, GPU-resident sampling).
 	SampleRate float64
+	// Observer receives spans and metrics for the simulated epoch (nil
+	// falls back to the process default observer).
+	Observer *obs.Observer
 }
 
 // Result is one simulated epoch.
@@ -357,11 +361,26 @@ func buildPlan(cfg Config) (*plan, *Result, error) {
 // budgets → max-flow prediction → fabric-fair traffic plan → DDAK/hash
 // data placement → fabric simulation → pipelined epoch assembly.
 func SimulateEpoch(cfg Config) (*Result, error) {
+	o := obs.Active(cfg.Observer)
+	epochSp := o.Begin("trainsim.epoch")
+	if cfg.Machine != nil {
+		epochSp.SetStr("machine", cfg.Machine.Name)
+	}
+	if cfg.Placement != nil {
+		epochSp.SetStr("placement", cfg.Placement.Name)
+	}
+	epochSp.SetStr("policy", cfg.Policy.String())
+	defer epochSp.End()
+	scoped := o.In(epochSp)
+
+	planSp := epochSp.Child("plan")
 	pl, oom, err := buildPlan(cfg)
+	planSp.End()
 	if err != nil {
 		return nil, err
 	}
 	if oom != nil {
+		o.Counter("trainsim_oom_total").Inc()
 		return oom, nil
 	}
 	cfg = pl.cfg
@@ -385,11 +404,16 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	replicas := pl.replicas
 	ssdsPerGPU := pl.ssdsPerGPU
 
+	predictSp := epochSp.Child("predict")
 	net, err := flownet.Build(m, cfg.Placement, pl.demand)
 	if err != nil {
+		predictSp.End()
 		return nil, err
 	}
+	net.SetObserver(o)
 	predicted, err := net.Solve()
+	predictSp.SetFloat("predicted_io_seconds", predicted.Sec())
+	predictSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +423,9 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	// fabric under fair sharing — raw max-flow has degenerate optima that
 	// concentrate traffic on arbitrary symmetric SSDs. A probe run of the
 	// fabric simulator yields the max-min fair service shares instead.
+	fairSp := epochSp.Child("fair-shares")
 	ssdShare, _, err := fairShares(m, cfg.Placement, cfg.Mode, ssdsPerGPU)
+	fairSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -458,7 +484,8 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	case PolicyHash:
 		assign, err = ddak.HashPlaceItems(placeItems, bins)
 	default:
-		assign, err = ddak.PlaceItems(placeItems, bins, cfg.PoolN, fetchEpoch)
+		// scoped nests the "ddak" span under this epoch's span.
+		assign, err = ddak.PlaceItemsObserved(placeItems, bins, cfg.PoolN, fetchEpoch, scoped)
 	}
 	if err != nil {
 		return nil, err
@@ -539,7 +566,10 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	fabSp := epochSp.Child("fabric-sim")
+	fab.Net.SetObserver(scoped)
 	runRes, err := fab.Net.Run()
+	fabSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -594,6 +624,19 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	}
 	if epoch > 0 {
 		res.Throughput = train / epoch
+	}
+	if o != nil {
+		o.Gauge("trainsim_stage_seconds", obs.L("stage", "io")).Set(ioTime)
+		o.Gauge("trainsim_stage_seconds", obs.L("stage", "compute")).Set(computeTime)
+		o.Gauge("trainsim_stage_seconds", obs.L("stage", "sample")).Set(sampleTime)
+		o.Gauge("trainsim_epoch_seconds").Set(epoch)
+		o.Gauge("trainsim_predicted_io_seconds").Set(predicted.Sec())
+		o.Gauge("trainsim_hit_ratio", obs.L("tier", "gpu")).Set(hitGPU)
+		o.Gauge("trainsim_hit_ratio", obs.L("tier", "cpu")).Set(hitCPU)
+		o.Gauge("trainsim_qpi_bytes").Set(res.QPIBytes)
+		o.Counter("trainsim_epochs_total").Inc()
+		epochSp.SetFloat("epoch_seconds", epoch)
+		epochSp.SetFloat("io_seconds", ioTime)
 	}
 	return res, nil
 }

@@ -139,9 +139,14 @@ func MustDataset(name string) Dataset {
 
 // Optimize runs the automatic module (§3.1 Fig 8): profile → placement
 // search with symmetry reduction → max-flow scoring → DDAK data placement
-// → simulated epoch under the chosen plan.
-func Optimize(m *Machine, w Workload) (*Plan, error) {
-	return core.CoOptimize(core.Input{Machine: m, Workload: w})
+// → simulated epoch under the chosen plan. Options (WithObserver,
+// WithSearchOptions, WithSimConfig) customize the run.
+func Optimize(m *Machine, w Workload, opts ...Option) (*Plan, error) {
+	in := core.Input{Machine: m, Workload: w}
+	for _, o := range opts {
+		o(&in)
+	}
+	return core.CoOptimize(in)
 }
 
 // OptimizeWith exposes the search knobs.
@@ -177,6 +182,14 @@ func DefaultDistDGL() baselines.DistDGLConfig { return baselines.DefaultDistDGL(
 
 // Experiments regenerates every paper table and figure in order.
 func Experiments() ([]*Table, error) { return experiments.All() }
+
+// BenchRecord is one machine-readable benchmark data point.
+type BenchRecord = experiments.BenchRecord
+
+// BenchRecords simulates the core benchmark grid (machines A/B × classic
+// layouts + the Moment-searched placement) and returns one JSON-ready
+// record per configuration.
+func BenchRecords() ([]BenchRecord, error) { return experiments.BenchRecords() }
 
 // EnableSelfChecks turns on planner self-verification: every flow solve,
 // placement search, and DDAK layout audits its own output (max-flow

@@ -1,0 +1,56 @@
+package moment
+
+import (
+	"moment/internal/core"
+	"moment/internal/obs"
+)
+
+// Observability types, re-exported from the internal obs package so callers
+// can trace and meter the planner without importing internals.
+type (
+	// Observer collects spans (Chrome trace-event JSON) and metrics
+	// (counters, gauges, histograms with Prometheus-text and JSON
+	// exposition). A nil *Observer is fully disabled at zero cost.
+	Observer = obs.Observer
+	// TraceSpan is one traced operation; obtain them from Observer.Begin.
+	TraceSpan = obs.Span
+	// MetricLabel is one metric dimension (see Label).
+	MetricLabel = obs.Label
+)
+
+// NewObserver returns an enabled observer. Pass it via WithObserver (or the
+// Observer fields on SearchOptions / SimConfig), then export with
+// Observer.WriteTrace, WritePrometheus, or WriteMetricsJSON.
+func NewObserver() *Observer { return obs.New() }
+
+// Label builds a metric label, e.g. Label("bin", "hbm0").
+func Label(key, value string) MetricLabel { return obs.L(key, value) }
+
+// SetDefaultObserver installs a process-wide fallback observer used by any
+// planner entry point whose caller did not inject one (nil disables). Use
+// it to instrument code paths — like the experiment generators — that do
+// not thread options.
+func SetDefaultObserver(o *Observer) { obs.SetDefault(o) }
+
+// DefaultObserver returns the process-wide fallback observer, or nil.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// Option customizes an Optimize run.
+type Option func(*core.Input)
+
+// WithObserver routes the run's spans and metrics — placement enumeration
+// and pruning, max-flow scoring, DDAK bin fills, the simulated epoch — to o.
+func WithObserver(o *Observer) Option {
+	return func(in *core.Input) { in.Observer = o }
+}
+
+// WithSearchOptions sets the placement-search knobs.
+func WithSearchOptions(opts SearchOptions) Option {
+	return func(in *core.Input) { in.Search = opts }
+}
+
+// WithSimConfig sets the epoch-simulation knobs other than
+// machine/placement (policy, cache mode, pooling, ...).
+func WithSimConfig(cfg SimConfig) Option {
+	return func(in *core.Input) { in.Sim = cfg }
+}

@@ -1,0 +1,118 @@
+package moment_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"moment"
+)
+
+// TestOptimizeObservability runs the full automatic module with an observer
+// attached and checks the acceptance contract: the trace contains the
+// enumerate → prune → maxflow-score → ddak span chain, and the metrics dump
+// includes the planner and runtime series the README documents.
+func TestOptimizeObservability(t *testing.T) {
+	o := moment.NewObserver()
+	m := moment.MachineA()
+	plan, err := moment.Optimize(m, moment.Workload{
+		Dataset: moment.MustDataset("IG"),
+		Model:   moment.GraphSAGE,
+	}, moment.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Placement == nil {
+		t.Fatal("plan lacks a placement")
+	}
+
+	var traceBuf bytes.Buffer
+	if err := o.WriteTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("span %s has negative duration", ev.Name)
+		}
+		names[ev.Name]++
+	}
+	for _, want := range []string{
+		"co-optimize", "profile", "demand", "placement.search",
+		"enumerate", "prune", "maxflow-score", "trainsim.epoch",
+		"plan", "predict", "ddak", "fair-shares", "fabric-sim",
+		"simnet.run", "simio.run",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	if names["maxflow-score"] < 2 {
+		t.Errorf("expected many maxflow-score spans, got %d", names["maxflow-score"])
+	}
+
+	var promBuf bytes.Buffer
+	if err := o.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	prom := promBuf.String()
+	for _, want := range []string{
+		"placement_candidates_enumerated_total",
+		"placement_candidates_pruned_total",
+		"placement_candidates_scored_total",
+		"maxflow_augmenting_paths_total",
+		"maxflow_solves_total",
+		"maxflow_bisection_iterations",
+		"flownet_solve_seconds",
+		"ddak_bin_fill_ratio",
+		"ddak_pool_steps_total",
+		"trainsim_epoch_seconds",
+		"trainsim_stage_seconds",
+		"simnet_link_utilization",
+		"core_planning_seconds",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := o.WriteMetricsJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jsonBuf.Bytes()) {
+		t.Error("metrics JSON dump is not valid JSON")
+	}
+}
+
+// TestOptimizeWithoutObserver confirms the uninstrumented path still works
+// and that options compose.
+func TestOptimizeWithoutObserver(t *testing.T) {
+	plan, err := moment.Optimize(moment.MachineA(), moment.Workload{
+		Dataset: moment.MustDataset("IG"),
+		Model:   moment.GraphSAGE,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Placement == nil {
+		t.Fatal("plan lacks a placement")
+	}
+}
