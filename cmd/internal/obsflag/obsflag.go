@@ -33,6 +33,36 @@ func Register() *Flags {
 	return f
 }
 
+// FaultFlag holds the registered -faults flag.
+type FaultFlag struct {
+	spec string
+}
+
+// RegisterFaults adds the shared -faults flag (fault-injection spec; see
+// the grammar in moment.ParseFaultSpec). Call before flag.Parse.
+func RegisterFaults() *FaultFlag {
+	f := &FaultFlag{}
+	flag.StringVar(&f.spec, "faults", "",
+		`inject hardware faults, e.g. "seed=7;kill:ssd2@30;throttle:ssd1@10x0.5+20"`)
+	return f
+}
+
+// Schedule parses the flag value. Returns (nil, nil) when the flag is
+// unset or names an empty schedule.
+func (f *FaultFlag) Schedule() (*moment.FaultSchedule, error) {
+	if f.spec == "" {
+		return nil, nil
+	}
+	s, err := moment.ParseFaultSpec(f.spec)
+	if err != nil {
+		return nil, err
+	}
+	if s.Empty() {
+		return nil, nil
+	}
+	return s, nil
+}
+
 // Enable installs the process-wide observer when any observability flag is
 // set and returns it (nil when observability is off). Call after flag.Parse
 // and before doing work; diagnostics are routed to stderr.

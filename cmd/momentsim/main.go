@@ -8,6 +8,7 @@
 //	momentsim -machine B -layout moment -dataset CL -model gat -policy hash
 //	momentsim -machine A -layout c -baseline mgids
 //	momentsim -machine B -layout moment -trace trace.json -metrics
+//	momentsim -machine A -layout c -dataset PA -faults "seed=7;kill:ssd2@2"
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		timeline    = flag.Bool("timeline", false, "render the per-iteration pipeline schedule")
 	)
 	oflags := obsflag.Register()
+	fflag := obsflag.RegisterFaults()
 	flag.Parse()
 	oflags.Enable()
 	// Flush on every non-fatal exit path (fatal exits skip the dumps).
@@ -85,10 +87,18 @@ func main() {
 		fatal(err)
 	}
 
+	schedule, err := fflag.Schedule()
+	if err != nil {
+		fatal(err)
+	}
+	if schedule != nil && *baseline != "" {
+		fatal(fmt.Errorf("-faults only applies to the plain simulation, not baseline %q", *baseline))
+	}
+
 	var r *moment.EpochResult
 	switch strings.ToLower(*baseline) {
 	case "":
-		cfg := moment.SimConfig{Machine: m, Placement: p, Workload: w}
+		cfg := moment.SimConfig{Machine: m, Placement: p, Workload: w, Faults: schedule}
 		if strings.EqualFold(*policy, "hash") {
 			cfg.Policy = moment.PolicyHash
 		}
@@ -114,6 +124,11 @@ func main() {
 		r.Throughput, r.HitGPU*100, r.HitCPU*100, r.QPIBytes/(1<<30))
 	for g, bw := range r.PerGPUIOBW {
 		fmt.Printf("  gpu%d inlet %v\n", g, bw)
+	}
+	if rep := r.Faults; rep != nil {
+		fmt.Printf("faults: %d injected, dead ssds %v, %d replans, %.1f GiB migrated, stall %.2fs\n",
+			rep.Injected, rep.DeadSSDs, rep.Replans, rep.MovedBytes/(1<<30), rep.StallSeconds)
+		fmt.Printf("degradation: nominal epoch %v, inflation %.2fx\n", rep.NominalEpoch, rep.Inflation)
 	}
 	if *timeline {
 		tl, err := moment.EpochTimeline(r, 6)

@@ -197,6 +197,30 @@ func (r *Replanner) Maybe(live []float64) (*Migration, error) {
 	return mig, nil
 }
 
+// Rebin forces a re-placement into a new bin set regardless of drift — the
+// graceful-degradation path: when hardware fails mid-epoch, the surviving
+// bins' capacities and traffic budgets change even though the access
+// distribution did not. The bin list must be index-compatible with the old
+// one (as ddak.DegradeBins produces) so the migration bill is meaningful.
+func (r *Replanner) Rebin(bins []ddak.Bin) (*Migration, error) {
+	old := r.current
+	r.Bins = bins
+	next, err := r.place(r.planned)
+	if err != nil {
+		return nil, err
+	}
+	mig := &Migration{Triggered: true, Assignment: next}
+	for i := range next.Of {
+		if next.Of[i] != old.Of[i] {
+			mig.MovedItems++
+			mig.MovedBytes += r.itemBytes[i]
+		}
+	}
+	r.current = next
+	r.replans++
+	return mig, nil
+}
+
 // HitRate evaluates a layout's fast-tier (GPU+CPU) hit fraction under an
 // access distribution — the quality metric drift erodes and re-placement
 // restores.

@@ -1,0 +1,162 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"moment/internal/ddak"
+)
+
+func ones(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// TestMaybeHysteresis walks the drift across the threshold: strictly below
+// never replans, at or above always does, and the replan counter only moves
+// when a migration actually triggered.
+func TestMaybeHysteresis(t *testing.T) {
+	const n = 400
+	hot := zipf(t, n)
+	r, err := NewReplanner(hot, ones(n), bins(), 10, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blend(eps) has TV distance exactly eps from hot: move eps of mass
+	// from the hot head's share onto a uniform spread over the cold tail.
+	blend := func(eps float64) []float64 {
+		out := append([]float64(nil), hot...)
+		moved := 0.0
+		for i := 0; i < n && moved < eps; i++ {
+			take := math.Min(eps-moved, out[i]*0.5)
+			out[i] -= take
+			moved += take
+		}
+		for i := n / 2; i < n; i++ {
+			out[i] += moved / float64(n/2)
+		}
+		return out
+	}
+	for _, eps := range []float64{0, 0.05, 0.149} {
+		mig, err := r.Maybe(blend(eps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mig.Triggered {
+			t.Errorf("drift %.3f (< threshold 0.15) triggered a replan", mig.Drift)
+		}
+		if math.Abs(mig.Drift-eps) > 0.02 {
+			t.Errorf("drift = %.3f, want ~%.3f", mig.Drift, eps)
+		}
+	}
+	if r.Replans() != 0 {
+		t.Fatalf("replans = %d after sub-threshold probes", r.Replans())
+	}
+	mig, err := r.Maybe(blend(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mig.Triggered {
+		t.Fatalf("drift %.3f (>= threshold) did not trigger", mig.Drift)
+	}
+	if r.Replans() != 1 {
+		t.Fatalf("replans = %d, want 1", r.Replans())
+	}
+	// Hysteresis: the snapshot moved to the new distribution, so the same
+	// input is now drift-free and replans stays put.
+	mig, err = r.Maybe(blend(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Triggered || mig.Drift > 1e-9 || r.Replans() != 1 {
+		t.Errorf("post-replan probe: drift %.3f, triggered %v, replans %d",
+			mig.Drift, mig.Triggered, r.Replans())
+	}
+}
+
+func TestHitRateEdgeCases(t *testing.T) {
+	hot := zipf(t, 50)
+	r, err := NewReplanner(hot, ones(50), bins(), 5, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero hotness: no accesses means no hits, not a division by zero.
+	h, err := HitRate(r.Current(), make([]float64, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("zero-traffic hit rate = %v", h)
+	}
+	// All-cold layout: with only SSD bins nothing lands in a fast tier.
+	ssdOnly := []ddak.Bin{
+		{Name: "ssd0", Tier: ddak.TierSSD, Capacity: 5000, Traffic: 0.5},
+		{Name: "ssd1", Tier: ddak.TierSSD, Capacity: 5000, Traffic: 0.5},
+	}
+	rc, err := NewReplanner(hot, ones(50), ssdOnly, 5, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = HitRate(rc.Current(), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("SSD-only layout hit rate = %v, want 0", h)
+	}
+	// Sanity bound: hit rate is a fraction.
+	h, err = HitRate(r.Current(), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0 || h > 1 {
+		t.Errorf("hit rate %v out of [0,1]", h)
+	}
+}
+
+// TestRebinAfterFailure drives the graceful-degradation path: killing one
+// of the two SSD bins forces the planned layout into the survivors and the
+// migration bill covers exactly the items that changed bins.
+func TestRebinAfterFailure(t *testing.T) {
+	const n = 600
+	hot := zipf(t, n)
+	r, err := NewReplanner(hot, ones(n), bins(), 10, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Current()
+	deadCount := 0
+	for _, bin := range before.Of {
+		if before.Bins[bin].Name == "ssd0" {
+			deadCount++
+		}
+	}
+	if deadCount == 0 {
+		t.Fatal("test premise broken: nothing planned onto ssd0")
+	}
+	degraded, err := ddak.DegradeBins(bins(), map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := r.Rebin(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mig.Triggered || r.Replans() != 1 {
+		t.Fatalf("rebin did not count as a replan: %+v, replans %d", mig, r.Replans())
+	}
+	if mig.MovedItems < deadCount {
+		t.Errorf("moved %d items but %d lived on the dead bin", mig.MovedItems, deadCount)
+	}
+	if mig.MovedBytes != float64(mig.MovedItems) {
+		t.Errorf("moved bytes %v != moved items %d with unit-size items", mig.MovedBytes, mig.MovedItems)
+	}
+	for i, bin := range mig.Assignment.Of {
+		if mig.Assignment.Bins[bin].Name == "ssd0" {
+			t.Fatalf("item %d still assigned to the dead bin", i)
+		}
+	}
+}

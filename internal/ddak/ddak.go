@@ -596,6 +596,55 @@ func (a *ItemAssignment) ServedBytesItems(totalBytes float64) []float64 {
 	return out
 }
 
+// DegradeBins returns a copy of bins with the named bins failed: their
+// capacity and traffic budget drop to zero, and each failed bin's budget is
+// redistributed across surviving bins of the same tier in proportion to
+// their own budgets (evenly when no survivor has one). It errors when a
+// named bin does not exist, or when a tier loses every bin while still
+// owing traffic — the caller cannot degrade gracefully past that point.
+func DegradeBins(bins []Bin, dead map[string]bool) ([]Bin, error) {
+	out := append([]Bin(nil), bins...)
+	known := map[string]bool{}
+	deadTraffic := map[Tier]float64{}
+	for i := range out {
+		if dead[out[i].Name] {
+			known[out[i].Name] = true
+			deadTraffic[out[i].Tier] += out[i].Traffic
+			out[i].Capacity = 0
+			out[i].Traffic = 0
+		}
+	}
+	for name := range dead {
+		if !known[name] {
+			return nil, fmt.Errorf("ddak: cannot degrade unknown bin %q", name)
+		}
+	}
+	for tier, dt := range deadTraffic {
+		if dt == 0 {
+			continue
+		}
+		var surv []int
+		sum := 0.0
+		for i := range out {
+			if out[i].Tier == tier && !dead[out[i].Name] {
+				surv = append(surv, i)
+				sum += out[i].Traffic
+			}
+		}
+		if len(surv) == 0 {
+			return nil, fmt.Errorf("ddak: tier %s lost every bin with %.0f traffic bytes outstanding", tier, dt)
+		}
+		for _, i := range surv {
+			if sum > 0 {
+				out[i].Traffic += dt * out[i].Traffic / sum
+			} else {
+				out[i].Traffic += dt / float64(len(surv))
+			}
+		}
+	}
+	return out, nil
+}
+
 // HitRateItems sums normalized access mass over bins of a tier.
 func (a *ItemAssignment) HitRateItems(tier Tier) float64 {
 	var mass, tierMass float64

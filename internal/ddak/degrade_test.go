@@ -1,0 +1,112 @@
+package ddak
+
+import (
+	"math"
+	"testing"
+)
+
+func degradeFixture() []Bin {
+	return []Bin{
+		{Name: "hbm", Tier: TierGPU, Capacity: 100, Traffic: 0.4},
+		{Name: "dram", Tier: TierCPU, Capacity: 200, Traffic: 0.2},
+		{Name: "ssd0", Tier: TierSSD, Capacity: 1000, Traffic: 0.1},
+		{Name: "ssd1", Tier: TierSSD, Capacity: 1000, Traffic: 0.2},
+		{Name: "ssd2", Tier: TierSSD, Capacity: 1000, Traffic: 0.1},
+	}
+}
+
+func TestDegradeBinsRedistributesTraffic(t *testing.T) {
+	bins := degradeFixture()
+	out, err := DegradeBins(bins, map[string]bool{"ssd1": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3].Capacity != 0 || out[3].Traffic != 0 {
+		t.Errorf("dead bin not zeroed: %+v", out[3])
+	}
+	// ssd1's 0.2 traffic splits over ssd0/ssd2 proportionally to their own
+	// traffic (0.1 each → even split here).
+	if math.Abs(out[2].Traffic-0.2) > 1e-12 || math.Abs(out[4].Traffic-0.2) > 1e-12 {
+		t.Errorf("survivor traffic = %v, %v, want 0.2 each", out[2].Traffic, out[4].Traffic)
+	}
+	// Other tiers untouched; total traffic conserved.
+	if out[0] != bins[0] || out[1] != bins[1] {
+		t.Error("degradation leaked into other tiers")
+	}
+	sum := 0.0
+	for _, b := range out {
+		sum += b.Traffic
+	}
+	if math.Abs(sum-1.0) > 1e-12 {
+		t.Errorf("total traffic %v, want 1.0", sum)
+	}
+	// Input slice must not be mutated.
+	if bins[3].Traffic != 0.2 {
+		t.Error("DegradeBins mutated its input")
+	}
+}
+
+func TestDegradeBinsProportionalSplit(t *testing.T) {
+	bins := []Bin{
+		{Name: "ssd0", Tier: TierSSD, Capacity: 10, Traffic: 0.6},
+		{Name: "ssd1", Tier: TierSSD, Capacity: 10, Traffic: 0.3},
+		{Name: "ssd2", Tier: TierSSD, Capacity: 10, Traffic: 0.1},
+	}
+	out, err := DegradeBins(bins, map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.6 splits 3:1 across the survivors.
+	if math.Abs(out[1].Traffic-0.75) > 1e-12 || math.Abs(out[2].Traffic-0.25) > 1e-12 {
+		t.Errorf("split = %v, %v, want 0.75, 0.25", out[1].Traffic, out[2].Traffic)
+	}
+}
+
+func TestDegradeBinsEvenSplitWhenSurvivorsIdle(t *testing.T) {
+	bins := []Bin{
+		{Name: "ssd0", Tier: TierSSD, Capacity: 10, Traffic: 0.5},
+		{Name: "ssd1", Tier: TierSSD, Capacity: 10, Traffic: 0},
+		{Name: "ssd2", Tier: TierSSD, Capacity: 10, Traffic: 0},
+	}
+	out, err := DegradeBins(bins, map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[1].Traffic-0.25) > 1e-12 || math.Abs(out[2].Traffic-0.25) > 1e-12 {
+		t.Errorf("idle survivors got %v, %v, want an even 0.25 each", out[1].Traffic, out[2].Traffic)
+	}
+}
+
+func TestDegradeBinsMultipleDeaths(t *testing.T) {
+	out, err := DegradeBins(degradeFixture(), map[string]bool{"ssd0": true, "ssd2": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ssd1 survives the tier: it absorbs everything.
+	if math.Abs(out[3].Traffic-0.4) > 1e-12 {
+		t.Errorf("sole survivor traffic %v, want 0.4", out[3].Traffic)
+	}
+}
+
+func TestDegradeBinsErrors(t *testing.T) {
+	if _, err := DegradeBins(degradeFixture(), map[string]bool{"nope": true}); err == nil {
+		t.Error("unknown bin accepted")
+	}
+	// Killing every SSD leaves outstanding traffic with no home.
+	dead := map[string]bool{"ssd0": true, "ssd1": true, "ssd2": true}
+	if _, err := DegradeBins(degradeFixture(), dead); err == nil {
+		t.Error("tier wipe-out with outstanding traffic accepted")
+	}
+	// A dead bin with zero traffic in a wiped tier is fine — nothing owed.
+	bins := []Bin{
+		{Name: "hbm", Tier: TierGPU, Capacity: 10, Traffic: 1},
+		{Name: "ssd0", Tier: TierSSD, Capacity: 10, Traffic: 0},
+	}
+	out, err := DegradeBins(bins, map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatalf("zero-traffic wipe-out rejected: %v", err)
+	}
+	if out[1].Capacity != 0 {
+		t.Error("dead zero-traffic bin not zeroed")
+	}
+}

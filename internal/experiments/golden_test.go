@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when -update is set. Golden files pin the exact rendered text of the
+// cheap, simulation-free tables: a formatting regression in Cell.String or
+// Table.String shows up as a readable diff instead of a silently reshaped
+// report.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestMachinesGolden(t *testing.T) {
+	checkGolden(t, "table1_machines", Machines().String())
+}
+
+func TestDatasetsGolden(t *testing.T) {
+	checkGolden(t, "table2_datasets", Datasets().String())
+}
+
+func TestCostTableGolden(t *testing.T) {
+	checkGolden(t, "cost_table", CostTable().String())
+}
+
+// TestCellFormatGolden pins every Cell.String formatting branch — OOM
+// markers, free text, and the three numeric precision bands — through a
+// synthetic table, so the branches stay covered even if the real tables
+// stop exercising one of them.
+func TestCellFormatGolden(t *testing.T) {
+	tb := &Table{
+		ID:      "synthetic",
+		Title:   "cell formatting probes",
+		Columns: []string{"big", "mid", "small", "neg", "status"},
+		Rows: []Row{
+			{Label: "numbers", Cells: []Cell{Num(12345.678), Num(42.4242), Num(3.14159), Num(-0.5), Txt("ok")}},
+			{Label: "edge cases", Cells: []Cell{Num(1000), Num(10), Num(9.999), Num(-1234.5), OOMCell()}},
+			{Label: "a-long-config-label", Cells: []Cell{Num(0), Num(0.01), Num(0.001), Num(-10), Txt("text")}},
+		},
+		Notes: []string{"synthetic table exercising every Cell.String branch"},
+	}
+	checkGolden(t, "cell_format", tb.String())
+}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Injector answers the simulators' time-indexed fault queries for one
+// schedule. All factors are piecewise constant between event boundaries;
+// NextChange exposes the boundaries so event-driven simulators can segment
+// time exactly. An Injector is immutable and safe for concurrent readers.
+//
+// WithBase shifts the injector's clock: queries at local time t read the
+// schedule at absolute time base+t, which lets a simulation that restarts
+// its clock mid-epoch (e.g. the post-failure fabric re-run in trainsim)
+// keep consuming one absolute schedule.
+type Injector struct {
+	seed   int64
+	events []Event // sorted by At
+	bounds []float64
+	base   float64
+}
+
+// NewInjector validates and indexes a schedule. A nil schedule yields an
+// injector that reports a perfect machine.
+func NewInjector(s *Schedule) (*Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{}
+	if s != nil {
+		in.seed = s.Seed
+		in.events = s.sorted()
+	}
+	seen := map[float64]bool{}
+	for _, e := range in.events {
+		if !seen[e.At] {
+			seen[e.At] = true
+			in.bounds = append(in.bounds, e.At)
+		}
+		if end := e.end(); !math.IsInf(end, 1) && !seen[end] {
+			seen[end] = true
+			in.bounds = append(in.bounds, end)
+		}
+	}
+	sortFloats(in.bounds)
+	return in, nil
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// WithBase returns a view whose local time 0 is absolute time base.
+func (in *Injector) WithBase(base float64) *Injector {
+	if in == nil {
+		return nil
+	}
+	cp := *in
+	cp.base = in.base + base
+	return &cp
+}
+
+// Base returns the injector's absolute-clock offset.
+func (in *Injector) Base() float64 {
+	if in == nil {
+		return 0
+	}
+	return in.base
+}
+
+// Events returns the schedule's events sorted by start time.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	return in.events
+}
+
+// abs converts a local query time to schedule time.
+func (in *Injector) abs(t float64) float64 { return in.base + t }
+
+// SSDFailed reports whether a fail-stop event has hit the SSD by time t.
+func (in *Injector) SSDFailed(ssd int, t float64) bool {
+	if in == nil {
+		return false
+	}
+	at := in.abs(t)
+	for _, e := range in.events {
+		if e.Kind == FailStop && e.SSD == ssd && at >= e.At {
+			return true
+		}
+	}
+	return false
+}
+
+// SSDFailTime returns the absolute time the SSD fail-stops, or +Inf.
+func (in *Injector) SSDFailTime(ssd int) float64 {
+	if in == nil {
+		return math.Inf(1)
+	}
+	for _, e := range in.events {
+		if e.Kind == FailStop && e.SSD == ssd {
+			return e.At
+		}
+	}
+	return math.Inf(1)
+}
+
+// SSDFactor returns the SSD's remaining service-rate fraction at time t:
+// 0 when failed, otherwise the product of all active throttles.
+func (in *Injector) SSDFactor(ssd int, t float64) float64 {
+	if in == nil {
+		return 1
+	}
+	at := in.abs(t)
+	f := 1.0
+	for _, e := range in.events {
+		if e.SSD != ssd {
+			continue
+		}
+		switch e.Kind {
+		case FailStop:
+			if at >= e.At {
+				return 0
+			}
+		case Throttle:
+			if e.activeAt(at) {
+				f *= e.Factor
+			}
+		}
+	}
+	return f
+}
+
+// ErrorProb returns the per-request transient-error probability on the
+// SSD at time t (overlapping bursts compose independently).
+func (in *Injector) ErrorProb(ssd int, t float64) float64 {
+	if in == nil {
+		return 0
+	}
+	at := in.abs(t)
+	ok := 1.0 // probability a request sees no error
+	for _, e := range in.events {
+		if e.Kind == ErrorBurst && e.SSD == ssd && e.activeAt(at) {
+			ok *= 1 - e.Prob
+		}
+	}
+	return 1 - ok
+}
+
+// GPUFactor returns the GPU's remaining compute-rate fraction at time t.
+func (in *Injector) GPUFactor(gpu int, t float64) float64 {
+	if in == nil {
+		return 1
+	}
+	at := in.abs(t)
+	f := 1.0
+	for _, e := range in.events {
+		if e.Kind == Straggler && e.GPU == gpu && e.activeAt(at) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// LinkFactor returns the capacity fraction of a named fabric link at time
+// t. Two event classes apply: LinkDowntrain events naming the link
+// exactly, and — because the fabric registers each SSD's egress link as
+// "ssdN" — SSD fail/throttle/error-burst events for that device (an error
+// burst scales capacity by its goodput factor, modeling retried requests
+// re-occupying the link). This is the single query simnet needs to see
+// every device-level fault.
+func (in *Injector) LinkFactor(name string, t float64) float64 {
+	if in == nil {
+		return 1
+	}
+	f := 1.0
+	at := in.abs(t)
+	for _, e := range in.events {
+		if e.Kind == LinkDowntrain && e.Link == name && e.activeAt(at) {
+			f *= e.Factor
+		}
+	}
+	if ssd, ok := ssdLinkIndex(name); ok {
+		f *= in.SSDFactor(ssd, t) * GoodputFactor(in.ErrorProb(ssd, t))
+	}
+	return f
+}
+
+// ssdLinkIndex parses the fabric's SSD egress link naming ("ssd3" → 3).
+func ssdLinkIndex(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "ssd")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// NextChange returns the earliest local time strictly after t at which any
+// factor may change (+Inf when none remain). Event loops advance at most
+// to this boundary so piecewise-constant factors are sampled exactly.
+func (in *Injector) NextChange(t float64) float64 {
+	if in == nil {
+		return math.Inf(1)
+	}
+	at := in.abs(t)
+	for _, b := range in.bounds {
+		if b > at+1e-12 {
+			return b - in.base
+		}
+	}
+	return math.Inf(1)
+}
+
+// InjectedBy counts events whose start time is <= local time t.
+func (in *Injector) InjectedBy(t float64) int {
+	if in == nil {
+		return 0
+	}
+	at := in.abs(t)
+	n := 0
+	for _, e := range in.events {
+		if e.At <= at {
+			n++
+		}
+	}
+	return n
+}
+
+// Bernoulli draws a deterministic error coin: true with probability p,
+// as a pure function of (seed, stream, trial). Streams separate devices;
+// trials separate (request, attempt) pairs. The generator is a
+// splitmix64-style counter hash, so coins are independent across trials
+// and identical across runs with the same seed.
+func (in *Injector) Bernoulli(stream, trial uint64, p float64) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	x := uint64(in.seed)
+	x ^= stream * 0x9e3779b97f4a7c15
+	x ^= trial * 0xbf58476d1ce4e5b9
+	x = splitmix64(x)
+	// 53-bit uniform in [0,1).
+	u := float64(x>>11) / (1 << 53)
+	return u < p
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CheckTargets validates the schedule's device indices against a machine
+// shape (numSSDs, numGPUs). Link names cannot be validated here — the
+// fabric owns the namespace — so they are checked at simulation time.
+func (in *Injector) CheckTargets(numSSDs, numGPUs int) error {
+	if in == nil {
+		return nil
+	}
+	for _, e := range in.events {
+		if e.SSD >= numSSDs && (e.Kind == FailStop || e.Kind == Throttle || e.Kind == ErrorBurst) {
+			return fmt.Errorf("faults: %s targets ssd%d but machine has %d SSDs", e.Kind, e.SSD, numSSDs)
+		}
+		if e.Kind == Straggler && e.GPU >= numGPUs {
+			return fmt.Errorf("faults: straggle targets gpu%d but machine has %d GPUs", e.GPU, numGPUs)
+		}
+	}
+	return nil
+}

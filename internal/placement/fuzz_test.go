@@ -1,0 +1,118 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"moment/internal/topology"
+)
+
+// decodePlacement turns fuzz bytes into a slot-feasible placement on m:
+// each device is steered by one byte to an attach point, falling forward
+// cyclically when the chosen point's slots are full. Every byte string
+// decodes to a valid placement, so the fuzzer explores the placement space
+// rather than the validator's error paths.
+func decodePlacement(m *topology.Machine, data []byte) *topology.Placement {
+	gpuFree := make([]int, len(m.Points))
+	ssdFree := make([]int, len(m.Points))
+	for i, pt := range m.Points {
+		gpuFree[i] = pt.GPUSlots
+		ssdFree[i] = pt.Bays
+	}
+	at := func(free []int, b byte) int {
+		i := int(b) % len(m.Points)
+		for free[i] == 0 {
+			i = (i + 1) % len(m.Points)
+		}
+		free[i]--
+		return i
+	}
+	byteAt := func(k int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[k%len(data)]
+	}
+	p := &topology.Placement{Name: "fuzz"}
+	for g := 0; g < m.NumGPUs; g++ {
+		p.GPUAt = append(p.GPUAt, m.Points[at(gpuFree, byteAt(g))].ID)
+	}
+	for s := 0; s < m.NumSSDs; s++ {
+		p.SSDAt = append(p.SSDAt, m.Points[at(ssdFree, byteAt(m.NumGPUs+s))].ID)
+	}
+	return p
+}
+
+// countSignature is the physical content of a placement independent of
+// subtree naming: the sorted multiset of per-point (kind, uplink, slots,
+// placed-GPU, placed-SSD) tuples. Two placements the canonical key calls
+// equal must agree on it — a canonical key that merged placements with
+// different signatures would silently discard a genuinely distinct
+// hardware configuration from the search space.
+func countSignature(m *topology.Machine, p *topology.Placement) string {
+	gpus, ssds := p.Counts()
+	var parts []string
+	for _, pt := range m.Points {
+		parts = append(parts, fmt.Sprintf("%d/%v/%d/%d:g%d,s%d",
+			pt.Kind, pt.UplinkBW, pt.Bays, pt.GPUSlots, gpus[pt.ID], ssds[pt.ID]))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+func FuzzDedupe(f *testing.F) {
+	f.Add([]byte{0}, []byte{1})
+	f.Add([]byte{2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1}, []byte{3, 2, 1, 0, 3, 2, 1, 0, 3, 2, 1, 0})
+	f.Add([]byte("\x00\x01\x02\x03\x04\x05\x06\x07"), []byte("\x07\x06\x05\x04\x03\x02\x01\x00"))
+	f.Add([]byte{255, 254, 253}, []byte{128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		m := topology.MachineA()
+		pa := decodePlacement(m, a)
+		pb := decodePlacement(m, b)
+		keyA, err := CanonicalKey(m, pa)
+		if err != nil {
+			t.Fatalf("decoded placement invalid: %v", err)
+		}
+		keyB, err := CanonicalKey(m, pb)
+		if err != nil {
+			t.Fatalf("decoded placement invalid: %v", err)
+		}
+		// Canonical equality must never merge physically different
+		// placements. (Symmetric subtrees may give different signatures the
+		// same key only on machines with identical subtrees, which is
+		// exactly what the sorted signature tolerates: MachineA's sw0/sw1
+		// are identical, so sorting absorbs the swap.)
+		if keyA == keyB && countSignature(m, pa) != countSignature(m, pb) {
+			t.Fatalf("key %q merges placements with different count vectors:\n%v\n%v", keyA, pa, pb)
+		}
+		out, err := Dedupe(m, []*topology.Placement{pa, pb, pa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if keyA != keyB {
+			want = 2
+		}
+		if len(out) != want {
+			t.Fatalf("dedupe kept %d of [a b a], want %d (keys equal: %v)", len(out), want, keyA == keyB)
+		}
+		if out[0] != pa {
+			t.Fatal("dedupe must keep the first representative")
+		}
+		// Idempotence: a second pass changes nothing.
+		again, err := Dedupe(m, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(out) {
+			t.Fatalf("dedupe not idempotent: %d -> %d", len(out), len(again))
+		}
+		for i := range again {
+			if again[i] != out[i] {
+				t.Fatal("dedupe reordered an already-deduped list")
+			}
+		}
+	})
+}

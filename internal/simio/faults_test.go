@@ -1,0 +1,250 @@
+package simio
+
+import (
+	"math"
+	"testing"
+
+	"moment/internal/faults"
+)
+
+func inj(t *testing.T, s *faults.Schedule) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// simpleStack returns a stack with round-number device parameters so fault
+// timelines can be computed by hand: 1000 req/s per device (BW-bound),
+// deep queues, 1 KiB requests.
+func simpleStack(t *testing.T, nssd int) *Stack {
+	t.Helper()
+	specs := make([]SSDSpec, nssd)
+	for i := range specs {
+		specs[i] = SSDSpec{SeqBW: 1024 * 1000, IOPS: 2000, Latency: 1e-3}
+	}
+	s, err := New(Config{SSDs: specs, QueueDepth: 64, RequestBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStackThrottleStretchesRun(t *testing.T) {
+	// 1000 requests at 1000 req/s, throttled to 50% from t=0.5 for 0.5s:
+	// 500 done by 0.5, 250 more by 1.0, remaining 250 take 0.25s → 1.25s
+	// (+ latency tail).
+	s := simpleStack(t, 1)
+	s.AttachGPU(0, []int{0})
+	s.SetFaults(inj(t, &faults.Schedule{Events: []faults.Event{
+		faults.ThrottleSSD(0, 0.5, 0.5, 0.5),
+	}}), faults.RetryPolicy{})
+	res, err := s.Run(map[[2]int]int64{{0, 0}: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.25 + 1e-3
+	if math.Abs(res.Time-want) > 1e-6 {
+		t.Errorf("time %v, want %v", res.Time, want)
+	}
+	if res.Retries != 0 || res.Dropped != 0 {
+		t.Errorf("clean throttle should not retry/drop: %+v", res)
+	}
+}
+
+func TestStackFailStopDropsAndDrains(t *testing.T) {
+	// SSD 1 dies at t=0.5 with 500 of its 1000 requests left. Those drop;
+	// the survivor finishes its own work; makespan includes the 1s drain
+	// timeout of the dead queue (0.5 + 1.0 = 1.5 > survivor's 1.001).
+	s := simpleStack(t, 2)
+	s.AttachGPU(0, []int{0, 1})
+	s.SetFaults(inj(t, &faults.Schedule{Events: []faults.Event{
+		faults.Kill(1, 0.5),
+	}}), faults.RetryPolicy{})
+	res, err := s.Run(map[[2]int]int64{{0, 0}: 1000, {0, 1}: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dropped-500) > 1e-6 {
+		t.Errorf("dropped %v requests, want 500", res.Dropped)
+	}
+	if math.Abs(res.Time-1.5) > 1e-6 {
+		t.Errorf("time %v, want drain-dominated 1.5", res.Time)
+	}
+	// The healthy device still delivered everything it was asked for.
+	wantBytes := 1000*1024 + 500*1024.0
+	if math.Abs(res.PerGPUBytes[0]-wantBytes) > 1 {
+		t.Errorf("delivered %v, want %v", res.PerGPUBytes[0], wantBytes)
+	}
+}
+
+func TestStackErrorBurstCostsRetries(t *testing.T) {
+	// 10% errors for the whole run: goodput scales by 0.9, and the device
+	// spent served*p/(1-p) extra attempts on retries.
+	s := simpleStack(t, 1)
+	s.AttachGPU(0, []int{0})
+	s.SetFaults(inj(t, &faults.Schedule{Events: []faults.Event{
+		faults.Burst(0, 0, 0.1, 0),
+	}}), faults.RetryPolicy{})
+	res, err := s.Run(map[[2]int]int64{{0, 0}: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 900/(1000*0.9) + 1e-3
+	if math.Abs(res.Time-want) > 1e-6 {
+		t.Errorf("time %v, want %v", res.Time, want)
+	}
+	wantRetries := 900 * 0.1 / 0.9
+	if math.Abs(res.Retries-wantRetries) > 1e-6 {
+		t.Errorf("retries %v, want %v", res.Retries, wantRetries)
+	}
+}
+
+func TestStackEmptyScheduleMatchesNoInjector(t *testing.T) {
+	run := func(withInjector bool) *Result {
+		s := cfg2(t)
+		s.AttachGPU(0, []int{0, 1})
+		s.AttachGPU(1, []int{1})
+		if withInjector {
+			s.SetFaults(inj(t, &faults.Schedule{}), faults.RetryPolicy{})
+		}
+		res, err := s.Run(map[[2]int]int64{{0, 0}: 100_000, {0, 1}: 50_000, {1, 1}: 75_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, faulty := run(false), run(true)
+	if plain.Time != faulty.Time {
+		t.Errorf("time drifted: %v vs %v", plain.Time, faulty.Time)
+	}
+	for gpu, b := range plain.PerGPUBytes {
+		if faulty.PerGPUBytes[gpu] != b {
+			t.Errorf("gpu %d bytes drifted: %v vs %v", gpu, b, faulty.PerGPUBytes[gpu])
+		}
+	}
+	for i := range plain.PerSSDBandwidth {
+		if plain.PerSSDBandwidth[i] != faulty.PerSSDBandwidth[i] {
+			t.Errorf("ssd %d bandwidth drifted", i)
+		}
+	}
+	if faulty.Retries != 0 || faulty.Dropped != 0 {
+		t.Errorf("empty schedule produced faults: %+v", faulty)
+	}
+}
+
+func TestQPairFailStopDrains(t *testing.T) {
+	sim, err := NewQPairSim(QPairConfig{}, DeviceConfig{SSDSpec: P5510()}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := faults.RetryPolicy{}.Defaults()
+	sim.SetFaults(inj(t, &faults.Schedule{Events: []faults.Event{
+		faults.Kill(0, 0.01),
+	}}), 0, pol)
+	res, err := sim.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time-(0.01+pol.Timeout)) > 1e-9 {
+		t.Errorf("drain time %v, want %v", res.Time, 0.01+pol.Timeout)
+	}
+	if res.Failed == 0 {
+		t.Error("fail-stop with work outstanding should report failures")
+	}
+	if res.Failed == 100_000 {
+		t.Error("some commands should have completed before the failure")
+	}
+}
+
+func TestQPairRetriesDeterministic(t *testing.T) {
+	run := func() *QPairResult {
+		sim, err := NewQPairSim(QPairConfig{}, DeviceConfig{SSDSpec: P5510()}, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetFaults(inj(t, &faults.Schedule{Seed: 11, Events: []faults.Event{
+			faults.Burst(0, 0, 0.05, 0),
+		}}), 0, faults.RetryPolicy{})
+		res, err := sim.Run(20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("same seed must reproduce identical results:\n%+v\n%+v", a, b)
+	}
+	if a.Retries == 0 {
+		t.Error("5% error burst should trigger retries")
+	}
+	// ~5% of attempts fail; with 4 retries permanent failure needs 5
+	// consecutive errors (p^5 ~ 3e-7), so effectively everything lands.
+	if a.Failed != 0 {
+		t.Errorf("%d commands failed permanently under transient errors", a.Failed)
+	}
+	wantRetries := 0.05 * 20_000
+	if ratio := float64(a.Retries) / wantRetries; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("retries %d, want ~%v", a.Retries, wantRetries)
+	}
+}
+
+func TestQPairEmptyScheduleMatchesNoInjector(t *testing.T) {
+	run := func(withInjector bool) *QPairResult {
+		sim, err := NewQPairSim(QPairConfig{}, DeviceConfig{SSDSpec: P5510()}, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withInjector {
+			sim.SetFaults(inj(t, &faults.Schedule{}), 0, faults.RetryPolicy{})
+		}
+		res, err := sim.Run(50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, faulty := run(false), run(true)
+	if *plain != *faulty {
+		t.Errorf("empty schedule drifted:\n%+v\n%+v", plain, faulty)
+	}
+}
+
+// TestQPairConvergesToEffectiveBandwidth is the zero-fault property test:
+// at saturating queue depth the request-granular model's throughput must
+// land within 5% of the analytic SSDSpec.EffectiveBandwidth across request
+// sizes and ring depths.
+func TestQPairConvergesToEffectiveBandwidth(t *testing.T) {
+	dev := DeviceConfig{SSDSpec: P5510()}
+	cases := []struct {
+		reqBytes float64
+		entries  int
+	}{
+		{512, 256},
+		{4096, 256},
+		{4096, 1024},
+		{16384, 256},
+		{65536, 128},
+	}
+	for _, c := range cases {
+		sim, err := NewQPairSim(QPairConfig{Entries: c.entries}, dev, c.reqBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Attach a fault-free injector: the property must hold through the
+		// fault-handling code path, not just around it.
+		sim.SetFaults(inj(t, &faults.Schedule{}), 0, faults.RetryPolicy{})
+		res, err := sim.Run(200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dev.EffectiveBandwidth(c.reqBytes, 1)
+		if rel := math.Abs(res.Bandwidth-want) / want; rel > 0.05 {
+			t.Errorf("req=%v entries=%d: bandwidth %.3g, want %.3g (off %.1f%%)",
+				c.reqBytes, c.entries, res.Bandwidth, want, rel*100)
+		}
+	}
+}

@@ -3,6 +3,9 @@ package simio
 import (
 	"container/heap"
 	"fmt"
+	"math"
+
+	"moment/internal/faults"
 )
 
 // This file implements the request-granular discrete-event model of the
@@ -61,6 +64,23 @@ type QPairSim struct {
 
 	reqBytes float64
 	svcTime  float64 // per-command device occupancy
+
+	inj   *faults.Injector // nil = perfect hardware
+	ssd   int              // device index the injector knows this device by
+	retry faults.RetryPolicy
+}
+
+// SetFaults attaches a fault injector, identifying this device as SSD
+// index ssd in the injector's schedule. Per-command transient errors are
+// drawn deterministically from the injector's counter-based RNG and
+// retried with exponential backoff up to the policy's MaxRetries;
+// throttles stretch command service time; a fail-stop drains the run at
+// the fail time plus the policy timeout. A nil injector restores the
+// perfect device.
+func (s *QPairSim) SetFaults(in *faults.Injector, ssd int, pol faults.RetryPolicy) {
+	s.inj = in
+	s.ssd = ssd
+	s.retry = pol.Defaults()
 }
 
 // NewQPairSim builds the simulator for one device and request size.
@@ -103,21 +123,27 @@ type QPairResult struct {
 	MaxOutstanding int
 	// DoorbellRings counts MMIO doorbell writes.
 	DoorbellRings int
+	// Retries counts transient-error retry attempts.
+	Retries int64
+	// Failed counts commands abandoned: retries exhausted, or the device
+	// fail-stopped with work outstanding.
+	Failed int64
 }
 
 type qpEvent struct {
 	at   float64
-	kind int // 0 = submit-ready, 1 = completion, 2 = service-slot free
-	n    int // commands in this event
+	kind int   // 0 = submit-ready, 1 = completion, 2 = service-slot free, 3 = retry-ready
+	n    int   // commands in this event (kind 0)
+	id   int64 // command id (kinds 1 and 3)
 }
 
 type qpEventHeap []qpEvent
 
-func (h qpEventHeap) Len() int            { return len(h) }
-func (h qpEventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h qpEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *qpEventHeap) Push(x interface{}) { *h = append(*h, x.(qpEvent)) }
-func (h *qpEventHeap) Pop() interface{} {
+func (h qpEventHeap) Len() int           { return len(h) }
+func (h qpEventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h qpEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *qpEventHeap) Push(x any)        { *h = append(*h, x.(qpEvent)) }
+func (h *qpEventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -136,20 +162,28 @@ func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
 		return nil, fmt.Errorf("simio: non-positive request count")
 	}
 	var (
-		now          float64
-		submitted    int64 // handed to the ring (doorbell rung)
-		started      int64 // picked up by the controller
-		completed    int64
-		inRing       int // occupied SQ entries (submitted, not completed)
-		inService    int // controller slots busy
-		pendingBell  int // commands accumulated before the next doorbell
-		rings        int
-		latencySum   float64
-		maxOut       int
-		events       qpEventHeap
-		submitTimes  = make(map[int64]float64) // started order == completion order (FIFO)
-		nextComplete int64
+		now         float64
+		submitted   int64 // handed to the ring (doorbell rung)
+		started     int64 // picked up by the controller
+		completed   int64 // terminated: succeeded or permanently failed
+		succeeded   int64
+		retries     int64
+		failed      int64
+		inRing      int // occupied SQ entries (submitted, not completed)
+		inService   int // controller slots busy
+		pendingBell int // commands accumulated before the next doorbell
+		rings       int
+		latencySum  float64
+		maxOut      int
+		events      qpEventHeap
+		submitTimes = make(map[int64]float64) // first service start per command
+		attempts    = make(map[int64]int64)   // retries consumed per command
+		retryQ      []int64                   // backed-off commands ready to re-enter service
 	)
+	failTime := math.Inf(1)
+	if s.inj != nil {
+		failTime = s.inj.SSDFailTime(s.ssd)
+	}
 	// Helper: ring the doorbell for pendingBell commands.
 	ring := func(at float64) {
 		if pendingBell == 0 {
@@ -173,15 +207,29 @@ func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
 	sqReady := int64(0) // commands visible to the controller
 	var tryStart func(at float64)
 	tryStart = func(at float64) {
-		for sqReady > started && inService < s.dev.Parallelism {
-			started++
+		for inService < s.dev.Parallelism && (len(retryQ) > 0 || sqReady > started) {
+			var id int64
+			if len(retryQ) > 0 {
+				// Retries re-enter service ahead of fresh commands; their
+				// ring slot is still held.
+				id = retryQ[0]
+				retryQ = retryQ[1:]
+			} else {
+				id = started
+				started++
+				submitTimes[id] = at
+			}
 			inService++
-			submitTimes[started-1] = at
+			svc := s.svcTime
+			if s.inj != nil {
+				// A throttled controller stretches per-command occupancy.
+				svc /= s.inj.SSDFactor(s.ssd, at)
+			}
 			// The controller slot frees after the service occupancy; the
 			// completion posts after the additional device latency, which
 			// overlaps with the next command's service.
-			heap.Push(&events, qpEvent{at: at + s.svcTime, kind: 2, n: 1})
-			heap.Push(&events, qpEvent{at: at + s.svcTime + s.dev.Latency, kind: 1, n: 1})
+			heap.Push(&events, qpEvent{at: at + svc, kind: 2, n: 1})
+			heap.Push(&events, qpEvent{at: at + svc + s.dev.Latency, kind: 1, n: 1, id: id})
 		}
 		if out := int(started - completed); out > maxOut {
 			maxOut = out
@@ -193,6 +241,26 @@ func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
 			return nil, fmt.Errorf("simio: deadlock at t=%.6f (%d/%d complete)", now, completed, totalRequests)
 		}
 		ev := heap.Pop(&events).(qpEvent)
+		if ev.at >= failTime {
+			// Fail-stop: everything still outstanding (or never submitted)
+			// times out at the policy deadline. Not an error — the caller
+			// reads Failed and re-routes at a higher level.
+			res := &QPairResult{
+				Time:           failTime + s.retry.Timeout,
+				MaxOutstanding: maxOut,
+				DoorbellRings:  rings,
+				Retries:        retries,
+				Failed:         totalRequests - succeeded,
+			}
+			if res.Time > 0 {
+				res.IOPS = float64(succeeded) / res.Time
+				res.Bandwidth = res.IOPS * s.reqBytes
+			}
+			if succeeded > 0 {
+				res.AvgLatency = latencySum / float64(succeeded)
+			}
+			return res, nil
+		}
 		now = ev.at
 		switch ev.kind {
 		case 0: // doorbell arrival: commands become visible
@@ -201,12 +269,38 @@ func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
 		case 2: // service slot freed
 			inService--
 			tryStart(now)
+		case 3: // backoff elapsed: command ready to retry
+			retryQ = append(retryQ, ev.id)
+			tryStart(now)
 		case 1: // completion
+			id := ev.id
+			if s.inj != nil {
+				p := s.inj.ErrorProb(s.ssd, now)
+				if p > 0 && s.inj.Bernoulli(qpairErrStream(s.ssd), trialKey(id, attempts[id]), p) {
+					retries++
+					attempts[id]++
+					if attempts[id] <= int64(s.retry.MaxRetries) {
+						heap.Push(&events, qpEvent{
+							at:   now + s.retry.Backoff(int(attempts[id])-1),
+							kind: 3,
+							id:   id,
+						})
+						tryStart(now)
+						continue
+					}
+					failed++ // retries exhausted: command abandoned
+				} else {
+					succeeded++
+					latencySum += now - submitTimes[id]
+				}
+			} else {
+				succeeded++
+				latencySum += now - submitTimes[id]
+			}
 			completed++
 			inRing--
-			latencySum += now - submitTimes[nextComplete]
-			delete(submitTimes, nextComplete)
-			nextComplete++
+			delete(submitTimes, id)
+			delete(attempts, id)
 			// Free ring slot: the GPU immediately submits the next
 			// command if any remain.
 			if submitted < totalRequests {
@@ -224,14 +318,26 @@ func (s *QPairSim) Run(totalRequests int64) (*QPairResult, error) {
 		Time:           now,
 		MaxOutstanding: maxOut,
 		DoorbellRings:  rings,
+		Retries:        retries,
+		Failed:         failed,
 	}
 	if now > 0 {
-		res.IOPS = float64(totalRequests) / now
+		res.IOPS = float64(succeeded) / now
 		res.Bandwidth = res.IOPS * s.reqBytes
 	}
-	res.AvgLatency = latencySum / float64(totalRequests)
+	if succeeded > 0 {
+		res.AvgLatency = latencySum / float64(succeeded)
+	}
 	return res, nil
 }
+
+// qpairErrStream namespaces the error-coin RNG stream per device so
+// multi-device experiments draw independent sequences.
+func qpairErrStream(ssd int) uint64 { return 0x9a1b<<16 | uint64(ssd) }
+
+// trialKey makes each (command, attempt) pair a distinct RNG trial; the
+// retry cap is far below 64, so attempts fit in the low bits.
+func trialKey(id, attempt int64) uint64 { return uint64(id)<<6 | uint64(attempt) }
 
 // QDCurve runs the simulator across queue depths (ring sizes) and returns
 // the achieved IOPS per depth — the canonical NVMe microbenchmark curve.

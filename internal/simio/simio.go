@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"moment/internal/faults"
 	"moment/internal/obs"
 )
 
@@ -59,12 +60,25 @@ type Stack struct {
 	cfg   Config
 	pairs map[[2]int]bool // (gpu, ssd) -> attached
 	gpus  map[int]bool
-	obsrv *obs.Observer // nil = no instrumentation
+	obsrv *obs.Observer    // nil = no instrumentation
+	inj   *faults.Injector // nil = perfect hardware
+	retry faults.RetryPolicy
 }
 
 // SetObserver attaches an observer so each Run reports a span plus queue
 // and request metrics. Nil detaches.
 func (s *Stack) SetObserver(o *obs.Observer) { s.obsrv = o }
+
+// SetFaults attaches a fault injector and the retry policy governing how
+// the stack reacts: transient errors are retried (costing device
+// occupancy, so goodput scales by 1-p), throttles scale device rates, and
+// fail-stop devices are drained — their outstanding requests are dropped
+// after the policy timeout and reported in Result.Dropped. A nil injector
+// restores the perfect machine.
+func (s *Stack) SetFaults(in *faults.Injector, pol faults.RetryPolicy) {
+	s.inj = in
+	s.retry = pol.Defaults()
+}
 
 // New validates the configuration and returns an empty stack.
 func New(cfg Config) (*Stack, error) {
@@ -111,13 +125,20 @@ func (s *Stack) AttachGPU(gpu int, ssds []int) error {
 
 // Result reports a completed I/O workload.
 type Result struct {
-	// Time is the makespan: when the last request completes.
+	// Time is the makespan: when the last request completes (including
+	// the drain timeout of any fail-stopped device).
 	Time float64
 	// PerGPUBytes is the bytes delivered to each GPU id present.
 	PerGPUBytes map[int]float64
 	// PerSSDBandwidth is each SSD's average achieved bytes/second
 	// over the makespan.
 	PerSSDBandwidth []float64
+	// Retries counts transient-error retry attempts (zero without an
+	// injected error burst).
+	Retries float64
+	// Dropped counts requests abandoned because their device
+	// fail-stopped before serving them.
+	Dropped float64
 }
 
 // Run executes a workload given as request counts per (gpu, ssd) queue
@@ -173,15 +194,44 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 
 	ssdBytes := make([]float64, len(s.cfg.SSDs))
 	now := 0.0
+	drainUntil := 0.0 // when the last fail-stop drain completes
 	for len(queues) > 0 {
+		// Drain queues whose device has fail-stopped: their outstanding
+		// requests time out and are dropped (trainsim re-routes at a
+		// higher level; the raw stack just reports the loss).
+		if s.inj != nil {
+			live := queues[:0]
+			for _, q := range queues {
+				if s.inj.SSDFailed(q.ssd, now) {
+					res.Dropped += q.remain
+					if end := now + s.retry.Timeout; end > drainUntil {
+						drainUntil = end
+					}
+					continue
+				}
+				live = append(live, q)
+			}
+			queues = live
+			if len(queues) == 0 {
+				break
+			}
+		}
 		// Water-fill each device across its active queues, honoring the
 		// per-pair in-flight cap.
 		byDev := map[int][]*queue{}
 		for _, q := range queues {
 			byDev[q.ssd] = append(byDev[q.ssd], q)
 		}
+		errProb := map[int]float64{}
 		for dev, qs := range byDev {
 			residual := deviceRate[dev]
+			if s.inj != nil {
+				// Throttles scale the service rate; transient errors eat
+				// goodput because retries re-occupy the device.
+				p := s.inj.ErrorProb(dev, now)
+				errProb[dev] = p
+				residual *= s.inj.SSDFactor(dev, now) * faults.GoodputFactor(p)
+			}
 			capR := pairCap(dev)
 			// Queues capped below the fair share are satisfied first.
 			unfilled := append([]*queue(nil), qs...)
@@ -208,7 +258,7 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 				unfilled = rest
 			}
 		}
-		// Advance to the earliest queue drain.
+		// Advance to the earliest queue drain or fault boundary.
 		dt := math.Inf(1)
 		for _, q := range queues {
 			if q.rate <= 0 {
@@ -216,6 +266,11 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 			}
 			if t := q.remain / q.rate; t < dt {
 				dt = t
+			}
+		}
+		if s.inj != nil {
+			if b := s.inj.NextChange(now) - now; b < dt {
+				dt = b
 			}
 		}
 		for _, q := range queues {
@@ -227,6 +282,10 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 			bytes := served * s.cfg.RequestBytes
 			res.PerGPUBytes[q.gpu] += bytes
 			ssdBytes[q.ssd] += bytes
+			if p := errProb[q.ssd]; p > 0 {
+				// served is goodput; each success took 1/(1-p) attempts.
+				res.Retries += served * p / (1 - p)
+			}
 		}
 		now += dt
 		live := queues[:0]
@@ -245,6 +304,9 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 		}
 	}
 	res.Time = now + maxLat
+	if drainUntil > res.Time {
+		res.Time = drainUntil
+	}
 	for i := range ssdBytes {
 		if res.Time > 0 {
 			res.PerSSDBandwidth[i] = ssdBytes[i] / res.Time
@@ -253,6 +315,12 @@ func (s *Stack) Run(requests map[[2]int]int64) (*Result, error) {
 	if o != nil {
 		sp.SetFloat("drain_seconds", res.Time)
 		o.Histogram("simio_drain_seconds").Observe(res.Time)
+		if res.Retries > 0 {
+			o.Counter("simio_retries_total").Add(res.Retries)
+		}
+		if res.Dropped > 0 {
+			o.Counter("simio_dropped_requests_total").Add(res.Dropped)
+		}
 		for i, bw := range res.PerSSDBandwidth {
 			o.Gauge("simio_ssd_bandwidth_bytes", obs.L("ssd", fmt.Sprintf("ssd%d", i))).Set(bw)
 		}

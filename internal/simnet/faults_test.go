@@ -1,0 +1,180 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"moment/internal/faults"
+)
+
+func injector(t *testing.T, s *faults.Schedule) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestThrottleMidFlow(t *testing.T) {
+	// 1000 bytes at 100 B/s; link drops to 50% at t=5. First 5 s deliver
+	// 500 bytes, the rest takes 500/50 = 10 s: makespan 15.
+	n := New()
+	l, _ := n.AddLink("trunk", 100)
+	n.AddFlow("f", []LinkID{l}, 1000, 0)
+	n.SetFaults(injector(t, &faults.Schedule{Events: []faults.Event{
+		faults.Downtrain("trunk", 5, 0.5, 0),
+	}}))
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-15) > 1e-6 {
+		t.Errorf("makespan %v, want 15", res.Makespan)
+	}
+	if math.Abs(res.LinkBytes[l]-1000) > 1e-6 {
+		t.Errorf("link bytes %v, want 1000", res.LinkBytes[l])
+	}
+}
+
+func TestTransientThrottleRecovers(t *testing.T) {
+	// Throttle to 10% for 4 s in the middle: 2 s at 100 (200 bytes),
+	// 4 s at 10 (40 bytes), rest 760 bytes at 100 → 7.6 s. Total 13.6.
+	n := New()
+	l, _ := n.AddLink("trunk", 100)
+	n.AddFlow("f", []LinkID{l}, 1000, 0)
+	n.SetFaults(injector(t, &faults.Schedule{Events: []faults.Event{
+		faults.Downtrain("trunk", 2, 0.1, 4),
+	}}))
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-13.6) > 1e-6 {
+		t.Errorf("makespan %v, want 13.6", res.Makespan)
+	}
+}
+
+func TestSSDLinkNameSeesDeviceFaults(t *testing.T) {
+	// A link named "ssd1" picks up SSD 1 throttle events without an
+	// explicit downtrain clause — the fabric's naming convention is the
+	// contract between trainsim and the injector.
+	n := New()
+	l, _ := n.AddLink("ssd1", 100)
+	n.AddFlow("f", []LinkID{l}, 1000, 0)
+	n.SetFaults(injector(t, &faults.Schedule{Events: []faults.Event{
+		faults.ThrottleSSD(1, 0, 0.5, 0),
+	}}))
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-20) > 1e-6 {
+		t.Errorf("makespan %v, want 20", res.Makespan)
+	}
+}
+
+func TestRunUntilFreezesPartialState(t *testing.T) {
+	n := New()
+	l, _ := n.AddLink("trunk", 100)
+	f1, _ := n.AddFlow("f1", []LinkID{l}, 1000, 0)
+	f2, _ := n.AddFlow("late", []LinkID{l}, 50, 9)
+	res, err := n.RunUntil(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowRemain[f1]-500) > 1e-6 {
+		t.Errorf("f1 remain %v, want 500", res.FlowRemain[f1])
+	}
+	if math.Abs(res.FlowRemain[f2]-50) > 1e-6 {
+		t.Errorf("unstarted flow remain %v, want its full size", res.FlowRemain[f2])
+	}
+	if !math.IsNaN(res.FlowDone[f1]) {
+		t.Errorf("unfinished flow done %v, want NaN", res.FlowDone[f1])
+	}
+	if math.Abs(res.Makespan-5) > 1e-9 {
+		t.Errorf("truncated makespan %v, want 5", res.Makespan)
+	}
+	if math.Abs(res.LinkBytes[l]-500) > 1e-6 {
+		t.Errorf("link bytes %v, want 500", res.LinkBytes[l])
+	}
+	// The Net is consumed, like Run.
+	if _, err := n.Run(); err == nil {
+		t.Error("second run after RunUntil should fail")
+	}
+}
+
+func TestRunUntilPastCompletionMatchesRun(t *testing.T) {
+	build := func() *Net {
+		n := New()
+		l, _ := n.AddLink("trunk", 100)
+		n.AddFlow("f", []LinkID{l}, 1000, 0)
+		return n
+	}
+	full, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := build().RunUntil(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Makespan != trunc.Makespan || trunc.FlowRemain[0] != 0 {
+		t.Errorf("RunUntil past completion: %v vs %v (remain %v)",
+			trunc.Makespan, full.Makespan, trunc.FlowRemain[0])
+	}
+}
+
+func TestDeadLinkStarves(t *testing.T) {
+	// A fail-stop with no re-route leaves the flow starved once no more
+	// fault boundaries remain — the caller (trainsim) is responsible for
+	// degrading gracefully before this point.
+	n := New()
+	l, _ := n.AddLink("ssd0", 100)
+	n.AddFlow("f", []LinkID{l}, 1000, 0)
+	n.SetFaults(injector(t, &faults.Schedule{Events: []faults.Event{
+		faults.Kill(0, 2),
+	}}))
+	_, err := n.Run()
+	if err == nil || !strings.Contains(err.Error(), "starved") {
+		t.Fatalf("want starvation error, got %v", err)
+	}
+}
+
+func TestEmptyScheduleMatchesNoInjector(t *testing.T) {
+	build := func(in *faults.Injector) (*Net, []LinkID) {
+		n := New()
+		a, _ := n.AddLink("a", 10)
+		b, _ := n.AddLink("b", 7)
+		n.AddFlow("f1", []LinkID{a, b}, 100, 0)
+		n.AddFlow("f2", []LinkID{b}, 50, 3)
+		if in != nil {
+			n.SetFaults(in)
+		}
+		return n, []LinkID{a, b}
+	}
+	plain, links := build(nil)
+	r1, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, _ := build(injector(t, &faults.Schedule{}))
+	r2, err := faulty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Errorf("makespan drifted: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+	for _, l := range links {
+		if r1.LinkBytes[l] != r2.LinkBytes[l] {
+			t.Errorf("link %d bytes drifted: %v vs %v", l, r1.LinkBytes[l], r2.LinkBytes[l])
+		}
+	}
+	for i := range r1.FlowDone {
+		if r1.FlowDone[i] != r2.FlowDone[i] {
+			t.Errorf("flow %d done drifted: %v vs %v", i, r1.FlowDone[i], r2.FlowDone[i])
+		}
+	}
+}

@@ -42,15 +42,43 @@ type flow struct {
 
 // Net is a link-capacity network with flows.
 type Net struct {
-	links []link
-	flows []flow
-	ran   bool
-	obsrv *obs.Observer // nil = no instrumentation
+	links  []link
+	flows  []flow
+	ran    bool
+	obsrv  *obs.Observer // nil = no instrumentation
+	faults FaultLookup   // nil = perfect fabric
 }
 
 // SetObserver attaches an observer so Run reports a span plus per-link
 // utilization gauges. Nil detaches.
 func (n *Net) SetObserver(o *obs.Observer) { n.obsrv = o }
+
+// FaultLookup is the fault-injector view the simulator queries during the
+// event loop: a piecewise-constant capacity factor per named link, and the
+// next time any factor changes (so rate recomputation lands exactly on
+// fault boundaries). faults.Injector implements it; the interface keeps
+// simnet free of a package dependency.
+type FaultLookup interface {
+	// LinkFactor returns the capacity fraction of the named link at time
+	// t (1 = healthy, 0 = dead).
+	LinkFactor(name string, t float64) float64
+	// NextChange returns the earliest time strictly after t at which any
+	// factor may change, or +Inf.
+	NextChange(t float64) float64
+}
+
+// SetFaults attaches a fault injector whose link factors scale capacities
+// during Run. Nil detaches. Must be set before Run.
+func (n *Net) SetFaults(f FaultLookup) { n.faults = f }
+
+// effRate is a link's capacity at time now under the attached faults.
+func (n *Net) effRate(li int, now float64) float64 {
+	r := n.links[li].rate
+	if n.faults != nil {
+		r *= n.faults.LinkFactor(n.links[li].name, now)
+	}
+	return r
+}
 
 // New returns an empty network.
 func New() *Net { return &Net{} }
@@ -90,15 +118,16 @@ func (n *Net) AddFlow(name string, path []LinkID, bytes, start float64) (FlowID,
 	return FlowID(len(n.flows) - 1), nil
 }
 
-// maxMinRates computes progressive-filling fair rates for the active flows.
-// active maps flow index -> true. Rates are written into n.flows[i].rate.
-func (n *Net) maxMinRates(active []int) {
+// maxMinRates computes progressive-filling fair rates for the active flows
+// under the link capacities in effect at time now. active maps flow index
+// -> true. Rates are written into n.flows[i].rate.
+func (n *Net) maxMinRates(active []int, now float64) {
 	for _, fi := range active {
 		n.flows[fi].rate = 0
 	}
 	residual := make([]float64, len(n.links))
-	for i, l := range n.links {
-		residual[i] = l.rate
+	for i := range n.links {
+		residual[i] = n.effRate(i, now)
 	}
 	countOn := make([]int, len(n.links))
 	frozen := make([]bool, len(n.flows))
@@ -169,19 +198,38 @@ func (n *Net) maxMinRates(active []int) {
 	}
 }
 
-// Result reports a completed simulation.
+// Result reports a completed (or truncated, see RunUntil) simulation.
 type Result struct {
-	// Makespan is the time the last flow finishes.
+	// Makespan is the time the last flow finishes — or, for a truncated
+	// run with work left, the stop time.
 	Makespan float64
-	// FlowDone holds each flow's completion time.
+	// FlowDone holds each flow's completion time (NaN if unfinished).
 	FlowDone []float64
 	// LinkBytes holds the total bytes carried per link.
 	LinkBytes []float64
+	// FlowRemain holds each flow's undelivered bytes (all zero when the
+	// simulation ran to completion).
+	FlowRemain []float64
 }
 
 // Run simulates to completion and returns per-flow completion times,
 // makespan, and per-link carried bytes. Run may be called once per Net.
-func (n *Net) Run() (*Result, error) {
+func (n *Net) Run() (*Result, error) { return n.runUntil(math.Inf(1)) }
+
+// RunUntil simulates up to the given stop time and returns the partial
+// state: flows still in flight (or never started) report their
+// undelivered bytes in FlowRemain and a NaN completion time, and Makespan
+// is the stop time when work remains. Used to freeze the fabric at a
+// fault boundary so a degraded continuation can be re-planned. Like Run,
+// it may be called once per Net.
+func (n *Net) RunUntil(stop float64) (*Result, error) {
+	if stop < 0 || math.IsNaN(stop) {
+		return nil, fmt.Errorf("simnet: invalid stop time %v", stop)
+	}
+	return n.runUntil(stop)
+}
+
+func (n *Net) runUntil(stop float64) (*Result, error) {
 	if n.ran {
 		return nil, fmt.Errorf("simnet: Run called twice")
 	}
@@ -196,12 +244,11 @@ func (n *Net) Run() (*Result, error) {
 	now := 0.0
 	pending := make([]int, 0, len(n.flows)) // not yet started, sorted by start
 	for i := range n.flows {
-		if n.flows[i].bytes == 0 {
+		if n.flows[i].bytes == 0 || len(n.flows[i].path) == 0 {
+			// Zero-byte or pathless (purely local) flows complete
+			// instantly at their start time.
 			n.flows[i].done = n.flows[i].start
-			continue
-		}
-		if len(n.flows[i].path) == 0 {
-			n.flows[i].done = n.flows[i].start
+			n.flows[i].remain = 0
 			continue
 		}
 		pending = append(pending, i)
@@ -212,6 +259,9 @@ func (n *Net) Run() (*Result, error) {
 	var active []int
 
 	for len(pending) > 0 || len(active) > 0 {
+		if now >= stop-1e-12 {
+			break
+		}
 		// Admit flows that have started.
 		for len(pending) > 0 && n.flows[pending[0]].start <= now+1e-12 {
 			fi := pending[0]
@@ -220,12 +270,18 @@ func (n *Net) Run() (*Result, error) {
 			active = append(active, fi)
 		}
 		if len(active) == 0 {
-			// Jump to the next start.
-			now = n.flows[pending[0]].start
+			// Jump to the next start (or the stop time, if sooner).
+			next := n.flows[pending[0]].start
+			if next >= stop {
+				now = stop
+				break
+			}
+			now = next
 			continue
 		}
-		n.maxMinRates(active)
-		// Next event: earliest completion among active, or next start.
+		n.maxMinRates(active, now)
+		// Next event: earliest completion among active, next start, next
+		// fault boundary, or the stop time.
 		nextEvent := math.Inf(1)
 		for _, fi := range active {
 			f := &n.flows[fi]
@@ -241,6 +297,14 @@ func (n *Net) Run() (*Result, error) {
 			if dt := n.flows[pending[0]].start - now; dt < nextEvent {
 				nextEvent = dt
 			}
+		}
+		if n.faults != nil {
+			if dt := n.faults.NextChange(now) - now; dt < nextEvent {
+				nextEvent = dt
+			}
+		}
+		if dt := stop - now; dt < nextEvent {
+			nextEvent = dt
 		}
 		if math.IsInf(nextEvent, 1) {
 			return nil, fmt.Errorf("simnet: %d flows starved (zero rate) at t=%.3f", len(active), now)
@@ -275,12 +339,26 @@ func (n *Net) Run() (*Result, error) {
 		active = out
 	}
 
-	res := &Result{Makespan: 0, FlowDone: make([]float64, len(n.flows)), LinkBytes: linkBytes}
+	res := &Result{
+		Makespan:   0,
+		FlowDone:   make([]float64, len(n.flows)),
+		LinkBytes:  linkBytes,
+		FlowRemain: make([]float64, len(n.flows)),
+	}
+	left := false
 	for i := range n.flows {
 		res.FlowDone[i] = n.flows[i].done
+		res.FlowRemain[i] = n.flows[i].remain
+		if n.flows[i].remain > 0 {
+			left = true
+		}
 		if n.flows[i].done > res.Makespan {
 			res.Makespan = n.flows[i].done
 		}
+	}
+	if left && now > res.Makespan {
+		// Truncated with work in flight: the run "ends" at the stop time.
+		res.Makespan = now
 	}
 	if o := n.obsrv; o != nil {
 		sp.SetFloat("makespan_seconds", res.Makespan)
@@ -320,7 +398,7 @@ func (n *Net) InitialRates() []float64 {
 	for i := range n.flows {
 		saved[i] = n.flows[i].rate
 	}
-	n.maxMinRates(active)
+	n.maxMinRates(active, 0)
 	out := make([]float64, len(n.flows))
 	for i := range n.flows {
 		out[i] = n.flows[i].rate

@@ -1,0 +1,181 @@
+package trainsim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"moment/internal/faults"
+	"moment/internal/obs"
+	"moment/internal/topology"
+)
+
+// fourSSDCfg is the acceptance-criteria machine: MachineA trimmed to four
+// SSDs, layout (c), PA dataset.
+func fourSSDCfg(t *testing.T) Config {
+	t.Helper()
+	m := topology.MachineA()
+	m.NumSSDs = 4
+	cfg := classicCfg(t, m, topology.LayoutC, "PA")
+	return cfg
+}
+
+func TestKillOneOfFourSSDsMidEpochCompletes(t *testing.T) {
+	cfg := fourSSDCfg(t)
+	nominal := simulate(t, cfg)
+	if nominal.Faults != nil {
+		t.Fatal("no schedule should mean no fault report")
+	}
+	killAt := nominal.IOTime.Sec() / 2
+
+	o := obs.New()
+	cfg.Observer = o
+	cfg.Faults = &faults.Schedule{Seed: 1, Events: []faults.Event{
+		faults.Kill(2, killAt),
+	}}
+	res := simulate(t, cfg)
+	rep := res.Faults
+	if rep == nil {
+		t.Fatal("faulted epoch must carry a report")
+	}
+	if len(rep.DeadSSDs) != 1 || rep.DeadSSDs[0] != 2 {
+		t.Errorf("dead SSDs %v, want [2]", rep.DeadSSDs)
+	}
+	if rep.Replans != 1 {
+		t.Errorf("replans = %d, want 1", rep.Replans)
+	}
+	if rep.Timeouts != 1 || rep.StallSeconds <= 0 {
+		t.Errorf("recovery stall not charged: %+v", rep)
+	}
+	if rep.Injected != 1 {
+		t.Errorf("injected = %d, want 1", rep.Injected)
+	}
+	if math.Abs(rep.NominalEpoch.Sec()-nominal.EpochTime.Sec()) > 1e-9 {
+		t.Errorf("nominal epoch %v, want %v", rep.NominalEpoch, nominal.EpochTime)
+	}
+	if rep.Inflation <= 1 {
+		t.Errorf("inflation %v, want > 1 (losing a device must cost time)", rep.Inflation)
+	}
+	if res.EpochTime.Sec() <= nominal.EpochTime.Sec() {
+		t.Errorf("degraded epoch %v not slower than nominal %v", res.EpochTime, nominal.EpochTime)
+	}
+	// The loss is bounded: 3 of 4 SSDs survive, so the epoch should not
+	// blow up by more than a few x even with the recovery stall.
+	if rep.Inflation > 5 {
+		t.Errorf("inflation %v implausibly large", rep.Inflation)
+	}
+	// Replan + inflation are visible through obs.
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"faults_injected_total", "faults_replans_total", "trainsim_epoch_inflation"} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Errorf("metric %s missing from snapshot", metric)
+		}
+	}
+}
+
+// metricsSnapshot renders the observer's metrics with wall-clock planner
+// timing stripped (flownet_solve_seconds measures host time, which is the
+// one legitimately nondeterministic signal).
+func metricsSnapshot(t *testing.T, o *obs.Observer) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "flownet_solve_seconds") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func TestFaultedEpochIsDeterministic(t *testing.T) {
+	run := func() (*Result, string) {
+		cfg := fourSSDCfg(t)
+		o := obs.New()
+		cfg.Observer = o
+		cfg.Faults = &faults.Schedule{Seed: 9, Events: []faults.Event{
+			faults.Kill(2, 20),
+			faults.ThrottleSSD(0, 5, 0.5, 30),
+			faults.Burst(1, 0, 0.02, 0),
+			faults.Straggle(1, 0, 0.7, 0),
+		}}
+		return simulate(t, cfg), metricsSnapshot(t, cfg.Observer)
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if r1.EpochTime != r2.EpochTime || r1.IOTime != r2.IOTime || r1.ComputeTime != r2.ComputeTime {
+		t.Errorf("timings drifted: %+v vs %+v", r1, r2)
+	}
+	if r1.Faults == nil || r2.Faults == nil {
+		t.Fatal("missing fault reports")
+	}
+	if r1.Faults.Inflation != r2.Faults.Inflation || r1.Faults.MovedBytes != r2.Faults.MovedBytes {
+		t.Errorf("fault reports drifted: %+v vs %+v", r1.Faults, r2.Faults)
+	}
+	if m1 != m2 {
+		t.Error("metrics snapshots are not byte-identical across identical seeded runs")
+	}
+}
+
+func TestEmptyScheduleMatchesPerfectRun(t *testing.T) {
+	cfg := fourSSDCfg(t)
+	base := simulate(t, cfg)
+	cfg.Faults = &faults.Schedule{}
+	same := simulate(t, cfg)
+	if same.Faults != nil {
+		t.Error("empty schedule should not produce a fault report")
+	}
+	if base.EpochTime != same.EpochTime || base.IOTime != same.IOTime {
+		t.Errorf("empty schedule drifted: %v/%v vs %v/%v",
+			base.EpochTime, base.IOTime, same.EpochTime, same.IOTime)
+	}
+}
+
+func TestThrottleOnlyDegradesWithoutReplan(t *testing.T) {
+	cfg := fourSSDCfg(t)
+	cfg.Faults = &faults.Schedule{Events: []faults.Event{
+		faults.ThrottleSSD(0, 0, 0.25, 0),
+	}}
+	res := simulate(t, cfg)
+	rep := res.Faults
+	if rep == nil {
+		t.Fatal("throttle schedule must carry a report")
+	}
+	if rep.Replans != 0 || len(rep.DeadSSDs) != 0 || rep.StallSeconds != 0 {
+		t.Errorf("throttle must not trigger fail-stop recovery: %+v", rep)
+	}
+	if rep.Inflation < 1 {
+		t.Errorf("inflation %v < 1", rep.Inflation)
+	}
+}
+
+func TestStragglerComputeStretch(t *testing.T) {
+	in, err := faults.NewInjector(&faults.Schedule{Events: []faults.Event{
+		faults.Straggle(1, 0, 0.5, 0),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPU 1 at half speed forever: 10s of work takes 20s; GPU 0 unaffected.
+	if got := stragglerCompute(10, 2, in); math.Abs(got-20) > 1e-9 {
+		t.Errorf("permanent straggler stretch = %v, want 20", got)
+	}
+	// Transient: half speed for the first 4s costs 2 extra seconds.
+	in2, err := faults.NewInjector(&faults.Schedule{Events: []faults.Event{
+		faults.Straggle(0, 0, 0.5, 4),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stragglerCompute(10, 1, in2); math.Abs(got-12) > 1e-9 {
+		t.Errorf("transient straggler stretch = %v, want 12", got)
+	}
+}

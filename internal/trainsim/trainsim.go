@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"moment/internal/ddak"
+	"moment/internal/faults"
 	"moment/internal/flownet"
 	"moment/internal/gnn"
 	"moment/internal/obs"
@@ -99,6 +100,16 @@ type Config struct {
 	// Observer receives spans and metrics for the simulated epoch (nil
 	// falls back to the process default observer).
 	Observer *obs.Observer
+
+	// Faults is an optional fault schedule to inject into the epoch: SSD
+	// fail-stops trigger graceful degradation (the dead device's remaining
+	// traffic re-routes to survivors via a degraded placement re-solve),
+	// while throttles, link downtrains, error bursts, and GPU stragglers
+	// stretch the affected stages in place. Nil or empty simulates perfect
+	// hardware.
+	Faults *faults.Schedule
+	// Retry governs recovery stalls under Faults (zero value = defaults).
+	Retry faults.RetryPolicy
 }
 
 // Result is one simulated epoch.
@@ -124,6 +135,9 @@ type Result struct {
 	Stats        *Stats
 	BinAssign    *ddak.ItemAssignment
 	PreprocessOK bool
+	// Faults reports the injected-fault timeline and the degradation it
+	// forced; nil when the epoch ran on perfect hardware.
+	Faults *FaultReport
 }
 
 // plan carries everything derived before data placement: workload stats,
@@ -392,12 +406,9 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	stats := pl.stats
 	hitGPU := pl.hitGPU
 	localHit := pl.localHit
-	nvlHit := pl.nvlHit
-	partner := pl.partner
 	items := pl.items
 	gpuMass, cpuMass, ssdMass := pl.gpuMass, pl.cpuMass, pl.ssdMass
 	fetchEpoch := pl.fetchEpoch
-	perGPUFetch := fetchEpoch / float64(nGPU)
 	cpuCacheBytes := pl.cpuCacheBytes
 	gpuCacheBytes := pl.gpuCacheBytes
 	gpuDistinctBytes := pl.gpuDistinctBytes
@@ -499,72 +510,18 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	hitCPU := assign.HitRateItems(ddak.TierCPU) * sumHot(placeItems)
 
 	// ---- Fabric simulation ----------------------------------------------
-	fab, err := NewFabric(m, cfg.Placement)
-	if err != nil {
-		return nil, err
-	}
 	fabricScale := fetchEpoch
 	if cfg.Cache != CachePartitioned {
 		fabricScale = fetchEpoch * sumHot(placeItems)
 	}
 	served := assign.ServedBytesItems(fabricScale)
-	for g := 0; g < nGPU; g++ {
-		// GPU-cache flows.
-		if cfg.Cache == CachePartitioned {
-			for i, bi := range gpuBin {
-				bytes := served[bi] / float64(nGPU)
-				path, err := fab.PathHBMToGPU(i, g)
-				if err != nil {
-					return nil, err
-				}
-				if _, err := fab.Net.AddFlow(fmt.Sprintf("hbm%d>g%d", i, g), path, bytes, 0); err != nil {
-					return nil, err
-				}
-			}
-		} else if nvlHit[g] > 0 {
-			path, err := fab.PathHBMToGPU(partner[g], g)
-			if err != nil {
-				return nil, err
-			}
-			bytes := nvlHit[g] * perGPUFetch
-			if _, err := fab.Net.AddFlow(fmt.Sprintf("nvl>g%d", g), path, bytes, 0); err != nil {
-				return nil, err
-			}
-		}
-		// CPU-memory flows.
-		for _, rc := range rcs {
-			bytes := served[dramBin[rc]] / float64(nGPU)
-			path, err := fab.PathDRAMToGPU(rc, g)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := fab.Net.AddFlow(fmt.Sprintf("dram:%s>g%d", rc, g), path, bytes, 0); err != nil {
-				return nil, err
-			}
-		}
-		// SSD flows.
-		for j := 0; j < m.NumSSDs; j++ {
-			var bytes float64
-			if cfg.Mode == PartitionedSSD {
-				if j/ssdsPerGPU != g {
-					continue
-				}
-				ssdTier := 0.0
-				for k := ssdBin0; k < len(served); k++ {
-					ssdTier += served[k]
-				}
-				bytes = ssdTier / float64(nGPU) / float64(ssdsPerGPU)
-			} else {
-				bytes = served[ssdBin0+j] / float64(nGPU)
-			}
-			path, err := fab.PathSSDToGPU(j, g)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := fab.Net.AddFlow(fmt.Sprintf("ssd%d>g%d", j, g), path, bytes, 0); err != nil {
-				return nil, err
-			}
-		}
+	specs := buildFlowSpecs(cfg, pl, served, gpuBin, dramBin, ssdBin0)
+	fab, err := NewFabric(m, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if err := addFlows(fab, specs); err != nil {
+		return nil, err
 	}
 	fabSp := epochSp.Child("fabric-sim")
 	fab.Net.SetObserver(scoped)
@@ -586,9 +543,61 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	sampleTime := stats.EdgesPerBatch / cfg.SampleRate * iterPerGPU
 
 	// ---- Pipelined epoch (§3.1 System Runtime) --------------------------
-	stageMax := math.Max(ioTime, math.Max(computeTime, sampleTime))
-	fill := (ioTime + computeTime + sampleTime - stageMax) / math.Max(iterPerGPU, 1)
-	epoch := stageMax + fill
+	epochOf := func(io, comp float64) float64 {
+		stageMax := math.Max(io, math.Max(comp, sampleTime))
+		fill := (io + comp + sampleTime - stageMax) / math.Max(iterPerGPU, 1)
+		return stageMax + fill
+	}
+	nomIO := ioTime
+	epoch := epochOf(ioTime, computeTime)
+
+	// ---- Graceful degradation under injected faults ----------------------
+	var frep *FaultReport
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		inj, err := faults.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if err := inj.CheckTargets(m.NumSSDs, nGPU); err != nil {
+			return nil, err
+		}
+		degSp := epochSp.Child("degrade")
+		nominalEpoch := epoch
+		degIO, rep, err := simulateDegradedIO(degradeInput{
+			cfg:        cfg,
+			specs:      specs,
+			inj:        inj,
+			pol:        cfg.Retry.Defaults(),
+			bins:       bins,
+			ssdBin0:    ssdBin0,
+			items:      placeItems,
+			fetchEpoch: fetchEpoch,
+			ssdsPerGPU: ssdsPerGPU,
+		})
+		degSp.End()
+		if err != nil {
+			return nil, err
+		}
+		degCompute := stragglerCompute(computeTime, nGPU, inj)
+		ioTime, computeTime = degIO, degCompute
+		epoch = epochOf(ioTime, computeTime)
+		rep.NominalEpoch = units.Seconds(nominalEpoch)
+		if nominalEpoch > 0 {
+			rep.Inflation = epoch / nominalEpoch
+		}
+		rep.Injected = inj.InjectedBy(epoch)
+		rep.RetriedBytes = retriedBytesEstimate(inj, served[ssdBin0:], ioTime)
+		frep = rep
+		if o != nil {
+			o.Counter("faults_injected_total").Add(float64(rep.Injected))
+			o.Counter("faults_replans_total").Add(float64(rep.Replans))
+			o.Counter("faults_timeouts_total").Add(float64(rep.Timeouts))
+			o.Gauge("faults_stall_seconds").Set(rep.StallSeconds)
+			o.Gauge("faults_moved_bytes").Set(rep.MovedBytes)
+			o.Gauge("faults_retried_bytes").Set(rep.RetriedBytes)
+			o.Gauge("trainsim_epoch_inflation").Set(rep.Inflation)
+		}
+	}
 
 	fabricBytes := 0.0
 	perGPUBW := make([]units.Bandwidth, nGPU)
@@ -600,8 +609,10 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 			}
 		}
 		fabricBytes += in
-		if ioTime > 0 {
-			perGPUBW[g] = units.Bandwidth(in / ioTime)
+		if nomIO > 0 {
+			// Bandwidths describe the nominal traffic plan; under faults the
+			// degraded timeline is reported via Faults instead.
+			perGPUBW[g] = units.Bandwidth(in / nomIO)
 		}
 	}
 
@@ -621,6 +632,7 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 		Stats:        stats,
 		BinAssign:    assign,
 		PreprocessOK: true,
+		Faults:       frep,
 	}
 	if epoch > 0 {
 		res.Throughput = train / epoch

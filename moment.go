@@ -29,6 +29,7 @@ import (
 	"moment/internal/baselines"
 	"moment/internal/core"
 	"moment/internal/experiments"
+	"moment/internal/faults"
 	"moment/internal/gnn"
 	"moment/internal/graph"
 	"moment/internal/placement"
@@ -68,6 +69,27 @@ type (
 	// Table is a regenerated paper figure or table.
 	Table = experiments.Table
 )
+
+// Fault-injection types (set SimConfig.Faults to degrade an epoch).
+type (
+	// FaultSchedule is a deterministic, seedable list of hardware fault
+	// events (SSD fail-stops, throttles, link downtrains, GPU stragglers,
+	// transient error bursts).
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// RetryPolicy governs retry/backoff/timeout handling under faults.
+	RetryPolicy = faults.RetryPolicy
+	// FaultReport summarizes how a faulted epoch degraded.
+	FaultReport = trainsim.FaultReport
+)
+
+// ParseFaultSpec decodes the command-line fault grammar, e.g.
+// "seed=7;kill:ssd2@30;throttle:ssd1@10x0.5+20".
+func ParseFaultSpec(spec string) (*FaultSchedule, error) { return faults.Parse(spec) }
+
+// FormatFaultSpec renders a schedule back into the spec grammar.
+func FormatFaultSpec(s *FaultSchedule) string { return faults.Format(s) }
 
 // Model kinds (§4.1).
 const (
