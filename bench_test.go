@@ -18,6 +18,7 @@ import (
 	"moment/internal/maxflow"
 	"moment/internal/placement"
 	"moment/internal/sample"
+	"moment/internal/scorecache"
 	"moment/internal/simnet"
 	"moment/internal/tensor"
 	"moment/internal/trainsim"
@@ -98,7 +99,8 @@ func BenchmarkMaxFlowDinic(b *testing.B)       { benchSolver(b, maxflow.Dinic) }
 func BenchmarkMaxFlowEdmondsKarp(b *testing.B) { benchSolver(b, maxflow.EdmondsKarp) }
 func BenchmarkMaxFlowPushRelabel(b *testing.B) { benchSolver(b, maxflow.PushRelabel) }
 
-func BenchmarkPlacementSearchMachineB(b *testing.B) {
+func benchSearch(b *testing.B, opt placement.Options) {
+	b.Helper()
 	m := MachineB()
 	cands, err := placement.Enumerate(m)
 	if err != nil {
@@ -113,10 +115,27 @@ func BenchmarkPlacementSearchMachineB(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := placement.Search(m, dem, placement.Options{}); err != nil {
+		if _, err := placement.Search(m, dem, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkPlacementSearchMachineB(b *testing.B) { benchSearch(b, placement.Options{}) }
+
+// Serial vs streaming pins the pipeline speedup claimed in EXPERIMENTS.md;
+// the cached variant measures a fully warm score cache.
+func BenchmarkPlacementSearchSerial(b *testing.B) {
+	benchSearch(b, placement.Options{Serial: true})
+}
+
+func BenchmarkPlacementSearchStreaming(b *testing.B) {
+	benchSearch(b, placement.Options{})
+}
+
+func BenchmarkPlacementSearchCached(b *testing.B) {
+	cache := scorecache.NewScores(1 << 16)
+	benchSearch(b, placement.Options{Cache: cache})
 }
 
 func BenchmarkDDAKPlace100k(b *testing.B) {

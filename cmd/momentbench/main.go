@@ -7,6 +7,8 @@
 //	momentbench fig10 fig16       # selected figures
 //	momentbench -json > out.json  # machine-readable
 //	momentbench -bench BENCH.json # per-experiment benchmark records
+//	momentbench -compare OLD.json # diff fresh records against a baseline;
+//	                              # exit 1 on >10% epoch-time regressions
 package main
 
 import (
@@ -24,13 +26,37 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
 	benchPath := flag.String("bench", "",
 		"write machine-readable per-experiment benchmark records (JSON) to this file")
+	comparePath := flag.String("compare", "",
+		"diff fresh benchmark records against this baseline BENCH_*.json; exit 1 on regressions")
+	threshold := flag.Float64("regress", 0.10,
+		"relative epoch-time slowdown treated as a regression by -compare")
 	oflags := obsflag.Register()
 	flag.Parse()
 	oflags.Enable()
-	if *benchPath != "" {
-		if err := writeBench(*benchPath); err != nil {
+	if *benchPath != "" || *comparePath != "" {
+		recs, err := moment.BenchRecords()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "momentbench:", err)
 			os.Exit(1)
+		}
+		if *benchPath != "" {
+			if err := writeBench(*benchPath, recs); err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *comparePath != "" {
+			baseline, err := moment.ReadBenchRecords(*comparePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench:", err)
+				os.Exit(1)
+			}
+			rep := moment.CompareBench(baseline, recs, *threshold)
+			fmt.Print(rep)
+			if err := rep.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench:", err)
+				os.Exit(1)
+			}
 		}
 		if len(flag.Args()) == 0 {
 			if err := oflags.Flush(); err != nil {
@@ -74,13 +100,9 @@ func main() {
 	}
 }
 
-// writeBench generates the per-experiment benchmark records and writes them
-// as an indented JSON array suitable for committing as BENCH_*.json.
-func writeBench(path string) error {
-	recs, err := moment.BenchRecords()
-	if err != nil {
-		return err
-	}
+// writeBench writes benchmark records as an indented JSON array suitable
+// for committing as BENCH_*.json.
+func writeBench(path string, recs []moment.BenchRecord) error {
 	w, err := os.Create(path)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"moment/internal/ddak"
+	"moment/internal/scorecache"
 )
 
 // Monitor keeps exponentially-decayed per-item access counts.
@@ -115,6 +116,18 @@ type Migration struct {
 	Assignment *ddak.ItemAssignment
 }
 
+// Layouts is a bounded LRU of memoized DDAK layouts keyed by a fingerprint
+// of everything that determines one: hotness, item sizes, the bin set, and
+// the pooling/traffic parameters. Fault-recovery cycles rotate among a
+// small set of bin configurations (healthy, ssd0-dead, link-degraded, ...),
+// so Rebin replans into a previously seen configuration become lookups.
+type Layouts = scorecache.Cache[uint64, *ddak.ItemAssignment]
+
+// NewLayouts returns a layout LRU with the given bound (<=0 disables).
+func NewLayouts(max int) *Layouts {
+	return scorecache.New[uint64, *ddak.ItemAssignment](max)
+}
+
 // Replanner owns a DDAK layout and refreshes it when the observed access
 // distribution drifts beyond Threshold.
 type Replanner struct {
@@ -123,11 +136,16 @@ type Replanner struct {
 	TrafficScale float64
 	// Threshold is the TV drift that triggers re-placement (e.g. 0.1).
 	Threshold float64
+	// Cache, when non-nil, memoizes layouts across replans (and across
+	// Replanners sharing it). Entries are cloned on both insert and hit, so
+	// callers may mutate returned assignments freely.
+	Cache *Layouts
 
 	itemBytes []float64
 	current   *ddak.ItemAssignment
 	planned   []float64 // hotness snapshot at last re-placement
 	replans   int
+	cacheHits int
 }
 
 // NewReplanner plans the initial layout from the offline hotness estimate.
@@ -155,11 +173,52 @@ func NewReplanner(hot, itemBytes []float64, bins []ddak.Bin, poolN int, trafficS
 }
 
 func (r *Replanner) place(hot []float64) (*ddak.ItemAssignment, error) {
+	var key uint64
+	if r.Cache != nil {
+		key = r.layoutKey(hot)
+		if a, ok := r.Cache.Get(key); ok {
+			r.cacheHits++
+			return cloneAssignment(a), nil
+		}
+	}
 	items := make([]ddak.Item, len(hot))
 	for i := range items {
 		items[i] = ddak.Item{Hot: hot[i], Bytes: r.itemBytes[i]}
 	}
-	return ddak.PlaceItems(items, r.Bins, r.PoolN, r.TrafficScale)
+	a, err := ddak.PlaceItems(items, r.Bins, r.PoolN, r.TrafficScale)
+	if err != nil {
+		return nil, err
+	}
+	if r.Cache != nil {
+		r.Cache.Put(key, cloneAssignment(a))
+	}
+	return a, nil
+}
+
+// layoutKey fingerprints everything place() depends on.
+func (r *Replanner) layoutKey(hot []float64) uint64 {
+	h := scorecache.NewHasher()
+	h.Floats(hot).Floats(r.itemBytes)
+	h.Uint(uint64(len(r.Bins)))
+	for _, b := range r.Bins {
+		h.String(b.Name)
+		h.Uint(uint64(b.Tier))
+		h.Float(b.Capacity).Float(b.Traffic)
+	}
+	h.Uint(uint64(r.PoolN)).Float(r.TrafficScale)
+	return h.Sum()
+}
+
+// cloneAssignment deep-copies an assignment so cached layouts stay isolated
+// from caller mutation.
+func cloneAssignment(a *ddak.ItemAssignment) *ddak.ItemAssignment {
+	return &ddak.ItemAssignment{
+		Bins:   append([]ddak.Bin(nil), a.Bins...),
+		Of:     append([]int32(nil), a.Of...),
+		Used:   append([]float64(nil), a.Used...),
+		Access: append([]float64(nil), a.Access...),
+		Pools:  a.Pools,
+	}
 }
 
 // Current returns the layout in force.
@@ -167,6 +226,9 @@ func (r *Replanner) Current() *ddak.ItemAssignment { return r.current }
 
 // Replans counts completed re-placements.
 func (r *Replanner) Replans() int { return r.replans }
+
+// CacheHits counts place() calls served from the layout cache.
+func (r *Replanner) CacheHits() int { return r.cacheHits }
 
 // Maybe checks the live hotness estimate against the planning-time
 // snapshot and re-places when drift exceeds the threshold.

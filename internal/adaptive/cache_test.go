@@ -1,0 +1,140 @@
+package adaptive
+
+import (
+	"testing"
+
+	"moment/internal/ddak"
+)
+
+func sameAssignment(t *testing.T, got, want *ddak.ItemAssignment) {
+	t.Helper()
+	if len(got.Of) != len(want.Of) {
+		t.Fatalf("assignment lengths %d vs %d", len(got.Of), len(want.Of))
+	}
+	for i := range got.Of {
+		if got.Of[i] != want.Of[i] {
+			t.Fatalf("item %d in bin %d, want %d", i, got.Of[i], want.Of[i])
+		}
+	}
+}
+
+// TestRebinCacheFaultCycle drives the graceful-degradation loop the cache
+// is for: fault → Rebin(degraded) → recovery → Rebin(healthy) → same fault
+// again. The third replan must be a cache hit and produce the same layout
+// as an uncached replanner walking the same cycle.
+func TestRebinCacheFaultCycle(t *testing.T) {
+	hot := zipf(t, 400)
+	bytes := make([]float64, 400)
+	for i := range bytes {
+		bytes[i] = 10
+	}
+	mk := func(cache *Layouts) *Replanner {
+		r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = cache
+		return r
+	}
+	healthy := bins()
+	degraded, err := ddak.DegradeBins(healthy, map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := mk(NewLayouts(64))
+	plain := mk(nil)
+	for cycle, binSet := range [][]ddak.Bin{degraded, healthy, degraded, healthy} {
+		mc, err := cached.Rebin(binSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := plain.Rebin(binSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAssignment(t, mc.Assignment, mp.Assignment)
+		if mc.MovedItems != mp.MovedItems || mc.MovedBytes != mp.MovedBytes {
+			t.Errorf("cycle %d: migration bill %d/%v cached vs %d/%v plain",
+				cycle, mc.MovedItems, mc.MovedBytes, mp.MovedItems, mp.MovedBytes)
+		}
+	}
+	if cached.CacheHits() != 2 {
+		t.Errorf("cache hits = %d, want 2 (second visits to each bin set)", cached.CacheHits())
+	}
+	if plain.CacheHits() != 0 {
+		t.Errorf("uncached replanner reported %d hits", plain.CacheHits())
+	}
+}
+
+// TestMaybeCacheOnHotnessReturn checks drift-triggered replans hit when the
+// workload swings back to a previously planned distribution.
+func TestMaybeCacheOnHotnessReturn(t *testing.T) {
+	hot := zipf(t, 300)
+	bytes := make([]float64, 300)
+	for i := range bytes {
+		bytes[i] = 10
+	}
+	r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Cache = NewLayouts(64)
+	shifted := rotate(hot, 150)
+	if mig, err := r.Maybe(shifted); err != nil || !mig.Triggered {
+		t.Fatalf("first drift: mig=%+v err=%v", mig, err)
+	}
+	if mig, err := r.Maybe(hot); err != nil || !mig.Triggered {
+		t.Fatalf("return drift: mig=%+v err=%v", mig, err)
+	}
+	// hot was planned at construction time — before the cache was attached
+	// — so only a second full swing can hit.
+	if mig, err := r.Maybe(shifted); err != nil || !mig.Triggered {
+		t.Fatalf("second swing: mig=%+v err=%v", mig, err)
+	}
+	if r.CacheHits() == 0 {
+		t.Error("no cache hits after returning to a cached distribution")
+	}
+}
+
+// TestCacheIsolation mutates a cache-served assignment and verifies the
+// cached copy is unaffected (entries are cloned on insert and hit).
+func TestCacheIsolation(t *testing.T) {
+	hot := zipf(t, 100)
+	bytes := make([]float64, 100)
+	for i := range bytes {
+		bytes[i] = 10
+	}
+	r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Cache = NewLayouts(8)
+	degraded, err := ddak.DegradeBins(bins(), map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := r.Rebin(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int32(nil), m1.Assignment.Of...)
+	for i := range m1.Assignment.Of { // caller scribbles on the result
+		m1.Assignment.Of[i] = -1
+	}
+	if _, err := r.Rebin(bins()); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := r.Rebin(degraded) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHits() == 0 {
+		t.Fatal("expected a cache hit on the repeated bin set")
+	}
+	for i := range want {
+		if m3.Assignment.Of[i] != want[i] {
+			t.Fatalf("cached layout poisoned at item %d: %d want %d", i, m3.Assignment.Of[i], want[i])
+		}
+	}
+}

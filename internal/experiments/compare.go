@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench-regression gate: CompareBench diffs two BENCH_*.json record sets —
+// a committed baseline from an earlier PR and a freshly generated set — on
+// simulated epoch time, per experiment. The momentbench -compare flag wires
+// it into CI: any configuration whose epoch time regressed beyond the
+// threshold fails the run, so planner/solver changes cannot silently slow a
+// benchmarked configuration.
+
+// CompareStatus classifies one configuration's delta.
+type CompareStatus string
+
+const (
+	StatusOK          CompareStatus = "ok"
+	StatusImprovement CompareStatus = "improvement"
+	StatusRegression  CompareStatus = "regression"
+	StatusMissing     CompareStatus = "missing" // in baseline, absent now
+	StatusNew         CompareStatus = "new"     // absent in baseline
+)
+
+// CompareRow is one configuration's before/after epoch time.
+type CompareRow struct {
+	Key      string // machine/dataset/model/layout/policy
+	Old, New float64
+	Delta    float64 // (New-Old)/Old; 0 for missing/new rows
+	Status   CompareStatus
+}
+
+// CompareReport is the full diff plus the threshold it was judged at.
+type CompareReport struct {
+	Rows      []CompareRow
+	Threshold float64
+}
+
+// benchKey identifies one experiment configuration across record sets.
+func benchKey(r BenchRecord) string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", r.Machine, r.Dataset, r.Model, r.Layout, r.Policy)
+}
+
+// CompareBench diffs newRecs against a baseline on epoch_sec. threshold is
+// the relative slowdown that counts as a regression (and speedup that
+// counts as an improvement); <=0 defaults to 0.10. Rows come back sorted by
+// key, so reports are deterministic.
+func CompareBench(baseline, newRecs []BenchRecord, threshold float64) *CompareReport {
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	oldBy := make(map[string]BenchRecord, len(baseline))
+	for _, r := range baseline {
+		oldBy[benchKey(r)] = r
+	}
+	newBy := make(map[string]BenchRecord, len(newRecs))
+	for _, r := range newRecs {
+		newBy[benchKey(r)] = r
+	}
+	keys := make([]string, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	rep := &CompareReport{Threshold: threshold}
+	for _, k := range keys {
+		o, hasOld := oldBy[k]
+		n, hasNew := newBy[k]
+		row := CompareRow{Key: k}
+		switch {
+		case !hasNew:
+			row.Old, row.Status = o.EpochSec, StatusMissing
+		case !hasOld:
+			row.New, row.Status = n.EpochSec, StatusNew
+		default:
+			row.Old, row.New = o.EpochSec, n.EpochSec
+			if o.EpochSec > 0 {
+				row.Delta = (n.EpochSec - o.EpochSec) / o.EpochSec
+			} else if n.EpochSec > 0 {
+				row.Delta = math.Inf(1)
+			}
+			switch {
+			case row.Delta >= threshold:
+				row.Status = StatusRegression
+			case row.Delta <= -threshold:
+				row.Status = StatusImprovement
+			default:
+				row.Status = StatusOK
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Regressions returns the rows that breach the threshold.
+func (r *CompareReport) Regressions() []CompareRow {
+	var out []CompareRow
+	for _, row := range r.Rows {
+		if row.Status == StatusRegression {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Err returns nil when no configuration regressed, and an error naming the
+// offenders otherwise — the CI gate.
+func (r *CompareReport) Err() error {
+	regs := r.Regressions()
+	if len(regs) == 0 {
+		return nil
+	}
+	names := make([]string, len(regs))
+	for i, row := range regs {
+		names[i] = fmt.Sprintf("%s (+%.1f%%)", row.Key, row.Delta*100)
+	}
+	return fmt.Errorf("experiments: %d epoch-time regression(s) beyond %.0f%%: %s",
+		len(regs), r.Threshold*100, strings.Join(names, ", "))
+}
+
+// String renders the diff as an aligned table, missing/new rows last.
+func (r *CompareReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench compare (epoch_sec, threshold %.0f%%)\n", r.Threshold*100)
+	keyW := len("configuration")
+	for _, row := range r.Rows {
+		if len(row.Key) > keyW {
+			keyW = len(row.Key)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %10s  %10s  %8s  %s\n", keyW, "configuration", "old", "new", "delta", "status")
+	line := func(row CompareRow) {
+		old, now, delta := "-", "-", "-"
+		if row.Status != StatusNew {
+			old = fmt.Sprintf("%.3f", row.Old)
+		}
+		if row.Status != StatusMissing {
+			now = fmt.Sprintf("%.3f", row.New)
+		}
+		if row.Status != StatusNew && row.Status != StatusMissing {
+			delta = fmt.Sprintf("%+.1f%%", row.Delta*100)
+		}
+		fmt.Fprintf(&b, "%-*s  %10s  %10s  %8s  %s\n", keyW, row.Key, old, now, delta, row.Status)
+	}
+	for _, row := range r.Rows {
+		if row.Status != StatusMissing && row.Status != StatusNew {
+			line(row)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Status == StatusMissing || row.Status == StatusNew {
+			line(row)
+		}
+	}
+	return b.String()
+}
+
+// ReadBenchRecords loads a committed BENCH_*.json record set.
+func ReadBenchRecords(path string) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", path, err)
+	}
+	return recs, nil
+}

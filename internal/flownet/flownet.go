@@ -21,10 +21,12 @@ package flownet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"moment/internal/maxflow"
 	"moment/internal/obs"
+	"moment/internal/scorecache"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -83,6 +85,40 @@ func (d *Demand) TotalSupply() float64 {
 	return t
 }
 
+// Fingerprint hashes the demand into a compact cache-key fragment: two
+// demands with equal fingerprints route the same byte budgets (up to hash
+// collision), so a placement score computed for one is valid for the other.
+// Nil-ness of HBMPeer and SSDPer is part of the fingerprint — it changes
+// the network structure (GPU cache nodes, SSD pool aggregator), not just
+// edge budgets. DRAM keys are visited in sorted order for stability.
+func (d *Demand) Fingerprint() uint64 {
+	h := scorecache.NewHasher()
+	h.Floats(d.PerGPU)
+	h.Uint(nilMark(d.HBMPeer == nil))
+	h.Floats(d.HBMPeer)
+	keys := make([]string, 0, len(d.DRAM))
+	for k := range d.DRAM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		h.String(k)
+		h.Float(d.DRAM[k])
+	}
+	h.Float(d.SSDTotal)
+	h.Uint(nilMark(d.SSDPer == nil))
+	h.Floats(d.SSDPer)
+	return h.Sum()
+}
+
+func nilMark(isNil bool) uint64 {
+	if isNil {
+		return 1
+	}
+	return 0
+}
+
 // Network is the built flow network with node bookkeeping.
 type Network struct {
 	G    *maxflow.Graph
@@ -108,6 +144,7 @@ type Network struct {
 	supplyHBM  []maxflow.EdgeID            // s -> hbm_i
 	supplyDRAM map[string]maxflow.EdgeID   // s -> dram_k
 	supplySSD  []maxflow.EdgeID            // s -> ssd_i (or pool -> ssd_i)
+	supplyPool maxflow.EdgeID              // s -> ssdpool (-1 when SSDPer pins budgets)
 	qpiEdges   []maxflow.EdgeID            // both directions
 	linkEdges  map[string][]maxflow.EdgeID // named physical links -> edges
 	linkRate   map[string]float64          // named physical links -> per-direction rate sum
@@ -116,6 +153,19 @@ type Network struct {
 // Build constructs the augmented communication graph for machine m under
 // placement p with demand d. The placement must validate against m.
 func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, error) {
+	return BuildReuse(m, p, d, nil)
+}
+
+// BuildReuse is Build with an arena: when scratch is non-nil its graph,
+// bisector, maps, and bookkeeping slices are cleared and rebuilt in place
+// instead of reallocated, and scratch itself is returned. The planner's
+// scoring loop builds thousands of networks that differ only in placement;
+// threading one scratch Network per worker through BuildReuse keeps those
+// rebuilds out of the allocator (see maxflow.Graph.Clear and
+// TimeBisector.Reinit). Passing nil scratch is exactly Build. On error the
+// scratch is left in an unusable, partially-reset state and must not be
+// Solved, but may be passed to BuildReuse again.
+func BuildReuse(m *topology.Machine, p *topology.Placement, d *Demand, scratch *Network) (*Network, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,23 +186,37 @@ func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, err
 		return nil, fmt.Errorf("flownet: storage supply %.0f < GPU demand %.0f", supply, dem)
 	}
 
-	n := &Network{
-		Machine:    m,
-		Placement:  p,
-		G:          maxflow.New(0),
-		DRAMNode:   map[string]int{},
-		APNode:     map[string]int{},
-		supplyDRAM: map[string]maxflow.EdgeID{},
-		linkEdges:  map[string][]maxflow.EdgeID{},
-		linkRate:   map[string]float64{},
-		demand:     d,
-		PoolNode:   -1,
+	n := scratch
+	if n == nil {
+		n = &Network{
+			G:          maxflow.New(0),
+			DRAMNode:   map[string]int{},
+			APNode:     map[string]int{},
+			supplyDRAM: map[string]maxflow.EdgeID{},
+			linkEdges:  map[string][]maxflow.EdgeID{},
+			linkRate:   map[string]float64{},
+		}
+	} else {
+		n.G.Clear()
+		clear(n.DRAMNode)
+		clear(n.APNode)
+		clear(n.supplyDRAM)
+		clear(n.linkEdges)
+		clear(n.linkRate)
+		n.qpiEdges = n.qpiEdges[:0] // observer (n.obsrv) survives reuse
 	}
+	n.Machine, n.Placement, n.demand = m, p, d
+	n.PoolNode, n.supplyPool = -1, -1
+	n.solvedT = 0
 	g := n.G
 	n.S = g.AddNode("s")
 	n.T = g.AddNode("t")
-	bis := maxflow.NewTimeBisector(g, n.S, n.T, dem)
-	n.bis = bis
+	if n.bis == nil {
+		n.bis = maxflow.NewTimeBisector(g, n.S, n.T, dem)
+	} else {
+		n.bis.Reinit(g, n.S, n.T, dem)
+	}
+	bis := n.bis
 
 	// Interconnect nodes.
 	for _, pt := range m.Points {
@@ -188,8 +252,8 @@ func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, err
 	}
 
 	// Computation nodes and their ingress links.
-	n.GPUNode = make([]int, m.NumGPUs)
-	n.demandEdge = make([]maxflow.EdgeID, m.NumGPUs)
+	n.GPUNode = resize(n.GPUNode, m.NumGPUs)
+	n.demandEdge = resize(n.demandEdge, m.NumGPUs)
 	for i := 0; i < m.NumGPUs; i++ {
 		n.GPUNode[i] = g.AddNode(fmt.Sprintf("gpu%d", i))
 		ap := n.APNode[p.GPUAt[i]]
@@ -203,8 +267,8 @@ func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, err
 
 	// HBM peer-serving storage nodes: egress over the GPU's own x16 link
 	// (duplex: independent of its ingress), plus NVLink shortcuts.
-	n.HBMNode = make([]int, m.NumGPUs)
-	n.supplyHBM = make([]maxflow.EdgeID, m.NumGPUs)
+	n.HBMNode = resize(n.HBMNode, m.NumGPUs)
+	n.supplyHBM = resize(n.supplyHBM, m.NumGPUs)
 	for i := range n.HBMNode {
 		n.HBMNode[i] = -1
 		n.supplyHBM[i] = -1
@@ -256,13 +320,14 @@ func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, err
 	// SSD storage nodes. Each SSD's service rate is min(device BW, bay
 	// link); with a free tier budget an aggregator pool lets max-flow
 	// choose the per-SSD split.
-	n.SSDNode = make([]int, m.NumSSDs)
-	n.supplySSD = make([]maxflow.EdgeID, m.NumSSDs)
+	n.SSDNode = resize(n.SSDNode, m.NumSSDs)
+	n.supplySSD = resize(n.supplySSD, m.NumSSDs)
 	ssdRate := math.Min(float64(m.SSDBW), float64(m.PCIeX4))
 	if d.SSDPer == nil && m.NumSSDs > 0 {
 		n.PoolNode = g.AddNode("ssdpool")
 		se := g.AddEdge(n.S, n.PoolNode, 0)
 		bis.AddFixedEdge(se, d.SSDTotal)
+		n.supplyPool = se
 	}
 	for i := 0; i < m.NumSSDs; i++ {
 		sn := g.AddNode(fmt.Sprintf("ssd%d", i))
@@ -283,9 +348,95 @@ func Build(m *topology.Machine, p *topology.Placement, d *Demand) (*Network, err
 	return n, nil
 }
 
+// resize returns s truncated or regrown to length n, reusing the backing
+// array when it is large enough — the slice half of the BuildReuse arena.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 func (n *Network) trackLink(name string, rate float64, edges ...maxflow.EdgeID) {
 	n.linkEdges[name] = append(n.linkEdges[name], edges...)
 	n.linkRate[name] += rate * float64(len(edges))
+}
+
+// PatchDemand reprices every byte-budget (fixed) edge of an already built
+// network to demand d without rebuilding the graph — the fast path for
+// re-scoring one placement under many demand vectors (hotness drift,
+// fault-triggered re-bins). The new demand must be structurally compatible
+// with the network: same GPU/SSD counts, same HBMPeer and SSDPer nil-ness
+// (those toggle nodes, not budgets), and DRAM budgets only on sockets the
+// machine has. Rate increases since the last solve keep the bisector's
+// warm start valid; budget decreases are self-detected and force a cold
+// probe (see TimeBisector.SetFixed). The network is left unsolved.
+func (n *Network) PatchDemand(d *Demand) error {
+	m := n.Machine
+	if len(d.PerGPU) != m.NumGPUs {
+		return fmt.Errorf("flownet: patch demand for %d GPUs, machine has %d", len(d.PerGPU), m.NumGPUs)
+	}
+	if (d.HBMPeer == nil) != (n.demand.HBMPeer == nil) {
+		return fmt.Errorf("flownet: patch cannot toggle HBM peer serving (rebuild required)")
+	}
+	if d.HBMPeer != nil && len(d.HBMPeer) != m.NumGPUs {
+		return fmt.Errorf("flownet: patch HBMPeer for %d GPUs, machine has %d", len(d.HBMPeer), m.NumGPUs)
+	}
+	if (d.SSDPer == nil) != (n.demand.SSDPer == nil) {
+		return fmt.Errorf("flownet: patch cannot toggle per-SSD pinning (rebuild required)")
+	}
+	if d.SSDPer != nil && len(d.SSDPer) != m.NumSSDs {
+		return fmt.Errorf("flownet: patch SSDPer for %d SSDs, machine has %d", len(d.SSDPer), m.NumSSDs)
+	}
+	for rc := range d.DRAM {
+		if _, ok := n.DRAMNode[rc]; !ok {
+			return fmt.Errorf("flownet: DRAM budget for unknown socket %q", rc)
+		}
+	}
+	supply, dem := d.TotalSupply(), d.TotalDemand()
+	if supply < dem-1e-6-1e-9*dem {
+		return fmt.Errorf("flownet: storage supply %.0f < GPU demand %.0f", supply, dem)
+	}
+
+	for i, e := range n.demandEdge {
+		if err := n.bis.SetFixed(e, d.PerGPU[i]); err != nil {
+			return err
+		}
+	}
+	if d.HBMPeer != nil {
+		for i, e := range n.supplyHBM {
+			if e < 0 {
+				continue
+			}
+			if err := n.bis.SetFixed(e, d.HBMPeer[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for rc, e := range n.supplyDRAM {
+		budget := 0.0
+		if d.DRAM != nil {
+			budget = d.DRAM[rc]
+		}
+		if err := n.bis.SetFixed(e, budget); err != nil {
+			return err
+		}
+	}
+	if d.SSDPer != nil {
+		for i, e := range n.supplySSD {
+			if err := n.bis.SetFixed(e, d.SSDPer[i]); err != nil {
+				return err
+			}
+		}
+	} else if n.supplyPool >= 0 {
+		if err := n.bis.SetFixed(n.supplyPool, d.SSDTotal); err != nil {
+			return err
+		}
+	}
+	n.bis.Demand = dem
+	n.demand = d
+	n.solvedT = 0
+	return nil
 }
 
 // Check, when non-nil, audits every solved network before Solve returns
@@ -309,9 +460,11 @@ func (n *Network) SetObserver(o *obs.Observer) { n.obsrv = o }
 func (n *Network) SolveTol(tol float64) (units.Duration, error) {
 	o := n.obsrv
 	var before maxflow.SolveStats
+	var warmS, warmA int
 	var wall time.Time
 	if o != nil {
 		before = n.G.Stats()
+		warmS, warmA = n.bis.WarmStarts, n.bis.WarmAborts
 		wall = time.Now()
 	}
 	t, err := n.bis.MinTime(tol)
@@ -320,6 +473,9 @@ func (n *Network) SolveTol(tol float64) (units.Duration, error) {
 		o.Counter("maxflow_solves_total").Add(float64(after.Solves - before.Solves))
 		o.Counter("maxflow_augmenting_paths_total").Add(float64(after.AugmentingPaths - before.AugmentingPaths))
 		o.Counter("maxflow_relabels_total").Add(float64(after.Relabels - before.Relabels))
+		// Warm counters are cumulative on the bisector, so report deltas.
+		o.Counter("maxflow_warm_starts_total").Add(float64(n.bis.WarmStarts - warmS))
+		o.Counter("maxflow_warm_aborts_total").Add(float64(n.bis.WarmAborts - warmA))
 		o.Histogram("maxflow_bisection_iterations").Observe(float64(n.bis.Iterations))
 		o.Histogram("maxflow_bisection_probes").Observe(float64(n.bis.Probes))
 		o.Histogram("flownet_solve_seconds").Observe(time.Since(wall).Seconds())

@@ -28,6 +28,13 @@ type TimeBisector struct {
 	Demand float64 // total bytes that must arrive at the sink
 	Solver Solver
 
+	// DisableWarmStart forces every probe to rebuild all capacities and
+	// solve from an empty flow — the pre-warm-start behavior, kept as the
+	// differential reference (and escape hatch). Default off: probes at a
+	// horizon at or above the last solved one reuse the flow already on
+	// the graph and only augment the difference.
+	DisableWarmStart bool
+
 	rateEdges  []EdgeID
 	rates      []float64
 	fixedEdges []EdgeID
@@ -40,6 +47,22 @@ type TimeBisector struct {
 	// to an observer after the solve rather than paying atomics inside it.
 	Probes     int
 	Iterations int
+	// WarmStarts counts probes that reused the previous probe's flow, and
+	// WarmAborts counts warm attempts abandoned because a capacity would
+	// have shrunk (non-monotone schedule change, e.g. a rate lowered via
+	// SetRate between solves — self-detected, never silently wrong). Both
+	// are cumulative across MinTime calls, unlike Probes/Iterations, so
+	// fault-degradation sequences can audit warm behavior over a whole
+	// schedule.
+	WarmStarts int
+	WarmAborts int
+
+	// Warm-start bookkeeping: when warmOK, the graph holds a maximum flow
+	// of value warmFlow for the capacities of horizon warmT under the
+	// schedule applied at that probe.
+	warmT    float64
+	warmFlow float64
+	warmOK   bool
 }
 
 // NewTimeBisector wraps g for bisection between terminals s and t.
@@ -68,22 +91,127 @@ func (b *TimeBisector) AddFixedEdge(e EdgeID, bytes float64) {
 	b.fixed = append(b.fixed, bytes)
 }
 
-// apply sets all capacities for horizon T.
+// SetRate updates the bandwidth of a previously registered rate edge —
+// the fault-degradation hook (SSD throttles, PCIe downtrains) that lets a
+// schedule change between solves without rebuilding the network. The
+// warm-start machinery self-detects the change on the next probe: a rate
+// increase keeps warm continuation valid, a decrease makes the capacity
+// schedule non-monotone and forces a cold re-solve (counted in WarmAborts).
+func (b *TimeBisector) SetRate(e EdgeID, rate float64) error {
+	if rate < 0 || math.IsNaN(rate) {
+		return fmt.Errorf("maxflow: invalid rate %v", rate)
+	}
+	for i, re := range b.rateEdges {
+		if re == e {
+			b.rates[i] = rate
+			return nil
+		}
+	}
+	return fmt.Errorf("maxflow: edge %d is not a registered rate edge", e)
+}
+
+// SetFixed updates the byte budget of a previously registered fixed edge
+// (demand or supply repricing between solves). Like SetRate, decreases are
+// picked up by the warm-start monotonicity check and force a cold probe.
+func (b *TimeBisector) SetFixed(e EdgeID, bytes float64) error {
+	if bytes < 0 || math.IsNaN(bytes) {
+		return fmt.Errorf("maxflow: invalid byte budget %v", bytes)
+	}
+	for i, fe := range b.fixedEdges {
+		if fe == e {
+			b.fixed[i] = bytes
+			return nil
+		}
+	}
+	return fmt.Errorf("maxflow: edge %d is not a registered fixed edge", e)
+}
+
+// Reinit rebinds the bisector to a rebuilt graph, dropping every registered
+// edge, counter, and warm state while retaining slice capacity — the
+// bisector half of the graph arena reuse API (see Graph.Clear).
+func (b *TimeBisector) Reinit(g *Graph, s, t int, demand float64) {
+	b.G, b.S, b.T, b.Demand = g, s, t, demand
+	b.rateEdges = b.rateEdges[:0]
+	b.rates = b.rates[:0]
+	b.fixedEdges = b.fixedEdges[:0]
+	b.fixed = b.fixed[:0]
+	b.Probes, b.Iterations = 0, 0
+	b.WarmStarts, b.WarmAborts = 0, 0
+	b.warmOK = false
+}
+
+// InvalidateWarm discards the warm-start state, forcing the next probe to
+// re-apply capacities and solve cold. Required after mutating the graph's
+// capacities or flow directly (bypassing the bisector); SetRate/SetFixed do
+// NOT need it — the monotonicity check handles schedule changes.
+func (b *TimeBisector) InvalidateWarm() { b.warmOK = false }
+
+// target returns the capacity of registered rate edge i at horizon t.
+func (b *TimeBisector) target(i int, t float64) float64 {
+	c := b.rates[i]
+	if !math.IsInf(c, 1) {
+		c *= t
+	}
+	return c
+}
+
+// apply sets all capacities for horizon T, clearing any flow on them.
 func (b *TimeBisector) apply(t float64) {
 	for i, e := range b.rateEdges {
-		c := b.rates[i]
-		if !math.IsInf(c, 1) {
-			c *= t
-		}
-		b.G.SetCapacity(e, c)
+		b.G.SetCapacity(e, b.target(i, t))
 	}
 	for i, e := range b.fixedEdges {
 		b.G.SetCapacity(e, b.fixed[i])
 	}
 }
 
+// monotone reports whether every registered edge's capacity at horizon t is
+// at least its current capacity on the graph — the condition under which
+// the flow already on the graph remains valid and warm continuation is
+// sound. A single shrinking edge (smaller horizon, or a rate/budget lowered
+// via SetRate/SetFixed) fails the check.
+func (b *TimeBisector) monotone(t float64) bool {
+	for i, e := range b.rateEdges {
+		if capShrinks(b.G.Capacity(e), b.target(i, t)) {
+			return false
+		}
+	}
+	for i, e := range b.fixedEdges {
+		if capShrinks(b.G.Capacity(e), b.fixed[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// capShrinks reports whether moving an edge from capacity cur to capacity
+// next would shrink it beyond tolerance.
+func capShrinks(cur, next float64) bool {
+	if math.IsInf(cur, 1) {
+		return !math.IsInf(next, 1)
+	}
+	return next < cur-Eps
+}
+
+// patch raises every registered edge to its horizon-t capacity in place,
+// preserving the flow on the graph. Callers must have established
+// monotone(t).
+func (b *TimeBisector) patch(t float64) {
+	for i, e := range b.rateEdges {
+		b.G.RaiseCapacity(e, b.target(i, t))
+	}
+	for i, e := range b.fixedEdges {
+		b.G.RaiseCapacity(e, b.fixed[i])
+	}
+}
+
 // Feasible reports whether all demand can be delivered within horizon t,
 // leaving the corresponding flow on the graph.
+//
+// When the horizon is at or above the last solved one and no capacity
+// shrank in between, the probe warm-starts: capacities are raised in place
+// and the previous flow is extended by augmentation instead of re-solved
+// from scratch (identical value by max-flow/min-cut; see Graph.Augment).
 func (b *TimeBisector) Feasible(t float64) bool {
 	b.Probes++
 	if t <= 0 {
@@ -93,10 +221,26 @@ func (b *TimeBisector) Feasible(t float64) bool {
 		// probe at a different horizon.
 		b.apply(0)
 		b.G.Reset()
+		b.warmOK = false
 		return b.Demand <= Eps
 	}
-	b.apply(t)
-	flow := b.G.MaxFlow(b.S, b.T, b.Solver)
+	var flow float64
+	switch {
+	case !b.DisableWarmStart && b.warmOK && t >= b.warmT && b.monotone(t):
+		b.WarmStarts++
+		b.patch(t)
+		flow = b.warmFlow + b.G.Augment(b.S, b.T, b.Solver)
+	default:
+		if !b.DisableWarmStart && b.warmOK && t >= b.warmT {
+			// Warm continuation was structurally available (growing
+			// horizon) but a capacity shrank underneath it: the schedule
+			// changed non-monotonically. Record the self-detected abort.
+			b.WarmAborts++
+		}
+		b.apply(t)
+		flow = b.G.MaxFlow(b.S, b.T, b.Solver)
+	}
+	b.warmT, b.warmFlow, b.warmOK = t, flow, true
 	return flow >= b.Demand-relEps(b.Demand)
 }
 
@@ -115,6 +259,7 @@ func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 		// zero-horizon state rather than whatever a previous probe wrote.
 		b.apply(0)
 		b.G.Reset()
+		b.warmOK = false
 		return 0, nil
 	}
 	if tol <= 0 {

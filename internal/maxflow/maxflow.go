@@ -70,7 +70,15 @@ func New(n int) *Graph {
 
 // AddNode appends a node and returns its index.
 func (g *Graph) AddNode(label string) int {
-	g.head = append(g.head, nil)
+	if n := len(g.head); n < cap(g.head) {
+		// Arena reuse after Clear: re-expose the retained adjacency bucket
+		// (truncated, so no stale edge ids leak) instead of appending nil,
+		// which would discard its backing array.
+		g.head = g.head[:n+1]
+		g.head[n] = g.head[n][:0]
+	} else {
+		g.head = append(g.head, nil)
+	}
 	g.label = append(g.label, label)
 	g.n++
 	return g.n - 1
@@ -154,12 +162,63 @@ func (g *Graph) Endpoints(e EdgeID) (int, int) {
 	return int(g.to[e^1]), int(g.to[e])
 }
 
+// RaiseCapacity increases edge e's capacity without disturbing the flow
+// currently routed on it (SetCapacity clears the edge's flow). Decreases
+// are rejected: shrinking a capacity under live flow could leave negative
+// residuals, so lowering requires SetCapacity (which resets flow). New
+// capacities within Eps of the current one are a no-op.
+func (g *Graph) RaiseCapacity(e EdgeID, capacity float64) {
+	g.checkForwardEdge(e, "RaiseCapacity")
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: invalid capacity %v", capacity))
+	}
+	cur := g.cap[e]
+	if math.IsInf(cur, 1) {
+		if !math.IsInf(capacity, 1) {
+			panic(fmt.Sprintf("maxflow: RaiseCapacity would lower edge %d from +Inf to %v", e, capacity))
+		}
+		return
+	}
+	if capacity < cur-Eps {
+		panic(fmt.Sprintf("maxflow: RaiseCapacity would lower edge %d from %v to %v", e, cur, capacity))
+	}
+	if math.IsInf(capacity, 1) {
+		// Flow on an infinite edge is tracked via the reverse residual,
+		// which already holds the routed amount; only the forward side
+		// becomes unbounded.
+		g.cap[e] = capacity
+		g.resid[e] = capacity
+		return
+	}
+	if delta := capacity - cur; delta > 0 {
+		g.cap[e] = capacity
+		g.resid[e] += delta
+	}
+}
+
 // Reset clears all flow, restoring every edge's residual to its capacity.
 func (g *Graph) Reset() {
 	for e := 0; e < len(g.cap); e += 2 {
 		g.resid[e] = g.cap[e]
 		g.resid[e+1] = 0
 	}
+}
+
+// Clear empties the graph — zero nodes, zero edges — while retaining every
+// backing array, the arena half of the Clear+CloneInto reuse API: a
+// subsequent rebuild of a similarly sized network through AddNode/AddEdge
+// allocates nothing. Solver work counters survive (they are cumulative per
+// arena, and callers meter them by before/after deltas).
+func (g *Graph) Clear() {
+	for v := range g.head {
+		g.head[v] = g.head[v][:0]
+	}
+	g.head = g.head[:0]
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.resid = g.resid[:0]
+	g.label = g.label[:0]
+	g.n = 0
 }
 
 // Clone returns a deep copy of the graph including current flow.
@@ -177,6 +236,37 @@ func (g *Graph) Clone() *Graph {
 		c.head[v] = append([]EdgeID(nil), g.head[v]...)
 	}
 	return c
+}
+
+// CloneInto deep-copies g — structure, capacities, current flow, labels,
+// and work counters, exactly like Clone — into dst, reusing dst's backing
+// arrays where their capacity allows. Cloning into the same arena
+// repeatedly allocates nothing once the arrays have grown to size.
+// Returns dst. Cloning a graph into itself is a no-op.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst == g {
+		return dst
+	}
+	dst.n = g.n
+	dst.to = append(dst.to[:0], g.to...)
+	dst.cap = append(dst.cap[:0], g.cap...)
+	dst.resid = append(dst.resid[:0], g.resid...)
+	dst.label = append(dst.label[:0], g.label...)
+	dst.stats = g.stats
+	// Adjacency: resize the outer slice preserving retained buckets, then
+	// overwrite each bucket in place.
+	for len(dst.head) < g.n {
+		if n := len(dst.head); n < cap(dst.head) {
+			dst.head = dst.head[:n+1]
+		} else {
+			dst.head = append(dst.head, nil)
+		}
+	}
+	dst.head = dst.head[:g.n]
+	for v := 0; v < g.n; v++ {
+		dst.head[v] = append(dst.head[v][:0], g.head[v]...)
+	}
+	return dst
 }
 
 // Solver selects the augmenting algorithm.
@@ -220,6 +310,32 @@ func (g *Graph) MaxFlow(s, t int, solver Solver) float64 {
 		return g.edmondsKarp(s, t)
 	case PushRelabel:
 		return g.pushRelabel(s, t)
+	default:
+		return g.dinic(s, t)
+	}
+}
+
+// Augment extends whatever valid flow currently sits on the graph to a
+// maximum flow, without clearing it first, and returns only the additional
+// amount routed. This is the warm-start primitive: a feasible flow plus the
+// absence of augmenting paths is a maximum flow (Ford–Fulkerson), so
+// continuing from a previous solve after capacities were raised (see
+// RaiseCapacity) yields the same value as a cold solve. The starting state
+// must be a valid flow — conservation at every internal node — which every
+// completed MaxFlow/Augment leaves behind; push–relabel continuations run
+// Dinic on the residual network, since PushRelabel's preflow initialization
+// assumes empty edges.
+func (g *Graph) Augment(s, t int, solver Solver) float64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("maxflow: terminal out of range: s=%d t=%d n=%d", s, t, g.n))
+	}
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	g.stats.Solves++
+	switch solver {
+	case EdmondsKarp:
+		return g.edmondsKarp(s, t)
 	default:
 		return g.dinic(s, t)
 	}

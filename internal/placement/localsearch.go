@@ -6,6 +6,7 @@ import (
 
 	"moment/internal/flownet"
 	"moment/internal/obs"
+	"moment/internal/scorecache"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -28,6 +29,11 @@ type LocalSearchOptions struct {
 	Seed int64
 	// Tolerance is the bisection tolerance (default 1e-4).
 	Tolerance float64
+	// Cache, when non-nil, memoizes candidate scores under the same keys
+	// as Search (canonical class + machine/demand fingerprints), so hill
+	// climbing that revisits a placement class — across restarts or across
+	// separate searches — skips the max-flow solve.
+	Cache *scorecache.Scores
 	// Observer receives spans and metrics (nil falls back to the process
 	// default observer).
 	Observer *obs.Observer
@@ -106,15 +112,20 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 		return p
 	}
 
+	prefix := ""
+	if opt.Cache != nil {
+		prefix = cachePrefix(m, d, opt.Tolerance)
+	}
 	evaluations := 0
-	score := func(p *topology.Placement) (float64, bool) {
-		evaluations++
-		o.Counter("placement_localsearch_evals_total").Inc()
-		n, err := flownet.Build(m, p, d)
+	cacheHits := 0
+	var scratch *flownet.Network
+	solve := func(p *topology.Placement) (float64, bool) {
+		n, err := flownet.BuildReuse(m, p, d, scratch)
 		if err != nil {
 			o.Counter("placement_candidates_infeasible_total").Inc()
 			return 0, false
 		}
+		scratch = n
 		n.SetObserver(o)
 		t, err := n.SolveTol(opt.Tolerance)
 		if err != nil {
@@ -122,6 +133,31 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 			return 0, false
 		}
 		return t.Sec(), true
+	}
+	score := func(p *topology.Placement) (float64, bool) {
+		evaluations++
+		o.Counter("placement_localsearch_evals_total").Inc()
+		if opt.Cache == nil {
+			return solve(p)
+		}
+		key, err := CanonicalKey(m, p)
+		if err != nil {
+			return 0, false
+		}
+		key = prefix + key
+		if s, ok := opt.Cache.Get(key); ok {
+			cacheHits++
+			o.Counter("placement_cache_hits_total").Inc()
+			return s.Seconds, !s.Infeasible
+		}
+		o.Counter("placement_cache_misses_total").Inc()
+		sec, ok := solve(p)
+		if ok {
+			opt.Cache.Put(key, scorecache.Score{Seconds: sec})
+		} else {
+			opt.Cache.Put(key, scorecache.Score{Infeasible: true, Err: "localsearch: infeasible"})
+		}
+		return sec, ok
 	}
 
 	// neighbors yields single-device moves to any point with a free slot.
@@ -186,12 +222,14 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 	}
 	best.Name = fmt.Sprintf("%s(moment-ls)", m.Name)
 	sp.SetInt("evaluations", evaluations)
+	sp.SetInt("cache_hits", cacheHits)
 	sp.SetFloat("best_seconds", bestT)
 	res := &Result{
 		Best:       best,
 		Time:       units.Seconds(bestT),
 		Enumerated: evaluations,
 		Evaluated:  evaluations,
+		CacheHits:  cacheHits,
 		Demand:     d,
 		Machine:    m,
 	}

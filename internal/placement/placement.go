@@ -14,14 +14,17 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"moment/internal/flownet"
 	"moment/internal/obs"
+	"moment/internal/scorecache"
 	"moment/internal/topology"
 	"moment/internal/units"
 )
@@ -155,6 +158,17 @@ type Options struct {
 	SkipDedupe bool
 	// KeepScores records every candidate's predicted time in the result.
 	KeepScores bool
+	// Serial runs the single-goroutine reference pipeline instead of the
+	// streaming one: enumerate, dedupe, and score sequentially in
+	// enumeration order. It produces identical results and counters — the
+	// differential baseline the streaming path is tested (and benchmarked)
+	// against.
+	Serial bool
+	// Cache, when non-nil, memoizes candidate scores across searches,
+	// local searches, and fault-triggered replans. Keys combine the
+	// canonical placement class with machine-rate and demand fingerprints,
+	// so a shared cache is safe across machines and demands.
+	Cache *scorecache.Scores
 	// Observer receives spans and metrics for the search (nil falls back
 	// to the process default observer; both nil = no instrumentation).
 	Observer *obs.Observer
@@ -174,15 +188,115 @@ type Result struct {
 	Throughput units.Bandwidth // total demand / Time
 	Enumerated int             // candidates before reduction
 	Evaluated  int             // candidates scored after reduction
+	CacheHits  int             // evaluations short-circuited by Options.Cache
 	Scores     []Scored        // per-candidate results when KeepScores
 	Demand     *flownet.Demand // the demand the search optimized for
 	Machine    *topology.Machine
 }
 
+// cand is one enumerated placement flowing through the search pipeline.
+// seq is its enumeration index (also its "cand%d" name); key is filled by
+// the dedupe stage when canonicalization ran.
+type cand struct {
+	seq int
+	p   *topology.Placement
+	key string
+}
+
+// scoredSeq is a scored candidate tagged with its enumeration index (the
+// deterministic tiebreaker) and whether the score came from the cache.
+type scoredSeq struct {
+	Scored
+	seq int
+	hit bool
+}
+
+// CacheKey returns the score-cache key under which Search, LocalSearch, and
+// replans memoize candidate p's predicted time: the canonical placement
+// class prefixed with machine-rate and demand fingerprints plus the
+// bisection tolerance, so one shared cache serves different machines,
+// demands, and tolerances without collisions.
+func CacheKey(m *topology.Machine, p *topology.Placement, d *flownet.Demand, tol float64) (string, error) {
+	key, err := CanonicalKey(m, p)
+	if err != nil {
+		return "", err
+	}
+	return cachePrefix(m, d, tol) + key, nil
+}
+
+// cachePrefix fingerprints everything that determines a candidate's score
+// besides its canonical placement class: the machine's link rates and
+// device counts (CanonicalKey covers attach-point structure but not fabric
+// bandwidths — two machines can differ only in QPIBW), the demand vector,
+// and the tolerance.
+func cachePrefix(m *topology.Machine, d *flownet.Demand, tol float64) string {
+	h := scorecache.NewHasher()
+	h.Float(float64(m.QPIBW)).Float(float64(m.DRAMBW))
+	h.Float(float64(m.PCIeX16)).Float(float64(m.PCIeX4))
+	h.Float(float64(m.SSDBW)).Float(float64(m.NVLinkBW))
+	h.Uint(uint64(m.NumGPUs)).Uint(uint64(m.NumSSDs))
+	h.Uint(uint64(len(m.NVLinks)))
+	for _, nv := range m.NVLinks {
+		h.Uint(uint64(nv.A)).Uint(uint64(nv.B))
+	}
+	h.Float(tol)
+	return fmt.Sprintf("%x|%x|", h.Sum(), d.Fingerprint())
+}
+
+// searchState carries the per-search context shared by the pipeline stages.
+type searchState struct {
+	m      *topology.Machine
+	d      *flownet.Demand
+	opt    Options
+	o      *obs.Observer
+	sp     *obs.Span
+	prefix string // cache key prefix; "" when no cache
+
+	enumerated atomic.Int64
+	pruned     atomic.Int64
+}
+
+// collector folds scored candidates into a Result deterministically: the
+// best is the minimum (time, enumeration index) pair, so arrival order —
+// which the streaming pipeline does not guarantee — never shows through.
+type collector struct {
+	best    *Scored
+	bestSeq int
+	count   int
+	hits    int
+	scores  []scoredSeq
+	keep    bool
+}
+
+func (c *collector) add(s scoredSeq) {
+	c.count++
+	if s.hit {
+		c.hits++
+	}
+	if c.keep {
+		c.scores = append(c.scores, s)
+	}
+	if s.Err != nil {
+		return
+	}
+	if c.best == nil || s.Time < c.best.Time || (s.Time == c.best.Time && s.seq < c.bestSeq) {
+		sc := s.Scored
+		c.best, c.bestSeq = &sc, s.seq
+	}
+}
+
 // Search enumerates placements, reduces symmetry, scores every survivor by
-// time-bisection max-flow under demand d, and returns the fastest. Scoring
-// runs on a bounded worker pool; candidates whose networks are infeasible
-// (disconnected demand) are skipped.
+// time-bisection max-flow under demand d, and returns the fastest.
+//
+// The three stages — enumerate, dedupe (canonical-key isomorphic
+// reduction), and score — run as a streaming channel pipeline: candidates
+// are scored while later ones are still being enumerated, and a bounded
+// worker pool (min(Parallelism, enumeration size) goroutines, each holding
+// a reusable scratch network) drains the dedupe stage. Options.Serial runs
+// the same stages in a single goroutine as the differential reference.
+// Candidates whose networks are infeasible (disconnected demand) are
+// skipped; with Options.Cache, previously seen candidates skip the max-flow
+// solve entirely.
 func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error) {
 	if opt.Tolerance <= 0 {
 		opt.Tolerance = 1e-4
@@ -190,101 +304,89 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	if opt.Parallelism <= 0 {
 		opt.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	o := obs.Active(opt.Observer)
 	sp := o.Begin("placement.search")
 	sp.SetStr("machine", m.Name)
+	if opt.Serial {
+		sp.SetStr("mode", "serial")
+	}
 	defer sp.End()
 
-	enumSp := sp.Child("enumerate")
-	all, err := Enumerate(m)
-	if err != nil {
-		enumSp.End()
-		return nil, err
+	// The composition lists are tiny (one entry per attach point each);
+	// their product is the enumeration size, known before any candidate is
+	// built — it bounds the worker pool without materializing candidates.
+	gpuCaps := make([]int, len(m.Points))
+	ssdCaps := make([]int, len(m.Points))
+	for i, p := range m.Points {
+		gpuCaps[i] = p.GPUSlots
+		ssdCaps[i] = p.Bays
 	}
-	enumSp.SetInt("candidates", len(all))
-	enumSp.End()
-	o.Counter("placement_candidates_enumerated_total").Add(float64(len(all)))
-
-	cands := all
-	if !opt.SkipDedupe {
-		pruneSp := sp.Child("prune")
-		cands, err = Dedupe(m, all)
-		if err != nil {
-			pruneSp.End()
-			return nil, err
-		}
-		pruneSp.SetInt("kept", len(cands))
-		pruneSp.SetInt("pruned", len(all)-len(cands))
-		pruneSp.End()
-	}
-	o.Counter("placement_candidates_pruned_total").Add(float64(len(all) - len(cands)))
-	if len(cands) == 0 {
+	gpuDists := compositions(m.NumGPUs, gpuCaps)
+	ssdDists := compositions(m.NumSSDs, ssdCaps)
+	total := len(gpuDists) * len(ssdDists)
+	if total == 0 {
 		return nil, fmt.Errorf("placement: no feasible candidates for machine %s", m.Name)
 	}
 
-	// Fixed-size worker pool: exactly min(Parallelism, len(cands)) scoring
-	// goroutines pull candidate indices from a channel. (A previous version
-	// spawned one goroutine per candidate before acquiring a semaphore,
-	// bursting thousands of goroutines on large enumerations.)
-	scores := make([]Scored, len(cands))
-	workers := opt.Parallelism
-	if workers > len(cands) {
-		workers = len(cands)
+	st := &searchState{m: m, d: d, opt: opt, o: o, sp: sp}
+	if opt.Cache != nil {
+		st.prefix = cachePrefix(m, d, opt.Tolerance)
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if evalHook != nil {
-					evalHook()
-				}
-				scores[i] = score(m, cands[i], d, opt.Tolerance, o, sp)
-			}
-		}()
+
+	var col collector
+	col.keep = opt.KeepScores
+	var err error
+	if opt.Serial {
+		err = searchSerial(st, gpuDists, ssdDists, &col)
+	} else {
+		err = searchStream(st, gpuDists, ssdDists, total, &col)
 	}
-	for i := range cands {
-		idx <- i
+	if err != nil {
+		return nil, err
 	}
-	close(idx)
-	wg.Wait()
+
+	enumerated := int(st.enumerated.Load())
+	o.Counter("placement_candidates_enumerated_total").Add(float64(enumerated))
+	o.Counter("placement_candidates_pruned_total").Add(float64(st.pruned.Load()))
 
 	res := &Result{
-		Enumerated: len(all),
-		Evaluated:  len(cands),
+		Enumerated: enumerated,
+		Evaluated:  col.count,
+		CacheHits:  col.hits,
 		Demand:     d,
 		Machine:    m,
 	}
-	for _, s := range scores {
-		if s.Err != nil {
-			continue
-		}
-		if res.Best == nil || s.Time < res.Time {
-			res.Best = s.Placement
-			res.Time = s.Time
-		}
-	}
-	if res.Best == nil {
+	if col.best == nil {
 		return nil, fmt.Errorf("placement: every candidate infeasible on machine %s", m.Name)
 	}
+	res.Time = col.best.Time
 	if res.Time > 0 {
 		res.Throughput = units.Bandwidth(d.TotalDemand() / res.Time.Sec())
 	}
 	if opt.KeepScores {
-		sort.Slice(scores, func(a, b int) bool {
-			if (scores[a].Err == nil) != (scores[b].Err == nil) {
-				return scores[a].Err == nil
+		sort.Slice(col.scores, func(a, b int) bool {
+			sa, sb := col.scores[a], col.scores[b]
+			if (sa.Err == nil) != (sb.Err == nil) {
+				return sa.Err == nil
 			}
-			return scores[a].Time < scores[b].Time
+			if sa.Time != sb.Time {
+				return sa.Time < sb.Time
+			}
+			return sa.seq < sb.seq
 		})
-		res.Scores = scores
+		res.Scores = make([]Scored, len(col.scores))
+		for i, s := range col.scores {
+			res.Scores[i] = s.Scored
+		}
 	}
-	best := res.Best.Clone()
+	best := col.best.Placement.Clone()
 	best.Name = fmt.Sprintf("%s(moment)", m.Name)
 	res.Best = best
 	sp.SetInt("evaluated", res.Evaluated)
+	sp.SetInt("cache_hits", res.CacheHits)
 	sp.SetFloat("best_seconds", res.Time.Sec())
 	if Check != nil {
 		if err := Check(m, d, opt, res); err != nil {
@@ -294,6 +396,182 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	return res, nil
 }
 
+// emit streams the candidate cross product in enumeration order, calling
+// yield for each; a false return stops the walk. Names match the historical
+// Enumerate order ("cand<seq>").
+func emit(m *topology.Machine, gpuDists, ssdDists [][]int, yield func(c cand) bool) {
+	seq := 0
+	for _, gd := range gpuDists {
+		for _, sd := range ssdDists {
+			p := &topology.Placement{Name: fmt.Sprintf("cand%d", seq)}
+			for i, pt := range m.Points {
+				for k := 0; k < gd[i]; k++ {
+					p.GPUAt = append(p.GPUAt, pt.ID)
+				}
+				for k := 0; k < sd[i]; k++ {
+					p.SSDAt = append(p.SSDAt, pt.ID)
+				}
+			}
+			if !yield(cand{seq: seq, p: p}) {
+				return
+			}
+			seq++
+		}
+	}
+}
+
+// searchSerial is the single-goroutine reference pipeline: the same
+// enumerate → dedupe → score stages run inline, in enumeration order.
+func searchSerial(st *searchState, gpuDists, ssdDists [][]int, col *collector) error {
+	// The stages are interleaved in one loop, so the enumerate and prune
+	// spans both cover it; their attributes carry the per-stage counts.
+	esp := st.sp.Fork("enumerate")
+	psp := st.sp.Fork("prune")
+	needKey := !st.opt.SkipDedupe || st.opt.Cache != nil
+	seen := make(map[string]struct{})
+	var scratch *flownet.Network
+	var keyErr error
+	kept := 0
+	emit(st.m, gpuDists, ssdDists, func(c cand) bool {
+		st.enumerated.Add(1)
+		if needKey {
+			c.key, keyErr = CanonicalKey(st.m, c.p)
+			if keyErr != nil {
+				return false
+			}
+			if !st.opt.SkipDedupe {
+				if _, dup := seen[c.key]; dup {
+					st.pruned.Add(1)
+					return true
+				}
+				seen[c.key] = struct{}{}
+			}
+		}
+		kept++
+		if evalHook != nil {
+			evalHook()
+		}
+		var s scoredSeq
+		s, scratch = scoreCached(st, c, scratch)
+		col.add(s)
+		return true
+	})
+	esp.SetInt("candidates", int(st.enumerated.Load()))
+	esp.End()
+	psp.SetInt("kept", kept)
+	psp.SetInt("pruned", int(st.pruned.Load()))
+	psp.End()
+	return keyErr
+}
+
+// searchStream is the concurrent pipeline: an enumerator goroutine feeds a
+// dedupe goroutine feeds a bounded scoring pool; the caller's goroutine
+// collects. A closed done channel aborts every stage early (canonicalization
+// failure — enumerated candidates are valid by construction, but the guard
+// keeps the pipeline from deadlocking if that invariant ever breaks).
+func searchStream(st *searchState, gpuDists, ssdDists [][]int, total int, col *collector) error {
+	workers := st.opt.Parallelism
+	if workers > total {
+		workers = total
+	}
+	candc := make(chan cand, workers)
+	keyc := make(chan cand, workers)
+	resc := make(chan scoredSeq, workers)
+	done := make(chan struct{})
+	var failErr error
+	var failOnce sync.Once
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			close(done)
+		})
+	}
+
+	go func() { // stage 1: enumerate
+		esp := st.sp.Fork("enumerate")
+		defer func() {
+			esp.SetInt("candidates", int(st.enumerated.Load()))
+			esp.End()
+			close(candc)
+		}()
+		emit(st.m, gpuDists, ssdDists, func(c cand) bool {
+			st.enumerated.Add(1)
+			select {
+			case candc <- c:
+				return true
+			case <-done:
+				return false
+			}
+		})
+	}()
+
+	go func() { // stage 2: canonicalize + dedupe
+		psp := st.sp.Fork("prune")
+		kept := 0
+		defer func() {
+			psp.SetInt("kept", kept)
+			psp.SetInt("pruned", int(st.pruned.Load()))
+			psp.End()
+			close(keyc)
+		}()
+		needKey := !st.opt.SkipDedupe || st.opt.Cache != nil
+		seen := make(map[string]struct{})
+		for c := range candc {
+			if needKey {
+				key, err := CanonicalKey(st.m, c.p)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if !st.opt.SkipDedupe {
+					if _, dup := seen[key]; dup {
+						st.pruned.Add(1)
+						continue
+					}
+					seen[key] = struct{}{}
+				}
+				c.key = key
+			}
+			select {
+			case keyc <- c:
+				kept++
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ { // stage 3: scoring pool
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch *flownet.Network
+			for c := range keyc {
+				if evalHook != nil {
+					evalHook()
+				}
+				var s scoredSeq
+				s, scratch = scoreCached(st, c, scratch)
+				select {
+				case resc <- s:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resc)
+	}()
+
+	for s := range resc { // stage 4: collect (caller's goroutine)
+		col.add(s)
+	}
+	return failErr
+}
+
 // Check, when non-nil, audits every Search result before it is returned
 // (winner re-scores to the reported time, throughput consistent, placement
 // valid). Installed by internal/verify when self-verification is enabled;
@@ -301,31 +579,67 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 // verification subsystem.
 var Check func(m *topology.Machine, d *flownet.Demand, opt Options, res *Result) error
 
-// evalHook, when non-nil, is invoked by each worker at the start of every
-// candidate evaluation (test instrumentation for the concurrency bound).
+// evalHook, when non-nil, is invoked at the start of every candidate
+// evaluation (test instrumentation for the concurrency bound).
 var evalHook func()
 
-func score(m *topology.Machine, cand *topology.Placement, d *flownet.Demand, tol float64,
-	o *obs.Observer, parent *obs.Span) Scored {
+// scoreCached scores one candidate, consulting the cache first when the
+// search has one, and returns the (possibly newly built) scratch network
+// for the worker to reuse on its next candidate.
+func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, *flownet.Network) {
+	if st.opt.Cache != nil && c.key != "" {
+		if s, ok := st.opt.Cache.Get(st.prefix + c.key); ok {
+			st.o.Counter("placement_cache_hits_total").Inc()
+			out := scoredSeq{seq: c.seq, hit: true}
+			out.Placement = c.p
+			if s.Infeasible {
+				out.Err = errors.New(s.Err)
+				st.o.Counter("placement_candidates_infeasible_total").Inc()
+			} else {
+				out.Time = units.Seconds(s.Seconds)
+				st.o.Counter("placement_candidates_scored_total").Inc()
+			}
+			return out, scratch
+		}
+		st.o.Counter("placement_cache_misses_total").Inc()
+	}
+	var s Scored
+	s, scratch = score(st.m, c.p, st.d, st.opt.Tolerance, st.o, st.sp, scratch)
+	if st.opt.Cache != nil && c.key != "" {
+		entry := scorecache.Score{Seconds: s.Time.Sec()}
+		if s.Err != nil {
+			entry = scorecache.Score{Infeasible: true, Err: s.Err.Error()}
+		}
+		st.opt.Cache.Put(st.prefix+c.key, entry)
+	}
+	return scoredSeq{Scored: s, seq: c.seq}, scratch
+}
+
+// score evaluates one candidate by time-bisection max-flow, rebuilding into
+// the worker's scratch network (flownet.BuildReuse) to keep the hot loop
+// out of the allocator. It returns the network used so the caller can
+// thread it into the next evaluation.
+func score(m *topology.Machine, candP *topology.Placement, d *flownet.Demand, tol float64,
+	o *obs.Observer, parent *obs.Span, scratch *flownet.Network) (Scored, *flownet.Network) {
 	sp := parent.Fork("maxflow-score")
-	sp.SetStr("candidate", cand.Name)
+	sp.SetStr("candidate", candP.Name)
 	defer sp.End()
-	n, err := flownet.Build(m, cand, d)
+	n, err := flownet.BuildReuse(m, candP, d, scratch)
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		o.Counter("placement_candidates_infeasible_total").Inc()
-		o.Logf("placement: candidate %s infeasible: %v", cand.Name, err)
-		return Scored{Placement: cand, Err: err}
+		o.Logf("placement: candidate %s infeasible: %v", candP.Name, err)
+		return Scored{Placement: candP, Err: err}, scratch
 	}
 	n.SetObserver(o)
 	t, err := n.SolveTol(tol)
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		o.Counter("placement_candidates_infeasible_total").Inc()
-		o.Logf("placement: candidate %s unsolvable: %v", cand.Name, err)
-		return Scored{Placement: cand, Err: err}
+		o.Logf("placement: candidate %s unsolvable: %v", candP.Name, err)
+		return Scored{Placement: candP, Err: err}, n
 	}
 	sp.SetFloat("predicted_seconds", t.Sec())
 	o.Counter("placement_candidates_scored_total").Inc()
-	return Scored{Placement: cand, Time: t}
+	return Scored{Placement: candP, Time: t}, n
 }

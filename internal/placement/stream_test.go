@@ -1,0 +1,300 @@
+package placement
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"moment/internal/flownet"
+	"moment/internal/obs"
+	"moment/internal/scorecache"
+	"moment/internal/topology"
+)
+
+// scaledDemand is demand(n) with every budget multiplied by f, a second
+// demand point for the differential grid.
+func scaledDemand(n int, f float64) *flownet.Demand {
+	d := demand(n)
+	for i := range d.PerGPU {
+		d.PerGPU[i] *= f
+		d.HBMPeer[i] *= f
+	}
+	for k := range d.DRAM {
+		d.DRAM[k] *= f
+	}
+	d.SSDTotal *= f
+	return d
+}
+
+func degradedB() *topology.Machine {
+	m := topology.MachineB()
+	m.QPIBW = topology.QPIRate / 4
+	return m
+}
+
+// TestStreamingMatchesSerial is the differential satellite: across seeded
+// machines × demands and several GOMAXPROCS values, the streaming pipeline
+// must return the identical best score, identical enumeration and
+// evaluation counts, and identical enumerated/pruned observability counters
+// as the serial reference pipeline. Run under -race this also exercises the
+// pipeline's synchronization.
+func TestStreamingMatchesSerial(t *testing.T) {
+	machines := map[string]func() *topology.Machine{
+		"A":          topology.MachineA,
+		"B":          topology.MachineB,
+		"B-degraded": degradedB,
+		"A-3gpu":     func() *topology.Machine { return topology.MachineA().WithGPUs(3) },
+	}
+	demands := map[string]func(*topology.Machine) *flownet.Demand{
+		"base":   func(m *topology.Machine) *flownet.Demand { return demand(m.NumGPUs) },
+		"scaled": func(m *topology.Machine) *flownet.Demand { return scaledDemand(m.NumGPUs, 1.7) },
+	}
+	counters := []string{
+		"placement_candidates_enumerated_total",
+		"placement_candidates_pruned_total",
+		"placement_candidates_scored_total",
+		"placement_candidates_infeasible_total",
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for mName, mk := range machines {
+		for dName, dk := range demands {
+			m := mk()
+			d := dk(m)
+			serialObs := obs.New()
+			serial, err := Search(m, d, Options{Serial: true, KeepScores: true, Observer: serialObs})
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", mName, dName, err)
+			}
+			for _, procs := range []int{2, 4, 8} {
+				runtime.GOMAXPROCS(procs)
+				name := fmt.Sprintf("%s/%s/procs=%d", mName, dName, procs)
+				streamObs := obs.New()
+				stream, err := Search(m, d, Options{KeepScores: true, Observer: streamObs})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if stream.Time != serial.Time {
+					t.Errorf("%s: best %v streaming vs %v serial", name, stream.Time, serial.Time)
+				}
+				if stream.Enumerated != serial.Enumerated || stream.Evaluated != serial.Evaluated {
+					t.Errorf("%s: counts %d/%d streaming vs %d/%d serial", name,
+						stream.Enumerated, stream.Evaluated, serial.Enumerated, serial.Evaluated)
+				}
+				if stream.Best.Name != serial.Best.Name {
+					t.Errorf("%s: winner %q vs %q", name, stream.Best.Name, serial.Best.Name)
+				}
+				if len(stream.Scores) != len(serial.Scores) {
+					t.Errorf("%s: %d scores vs %d", name, len(stream.Scores), len(serial.Scores))
+				} else {
+					for i := range stream.Scores {
+						if stream.Scores[i].Time != serial.Scores[i].Time {
+							t.Errorf("%s: score[%d] %v vs %v", name, i,
+								stream.Scores[i].Time, serial.Scores[i].Time)
+							break
+						}
+					}
+				}
+				for _, c := range counters {
+					if sv, cv := streamObs.Counter(c).Value(), serialObs.Counter(c).Value(); sv != cv {
+						t.Errorf("%s: counter %s = %v streaming vs %v serial", name, c, sv, cv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesSerialSkipDedupe covers the ablation path where the
+// dedupe stage forwards everything.
+func TestStreamingMatchesSerialSkipDedupe(t *testing.T) {
+	m := topology.MachineA()
+	d := demand(4)
+	serial, err := Search(m, d, Options{Serial: true, SkipDedupe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Search(m, d, Options{SkipDedupe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Time != serial.Time || stream.Evaluated != serial.Evaluated {
+		t.Errorf("skip-dedupe: %v/%d streaming vs %v/%d serial",
+			stream.Time, stream.Evaluated, serial.Time, serial.Evaluated)
+	}
+	if stream.Evaluated != stream.Enumerated {
+		t.Errorf("skip-dedupe evaluated %d != enumerated %d", stream.Evaluated, stream.Enumerated)
+	}
+}
+
+// TestSearchCacheShortCircuits reruns an identical search through a shared
+// cache: the second run must hit on every evaluation and agree exactly.
+func TestSearchCacheShortCircuits(t *testing.T) {
+	m := topology.MachineB()
+	d := demand(4)
+	cache := scorecache.NewScores(4096)
+	cold, err := Search(m, d, Options{Cache: cache, KeepScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold search reported %d hits", cold.CacheHits)
+	}
+	warm, err := Search(m, d, Options{Cache: cache, KeepScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Evaluated {
+		t.Errorf("warm search hit %d of %d evaluations", warm.CacheHits, warm.Evaluated)
+	}
+	if warm.Time != cold.Time || warm.Best.Name != cold.Best.Name {
+		t.Errorf("cache changed result: %v/%q vs %v/%q",
+			warm.Time, warm.Best.Name, cold.Time, cold.Best.Name)
+	}
+	for i := range warm.Scores {
+		if warm.Scores[i].Time != cold.Scores[i].Time {
+			t.Errorf("score[%d] %v warm vs %v cold", i, warm.Scores[i].Time, cold.Scores[i].Time)
+			break
+		}
+	}
+	// Serial mode shares the same keys.
+	serialWarm, err := Search(m, d, Options{Cache: cache, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialWarm.CacheHits != serialWarm.Evaluated {
+		t.Errorf("serial warm search hit %d of %d", serialWarm.CacheHits, serialWarm.Evaluated)
+	}
+}
+
+// TestSearchCacheKeySeparation shares one cache across a healthy and a
+// QPI-degraded machine (same attach-point structure, different fabric
+// rates) and across two demands: nothing may cross-hit, and every result
+// must match its cache-free baseline.
+func TestSearchCacheKeySeparation(t *testing.T) {
+	cache := scorecache.NewScores(4096)
+	type run struct {
+		m *topology.Machine
+		d *flownet.Demand
+	}
+	runs := []run{
+		{topology.MachineB(), demand(4)},
+		{degradedB(), demand(4)},                  // same keys structurally, different QPI rate
+		{topology.MachineB(), scaledDemand(4, 2)}, // same machine, different demand
+	}
+	for i, r := range runs {
+		cached, err := Search(r.m, r.d, Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.CacheHits != 0 {
+			t.Errorf("run %d: %d cross-hits from a different machine/demand", i, cached.CacheHits)
+		}
+		plain, err := Search(r.m, r.d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Time != plain.Time {
+			t.Errorf("run %d: cached %v vs plain %v", i, cached.Time, plain.Time)
+		}
+	}
+}
+
+// TestSearchCacheInfeasibleMemoized ensures infeasible candidates are
+// remembered too — a warm search repeats the infeasibility verdict without
+// re-solving, and a fully infeasible search still errors.
+func TestSearchCacheInfeasibleMemoized(t *testing.T) {
+	m := topology.MachineA()
+	d := &flownet.Demand{PerGPU: []float64{gb, gb, gb, gb}, SSDTotal: gb}
+	cache := scorecache.NewScores(1024)
+	if _, err := Search(m, d, Options{Cache: cache}); err == nil {
+		t.Fatal("expected infeasible search to fail")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("infeasible scores not cached")
+	}
+	if _, err := Search(m, d, Options{Cache: cache}); err == nil {
+		t.Fatal("warm infeasible search must still fail")
+	}
+	h, _, _ := cache.Stats()
+	if h == 0 {
+		t.Error("warm infeasible search did not use the cache")
+	}
+}
+
+// TestLocalSearchCache reruns a seeded local search through a shared cache;
+// the revisit-heavy walk must hit and agree with the cache-free run.
+func TestLocalSearchCache(t *testing.T) {
+	m := topology.MachineB()
+	d := demand(4)
+	opt := LocalSearchOptions{Seed: 11}
+	plain, err := LocalSearch(m, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := scorecache.NewScores(8192)
+	opt.Cache = cache
+	first, err := LocalSearch(m, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Time != plain.Time {
+		t.Errorf("cache changed local search: %v vs %v", first.Time, plain.Time)
+	}
+	second, err := LocalSearch(m, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != second.Evaluated {
+		t.Errorf("second run hit %d of %d evaluations", second.CacheHits, second.Evaluated)
+	}
+	if second.Time != plain.Time {
+		t.Errorf("warm local search %v vs plain %v", second.Time, plain.Time)
+	}
+}
+
+// TestSearchAndLocalSearchShareCache verifies the two planners use the same
+// key space: a local search warmed by an exhaustive search gets hits.
+func TestSearchAndLocalSearchShareCache(t *testing.T) {
+	m := topology.MachineA()
+	d := demand(4)
+	cache := scorecache.NewScores(8192)
+	if _, err := Search(m, d, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := LocalSearch(m, d, LocalSearchOptions{Seed: 7, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.CacheHits == 0 {
+		t.Error("local search got no hits from a Search-warmed cache")
+	}
+}
+
+// TestCacheKeyExported sanity-checks the exported key constructor against
+// the keys Search writes.
+func TestCacheKeyExported(t *testing.T) {
+	m := topology.MachineA()
+	d := demand(4)
+	cache := scorecache.NewScores(1024)
+	res, err := Search(m, d, Options{Cache: cache, Tolerance: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := CacheKey(m, res.Best, d, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("winner's CacheKey not present in cache")
+	}
+	if s.Infeasible {
+		t.Fatal("winner cached as infeasible")
+	}
+	got := s.Seconds
+	want := res.Time.Sec()
+	if got != want {
+		t.Errorf("cached %v, result %v", got, want)
+	}
+}

@@ -1,0 +1,250 @@
+package scorecache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New[string, int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v want 1,true", v, ok)
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %v,%v want 2,true", v, ok)
+	}
+	c.Put("a", 10) // refresh
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("refreshed Get(a) = %v want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d want 2", c.Len())
+	}
+	if c.Cap() != 4 {
+		t.Fatalf("Cap = %d want 4", c.Cap())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	// Touch 1 so 2 becomes LRU.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("lost entry 1")
+	}
+	c.Put(4, 4) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d evicted unexpectedly", k)
+		}
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d want 1", ev)
+	}
+}
+
+func TestEvictionRecyclesSlots(t *testing.T) {
+	c := New[int, int](2)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d want 2", c.Len())
+	}
+	if got := len(c.entries); got > 2 {
+		t.Fatalf("entries slice grew to %d despite bound 2", got)
+	}
+	for _, k := range []int{98, 99} {
+		if v, ok := c.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %v,%v", k, v, ok)
+		}
+	}
+}
+
+func TestSingleEntryCache(t *testing.T) {
+	c := New[string, string](1)
+	c.Put("a", "x")
+	c.Put("b", "y")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be evicted from size-1 cache")
+	}
+	if v, ok := c.Get("b"); !ok || v != "y" {
+		t.Fatalf("Get(b) = %q,%v", v, ok)
+	}
+	// Refreshing the only entry must not corrupt the list.
+	c.Put("b", "z")
+	if v, _ := c.Get("b"); v != "z" {
+		t.Fatalf("refresh lost: %q", v)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache[string, int]
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("a", 1) // must not panic
+	c.Reset()
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatal("nil cache has size")
+	}
+	if h, m, e := c.Stats(); h+m+e != 0 {
+		t.Fatal("nil cache has stats")
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("nil cache hit rate")
+	}
+	if v := c.GetOrCompute("a", func() int { return 7 }); v != 7 {
+		t.Fatalf("nil GetOrCompute = %d want 7", v)
+	}
+	if New[string, int](0) != nil || New[string, int](-1) != nil {
+		t.Fatal("non-positive bound should return nil cache")
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[string, int](8)
+	calls := 0
+	f := func() int { calls++; return 42 }
+	if v := c.GetOrCompute("k", f); v != 42 {
+		t.Fatalf("got %d", v)
+	}
+	if v := c.GetOrCompute("k", f); v != 42 {
+		t.Fatalf("got %d", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	h, m, _ := c.Stats()
+	if h != 1 || m != 1 { // first call misses, second hits
+		t.Fatalf("stats h=%d m=%d want 1,1", h, m)
+	}
+	if got := c.HitRate(); got <= 0 || got >= 1 {
+		t.Fatalf("hit rate %v out of (0,1)", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if h, _, _ := c.Stats(); h != 1 {
+		t.Fatal("Reset must keep cumulative stats")
+	}
+	c.Put(2, 2) // list must be consistent after Reset
+	if v, ok := c.Get(2); !ok || v != 2 {
+		t.Fatalf("post-Reset Get = %v,%v", v, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (seed*31 + i) % 100
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+				c.Put(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len %d exceeds bound", c.Len())
+	}
+}
+
+func TestScoresType(t *testing.T) {
+	c := NewScores(2)
+	c.Put("key", Score{Seconds: 1.5})
+	c.Put("bad", Score{Infeasible: true, Err: "disconnected"})
+	if s, ok := c.Get("key"); !ok || s.Seconds != 1.5 || s.Infeasible {
+		t.Fatalf("Get(key) = %+v,%v", s, ok)
+	}
+	if s, ok := c.Get("bad"); !ok || !s.Infeasible || s.Err != "disconnected" {
+		t.Fatalf("Get(bad) = %+v,%v", s, ok)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint(1, 2, 3)
+	if a != Fingerprint(1, 2, 3) {
+		t.Fatal("fingerprint unstable")
+	}
+	if a == Fingerprint(1, 2, 4) {
+		t.Fatal("fingerprint collision on differing input")
+	}
+	if Fingerprint(0) == Fingerprint() {
+		t.Fatal("zero payload vs empty payload collided")
+	}
+	// NaN canonicalization: any NaN payload hashes equally.
+	nan1 := Fingerprint(math.Float64frombits(0x7ff8000000000001))
+	nan2 := Fingerprint(math.Float64frombits(0x7ff8000000000002))
+	if nan1 != nan2 {
+		t.Fatal("NaN payloads hash differently")
+	}
+	if FingerprintSlice([]float64{1}) == FingerprintSlice([]float64{}) {
+		t.Fatal("slice length not mixed in")
+	}
+}
+
+func TestStressListIntegrity(t *testing.T) {
+	// Randomized ops against a map oracle; detects list corruption by
+	// verifying every resident key is retrievable after each phase.
+	c := New[int, int](7)
+	oracle := map[int]int{}
+	for i := 0; i < 500; i++ {
+		k := i % 13
+		c.Put(k, i)
+		oracle[k] = i
+		if v, ok := c.Get(k); !ok || v != i {
+			t.Fatalf("step %d: Get(%d) = %v,%v want %d", i, k, v, ok, i)
+		}
+	}
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d want 7", c.Len())
+	}
+	// Every hit must return the oracle value.
+	for k, want := range oracle {
+		if v, ok := c.Get(k); ok && v != want {
+			t.Fatalf("Get(%d) = %d want %d", k, v, want)
+		}
+	}
+}
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c := New[string, Score](1024)
+	keys := make([]string, 2048)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cand-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, Score{Seconds: float64(i)})
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"moment/internal/gnn"
 	"moment/internal/graph"
 	"moment/internal/placement"
+	"moment/internal/scorecache"
 	"moment/internal/topology"
 	"moment/internal/trainsim"
 	"moment/internal/verify"
@@ -66,9 +67,16 @@ type (
 	Plan = core.Plan
 	// SearchOptions tunes the placement search.
 	SearchOptions = placement.Options
+	// ScoreCache memoizes candidate scores across placement searches (set
+	// it as SearchOptions.Cache; safe to share between searches).
+	ScoreCache = scorecache.Scores
 	// Table is a regenerated paper figure or table.
 	Table = experiments.Table
 )
+
+// NewScoreCache returns a bounded LRU score cache holding up to max
+// entries (max <= 0 disables caching).
+func NewScoreCache(max int) *ScoreCache { return scorecache.NewScores(max) }
 
 // Fault-injection types (set SimConfig.Faults to degrade an epoch).
 type (
@@ -212,6 +220,21 @@ type BenchRecord = experiments.BenchRecord
 // layouts + the Moment-searched placement) and returns one JSON-ready
 // record per configuration.
 func BenchRecords() ([]BenchRecord, error) { return experiments.BenchRecords() }
+
+// CompareReport is a per-experiment diff of two benchmark record sets.
+type CompareReport = experiments.CompareReport
+
+// CompareBench diffs fresh benchmark records against a committed baseline
+// on epoch time. threshold is the relative slowdown treated as a
+// regression (<=0 defaults to 10%); CompareReport.Err is the CI gate.
+func CompareBench(baseline, newRecs []BenchRecord, threshold float64) *CompareReport {
+	return experiments.CompareBench(baseline, newRecs, threshold)
+}
+
+// ReadBenchRecords loads a committed BENCH_*.json record set.
+func ReadBenchRecords(path string) ([]BenchRecord, error) {
+	return experiments.ReadBenchRecords(path)
+}
 
 // EnableSelfChecks turns on planner self-verification: every flow solve,
 // placement search, and DDAK layout audits its own output (max-flow
