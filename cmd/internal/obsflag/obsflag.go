@@ -1,12 +1,15 @@
 // Package obsflag wires the shared observability command-line flags
-// (-trace, -metrics) into the moment commands: it installs a process-wide
-// observer when either flag is set, and flushes the collected trace and
-// metrics when the command finishes.
+// (-trace, -metrics, -listen) into the moment commands: it installs a
+// process-wide observer when any flag is set, optionally serves the live
+// registry over HTTP while the command runs, and flushes the collected
+// trace and metrics when the command finishes.
 package obsflag
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"moment"
@@ -17,11 +20,12 @@ type Flags struct {
 	tracePath   string
 	metrics     bool
 	metricsJSON string
+	listenAddr  string
 	obs         *moment.Observer
 }
 
-// Register adds -trace, -metrics and -metrics-json to the default flag set.
-// Call before flag.Parse.
+// Register adds -trace, -metrics, -metrics-json and -listen to the default
+// flag set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.tracePath, "trace", "",
@@ -30,6 +34,8 @@ func Register() *Flags {
 		"dump collected metrics in Prometheus text format to stdout on exit")
 	flag.StringVar(&f.metricsJSON, "metrics-json", "",
 		"write collected metrics as JSON to this file on exit")
+	flag.StringVar(&f.listenAddr, "listen", "",
+		"serve live /metrics and /debug/trace on this address for the run's duration")
 	return f
 }
 
@@ -66,13 +72,32 @@ func (f *FaultFlag) Schedule() (*moment.FaultSchedule, error) {
 // Enable installs the process-wide observer when any observability flag is
 // set and returns it (nil when observability is off). Call after flag.Parse
 // and before doing work; diagnostics are routed to stderr.
+//
+// With -listen, the live registry is also served over HTTP (the same
+// moment.ObsMux exposition momentd mounts, so scrapes are format-identical
+// across one-shot runs and the daemon) until the process exits — the escape
+// hatch for watching a long experiment from a dashboard.
 func (f *Flags) Enable() *moment.Observer {
-	if f.tracePath == "" && !f.metrics && f.metricsJSON == "" {
+	if f.tracePath == "" && !f.metrics && f.metricsJSON == "" && f.listenAddr == "" {
 		return nil
 	}
 	f.obs = moment.NewObserver()
 	f.obs.SetLogOutput(os.Stderr)
 	moment.SetDefaultObserver(f.obs)
+	if f.listenAddr != "" {
+		ln, err := net.Listen("tcp", f.listenAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obsflag: -listen:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "serving /metrics and /debug/trace on %s\n", ln.Addr())
+			go func() {
+				srv := &http.Server{Handler: moment.ObsMux(f.obs)}
+				if err := srv.Serve(ln); err != nil {
+					fmt.Fprintln(os.Stderr, "obsflag: -listen:", err)
+				}
+			}()
+		}
+	}
 	return f.obs
 }
 

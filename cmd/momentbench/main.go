@@ -9,6 +9,11 @@
 //	momentbench -bench BENCH.json # per-experiment benchmark records
 //	momentbench -compare OLD.json # diff fresh records against a baseline;
 //	                              # exit 1 on >10% epoch-time regressions
+//	momentbench -serve-load 200   # drive N zipf-skewed synthetic tenants
+//	                              # against an in-process momentd, print the
+//	                              # load record, and gate on shed rate; with
+//	                              # -bench/-compare the record joins the
+//	                              # benchmark set as the "serve" layout row
 package main
 
 import (
@@ -30,14 +35,49 @@ func main() {
 		"diff fresh benchmark records against this baseline BENCH_*.json; exit 1 on regressions")
 	threshold := flag.Float64("regress", 0.10,
 		"relative epoch-time slowdown treated as a regression by -compare")
+	serveTenants := flag.Int("serve-load", 0,
+		"run the momentd load harness with this many synthetic tenants (0 = off)")
+	serveRequests := flag.Int("serve-requests", 1000, "total requests for -serve-load")
+	serveShedMax := flag.Float64("serve-shed-max", 0.05,
+		"maximum tolerated -serve-load shed rate before exiting 1")
 	oflags := obsflag.Register()
 	flag.Parse()
 	oflags.Enable()
+	var serveRec *moment.LoadTestRecord
+	if *serveTenants > 0 {
+		rec, err := moment.RunLoadTest(moment.LoadTestConfig{
+			Tenants:  *serveTenants,
+			Requests: *serveRequests,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench: serve-load:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench:", err)
+			os.Exit(1)
+		}
+		if err := rec.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench:", err)
+			os.Exit(1)
+		}
+		if rec.ShedRate > *serveShedMax {
+			fmt.Fprintf(os.Stderr, "momentbench: serve-load shed rate %.3f exceeds %.3f\n",
+				rec.ShedRate, *serveShedMax)
+			os.Exit(1)
+		}
+		serveRec = rec
+	}
 	if *benchPath != "" || *comparePath != "" {
 		recs, err := moment.BenchRecords()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "momentbench:", err)
 			os.Exit(1)
+		}
+		if serveRec != nil {
+			recs = append(recs, serveRec.BenchRecord())
 		}
 		if *benchPath != "" {
 			if err := writeBench(*benchPath, recs); err != nil {
@@ -65,6 +105,13 @@ func main() {
 			}
 			return
 		}
+	} else if serveRec != nil && len(flag.Args()) == 0 {
+		// A pure -serve-load run is complete once the record is printed.
+		if err := oflags.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "momentbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	tables, err := moment.Experiments()
 	if err != nil {

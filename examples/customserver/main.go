@@ -1,14 +1,23 @@
 // Custom server: the scenario Moment is built for (§2.3 "server vendors
 // offering customized machines"). Describe a bespoke chassis in the spec
 // format — an NVLink-equipped machine with an extra deep switch cascade —
-// then let the automatic module pick where to plug the GPUs and SSDs
-// before the machine is even assembled.
+// and plan it through the momentd serving stack: an in-process PlanServer
+// receives the spec over POST /v1/plan, coalesces identical concurrent
+// requests into one planner run, caches the finished plan across tenants,
+// and exposes what it did on /metrics.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
 
 	"moment"
 )
@@ -32,30 +41,127 @@ nvlink 0 1 bw=50GiB/s
 `
 
 func main() {
-	machine, err := moment.ParseMachine(strings.NewReader(spec))
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("parsed machine %q: %d GPUs, %d SSDs, %d attach points\n",
-		machine.Name, machine.NumGPUs, machine.NumSSDs, len(machine.Points))
+}
 
-	workload := moment.Workload{Dataset: moment.MustDataset("UK"), Model: moment.GraphSAGE}
-	plan, err := moment.OptimizeWith(machine, workload, moment.SearchOptions{KeepScores: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(plan.Report())
+func run(w io.Writer) error {
+	// The planning service, in-process. In production this is `momentd`
+	// listening on a port; the handler is the same either way.
+	srv := moment.NewPlanServer(moment.PlanServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
 
-	// With the hardware placed, does pairing the NVLinked GPUs' caches
-	// help this workload (the Fig 18 question)?
-	paired, err := moment.Simulate(moment.SimConfig{
-		Machine: machine, Placement: plan.Placement, Workload: workload,
-		Cache: moment.CachePaired,
+	body, err := json.Marshal(moment.PlanRequest{
+		MachineSpec: spec,
+		Workload:    moment.WorkloadSpec{Dataset: "UK"},
+		Search:      moment.SearchSpec{TopK: 3},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nreplicated caches: epoch %v\n", plan.Epoch.EpochTime)
-	fmt.Printf("paired via NVLink: epoch %v (%.1f%% throughput change)\n",
-		paired.EpochTime, (paired.Throughput/plan.Epoch.Throughput-1)*100)
+
+	// Three vendor configurators ask about the same chassis at once:
+	// identical problems coalesce into a single planner run.
+	const clients = 3
+	responses := make([]*moment.PlanResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = postPlan(ts, fmt.Sprintf("vendor-%d", i), body)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	first := responses[0]
+	coalesced := 0
+	for _, r := range responses {
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	fmt.Fprintf(w, "planned machine %q: %d candidates, %d evaluated after symmetry reduction\n",
+		first.Machine, first.Enumerated, first.Evaluated)
+	fmt.Fprintf(w, "%d concurrent clients -> %d coalesced onto one planner run\n", clients, coalesced)
+	fmt.Fprintf(w, "selected placement: gpus at %s, ssds at %s\n",
+		strings.Join(first.Placement.GPUAt, ","), strings.Join(first.Placement.SSDAt, ","))
+	fmt.Fprintf(w, "predicted epoch IO %.2fs, simulated epoch %.2fs\n",
+		first.PredictedIOSec, first.Epoch.EpochSec)
+	fmt.Fprintf(w, "top placements by predicted IO:\n")
+	for i, r := range first.Ranked {
+		fmt.Fprintf(w, "  #%d  %.3fs  gpus %s\n", i+1, r.PredictedIOSec, strings.Join(r.GPUAt, ","))
+	}
+
+	// A late request for the same chassis is a sub-millisecond cache hit,
+	// returned as an isolated copy the caller may mutate freely.
+	late, err := postPlan(ts, "vendor-late", body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "late request: cached_plan=%v plan_ms=%.0f\n", late.CachedPlan, late.PlanMS)
+
+	// The daemon meters itself: scrape the serving counters.
+	metrics, err := scrape(ts, "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "momentd_planner_runs_total") ||
+			strings.HasPrefix(line, "momentd_coalesced_total") ||
+			strings.HasPrefix(line, "momentd_plan_cache_hits_total") {
+			fmt.Fprintln(w, "metric:", line)
+		}
+	}
+	return nil
+}
+
+func postPlan(ts *httptest.Server, tenant string, body []byte) (*moment.PlanResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Moment-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("plan: status %d: %s", resp.StatusCode, raw)
+	}
+	var pr moment.PlanResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+func scrape(ts *httptest.Server, path string) (string, error) {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return string(raw), nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: the served plan must come
+// back with a real placement, the coalescing line, and the cache-hit line.
+func TestRun(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`planned machine "custom"`,
+		"coalesced onto one planner run",
+		"selected placement: gpus at",
+		"top placements by predicted IO:",
+		"cached_plan=true",
+		"metric: momentd_planner_runs_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, out)
+		}
+	}
+}

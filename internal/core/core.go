@@ -55,6 +55,12 @@ type Plan struct {
 	// Enumerated / Evaluated count placement candidates before and after
 	// isomorphic reduction.
 	Enumerated, Evaluated int
+	// Scores lists every evaluated candidate's predicted time, best first,
+	// when the search ran with KeepScores (the ranked-placements surface
+	// the planning service exposes). Nil otherwise.
+	Scores []placement.Scored
+	// CacheHits counts candidate evaluations served by Search.Cache.
+	CacheHits int
 	// DataPlacement is the DDAK embedding layout for the chosen placement.
 	DataPlacement *ddak.ItemAssignment
 	// Epoch is the simulated end-to-end epoch under the plan.
@@ -80,9 +86,22 @@ func CoOptimize(in Input) (*Plan, error) {
 	defer sp.End()
 	scoped := o.In(sp)
 
+	// Cancellation threads in through the search options (Search.Ctx); the
+	// search and its solves honor it internally, and the seams between
+	// stages check it so an abandoned caller never starts the next stage.
+	ctxErr := func() error {
+		if in.Search.Ctx == nil {
+			return nil
+		}
+		return in.Search.Ctx.Err()
+	}
+
 	// Step 1-2: profiling.
 	prof, err := profiler.Measure(in.Machine, profiler.Options{Observer: scoped})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(); err != nil {
 		return nil, err
 	}
 
@@ -117,6 +136,10 @@ func CoOptimize(in Input) (*Plan, error) {
 		return nil, err
 	}
 
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
+
 	// Step 4: DDAK data placement + epoch simulation under the winner.
 	simCfg.Placement = res.Best
 	if simCfg.Observer == nil {
@@ -137,6 +160,8 @@ func CoOptimize(in Input) (*Plan, error) {
 		PredictedThroughput: res.Throughput,
 		Enumerated:          res.Enumerated,
 		Evaluated:           res.Evaluated,
+		Scores:              res.Scores,
+		CacheHits:           res.CacheHits,
 		DataPlacement:       epoch.BinAssign,
 		Epoch:               epoch,
 		PlanningTime:        time.Since(start),

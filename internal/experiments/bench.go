@@ -29,6 +29,19 @@ type BenchRecord struct {
 	HitCPU        float64 `json:"hit_cpu"`
 	QPIGiB        float64 `json:"qpi_gib"`
 	ThroughputVPS float64 `json:"throughput_vps"`
+
+	// Serving-path accounting, populated only by the momentd load-test row
+	// (layout "serve"). EpochSec stays the canonical problem's *simulated*
+	// epoch — a deterministic planner output the compare gate can hold
+	// steady — while the latency quantiles are informational wall-clock
+	// measurements that are never regression-gated.
+	ServeTenants   int     `json:"serve_tenants,omitempty"`
+	ServeRequests  int     `json:"serve_requests,omitempty"`
+	ServeCoalesced int     `json:"serve_coalesced,omitempty"`
+	ServeCacheHits int     `json:"serve_cache_hits,omitempty"`
+	ServeShed      int     `json:"serve_shed,omitempty"`
+	ServeP99MS     float64 `json:"serve_p99_ms,omitempty"`
+	ServeHitP99MS  float64 `json:"serve_hit_p99_ms,omitempty"`
 }
 
 func record(machine, dataset, layout string, model gnn.ModelKind, r *trainsim.Result) BenchRecord {

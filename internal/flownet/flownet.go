@@ -19,6 +19,8 @@
 package flownet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -456,6 +458,13 @@ func (n *Network) Solve() (units.Duration, error) {
 // (augmenting paths, bisection iterations, wall time). Nil detaches.
 func (n *Network) SetObserver(o *obs.Observer) { n.obsrv = o }
 
+// SetContext attaches a cancellation context to subsequent Solves: an
+// abandoned caller (e.g. a disconnected planning request) stops the
+// bisection at the next probe instead of running it to completion. Nil
+// detaches; BuildReuse detaches automatically (via TimeBisector.Reinit), so
+// a recycled scratch network never inherits a stale context.
+func (n *Network) SetContext(ctx context.Context) { n.bis.Ctx = ctx }
+
 // SolveTol is Solve with an explicit relative bisection tolerance.
 func (n *Network) SolveTol(tol float64) (units.Duration, error) {
 	o := n.obsrv
@@ -481,7 +490,7 @@ func (n *Network) SolveTol(tol float64) (units.Duration, error) {
 		o.Histogram("flownet_solve_seconds").Observe(time.Since(wall).Seconds())
 	}
 	if err != nil {
-		if o != nil {
+		if o != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			o.Counter("flownet_infeasible_total").Inc()
 		}
 		return 0, fmt.Errorf("flownet: %s/%s: %w", n.Machine.Name, n.Placement.Name, err)

@@ -1,6 +1,7 @@
 package maxflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,14 @@ type TimeBisector struct {
 	// horizon at or above the last solved one reuse the flow already on
 	// the graph and only augment the difference.
 	DisableWarmStart bool
+
+	// Ctx, when non-nil, lets an abandoned caller stop a bisection early:
+	// MinTime checks it before every probe and returns the context's error
+	// once it is done. Probe granularity keeps the check off the inner
+	// augmenting-path loop — a single max-flow solve on these networks is
+	// microseconds, so cancellation latency is one probe, not one solve
+	// sequence. Cleared by Reinit (a rebound bisector serves a new caller).
+	Ctx context.Context
 
 	rateEdges  []EdgeID
 	rates      []float64
@@ -131,6 +140,7 @@ func (b *TimeBisector) SetFixed(e EdgeID, bytes float64) error {
 // bisector half of the graph arena reuse API (see Graph.Clear).
 func (b *TimeBisector) Reinit(g *Graph, s, t int, demand float64) {
 	b.G, b.S, b.T, b.Demand = g, s, t, demand
+	b.Ctx = nil
 	b.rateEdges = b.rateEdges[:0]
 	b.rates = b.rates[:0]
 	b.fixedEdges = b.fixedEdges[:0]
@@ -248,12 +258,29 @@ func relEps(v float64) float64 {
 	return math.Max(Eps, 1e-9*math.Abs(v))
 }
 
+// canceled returns the context's error once Ctx is done, nil otherwise
+// (including when no context is attached).
+func (b *TimeBisector) canceled() error {
+	if b.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-b.Ctx.Done():
+		return b.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // MinTime returns the smallest horizon (within relative tolerance tol, e.g.
 // 1e-4) at which the demand is feasible. It doubles an initial guess until
 // feasible (up to maxDoublings), then bisects. On return the graph holds a
 // feasible flow for the reported horizon.
 func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 	b.Probes, b.Iterations = 0, 0
+	if err := b.canceled(); err != nil {
+		return 0, err
+	}
 	if b.Demand <= Eps {
 		// Same hygiene as Feasible(0): leave the graph in the consistent
 		// zero-horizon state rather than whatever a previous probe wrote.
@@ -284,6 +311,9 @@ func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 	const maxDoublings = 80
 	d := 0
 	for ; d < maxDoublings && !b.Feasible(hi); d++ {
+		if err := b.canceled(); err != nil {
+			return 0, err
+		}
 		lo = hi
 		hi *= 2
 	}
@@ -291,6 +321,9 @@ func (b *TimeBisector) MinTime(tol float64) (float64, error) {
 		return 0, ErrInfeasible
 	}
 	for hi-lo > tol*hi {
+		if err := b.canceled(); err != nil {
+			return 0, err
+		}
 		b.Iterations++
 		mid := (lo + hi) / 2
 		if b.Feasible(mid) {

@@ -14,6 +14,7 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -172,6 +173,14 @@ type Options struct {
 	// Observer receives spans and metrics for the search (nil falls back
 	// to the process default observer; both nil = no instrumentation).
 	Observer *obs.Observer
+	// Ctx, when non-nil, cancels an in-flight search: enumeration stops,
+	// scoring workers abandon their current bisection at the next probe
+	// (see maxflow.TimeBisector.Ctx), and Search returns the context's
+	// error. An abandoned caller — a disconnected planning request, a
+	// timed-out RPC — therefore stops consuming CPU instead of running the
+	// search to completion. Canceled evaluations are never written to
+	// Cache, so a shared cache cannot be poisoned with partial results.
+	Ctx context.Context
 }
 
 // Scored pairs a candidate with its predicted epoch I/O time.
@@ -307,6 +316,11 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	o := obs.Active(opt.Observer)
 	sp := o.Begin("placement.search")
 	sp.SetStr("machine", m.Name)
@@ -434,6 +448,12 @@ func searchSerial(st *searchState, gpuDists, ssdDists [][]int, col *collector) e
 	kept := 0
 	emit(st.m, gpuDists, ssdDists, func(c cand) bool {
 		st.enumerated.Add(1)
+		if st.opt.Ctx != nil {
+			if err := st.opt.Ctx.Err(); err != nil {
+				keyErr = err
+				return false
+			}
+		}
 		if needKey {
 			c.key, keyErr = CanonicalKey(st.m, c.p)
 			if keyErr != nil {
@@ -485,6 +505,14 @@ func searchStream(st *searchState, gpuDists, ssdDists [][]int, total int, col *c
 			failErr = err
 			close(done)
 		})
+	}
+	if st.opt.Ctx != nil {
+		// Abort every stage when the caller abandons the search. Workers
+		// mid-solve also see the context through the network (score passes
+		// it to the bisector), so cancellation is not gated on the next
+		// channel receive.
+		stop := context.AfterFunc(st.opt.Ctx, func() { fail(st.opt.Ctx.Err()) })
+		defer stop()
 	}
 
 	go func() { // stage 1: enumerate
@@ -604,8 +632,8 @@ func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, 
 		st.o.Counter("placement_cache_misses_total").Inc()
 	}
 	var s Scored
-	s, scratch = score(st.m, c.p, st.d, st.opt.Tolerance, st.o, st.sp, scratch)
-	if st.opt.Cache != nil && c.key != "" {
+	s, scratch = score(st.opt.Ctx, st.m, c.p, st.d, st.opt.Tolerance, st.o, st.sp, scratch)
+	if st.opt.Cache != nil && c.key != "" && !isCanceled(s.Err) {
 		entry := scorecache.Score{Seconds: s.Time.Sec()}
 		if s.Err != nil {
 			entry = scorecache.Score{Infeasible: true, Err: s.Err.Error()}
@@ -615,11 +643,18 @@ func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, 
 	return scoredSeq{Scored: s, seq: c.seq}, scratch
 }
 
+// isCanceled reports whether err stems from caller cancellation rather than
+// a property of the candidate — such scores are transient and must not be
+// cached as infeasible or reported as candidate failures.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // score evaluates one candidate by time-bisection max-flow, rebuilding into
 // the worker's scratch network (flownet.BuildReuse) to keep the hot loop
 // out of the allocator. It returns the network used so the caller can
 // thread it into the next evaluation.
-func score(m *topology.Machine, candP *topology.Placement, d *flownet.Demand, tol float64,
+func score(ctx context.Context, m *topology.Machine, candP *topology.Placement, d *flownet.Demand, tol float64,
 	o *obs.Observer, parent *obs.Span, scratch *flownet.Network) (Scored, *flownet.Network) {
 	sp := parent.Fork("maxflow-score")
 	sp.SetStr("candidate", candP.Name)
@@ -632,11 +667,14 @@ func score(m *topology.Machine, candP *topology.Placement, d *flownet.Demand, to
 		return Scored{Placement: candP, Err: err}, scratch
 	}
 	n.SetObserver(o)
+	n.SetContext(ctx)
 	t, err := n.SolveTol(tol)
 	if err != nil {
 		sp.SetStr("error", err.Error())
-		o.Counter("placement_candidates_infeasible_total").Inc()
-		o.Logf("placement: candidate %s unsolvable: %v", candP.Name, err)
+		if !isCanceled(err) {
+			o.Counter("placement_candidates_infeasible_total").Inc()
+			o.Logf("placement: candidate %s unsolvable: %v", candP.Name, err)
+		}
 		return Scored{Placement: candP, Err: err}, n
 	}
 	sp.SetFloat("predicted_seconds", t.Sec())

@@ -1,0 +1,129 @@
+package scorecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStressMultiTenantMixed hammers one shared cache from many goroutines
+// acting as tenants — mixed Get/Put/GetOrCompute with a bound small enough
+// to evict constantly, plus concurrent Stats/Len/HitRate readers and a
+// Reset in flight. Run under -race this is the serving daemon's shared
+// score cache in miniature; afterwards the structural invariants must
+// still hold.
+func TestStressMultiTenantMixed(t *testing.T) {
+	const (
+		tenants = 8
+		ops     = 2000
+		bound   = 64
+	)
+	c := New[string, Score](bound)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				// Key space overlaps across tenants (same planning
+				// problems) and exceeds the bound (constant eviction).
+				key := fmt.Sprintf("cand-%d", (tn*7+i)%(4*bound))
+				switch i % 4 {
+				case 0:
+					c.Put(key, Score{Seconds: float64(i)})
+				case 1:
+					if s, ok := c.Get(key); ok && s.Seconds < 0 {
+						t.Errorf("negative cached score %v", s.Seconds)
+					}
+				case 2:
+					c.GetOrCompute(key, func() Score { return Score{Seconds: 1} })
+				default:
+					_ = c.Len()
+					_, _, _ = c.Stats()
+					_ = c.HitRate()
+				}
+			}
+		}(tn)
+	}
+	// One tenant resetting mid-flight must not corrupt anyone else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Reset()
+	}()
+	wg.Wait()
+
+	if got := c.Len(); got > bound {
+		t.Fatalf("cache over bound after stress: len %d > %d", got, bound)
+	}
+	// The intrusive LRU list must still be a consistent chain: walking by
+	// repeated eviction (Put of fresh keys) must not wedge or panic.
+	for i := 0; i < 2*bound; i++ {
+		c.Put(fmt.Sprintf("post-%d", i), Score{})
+	}
+	if got := c.Len(); got != bound {
+		t.Fatalf("len %d after refill, want %d", got, bound)
+	}
+}
+
+// TestValueIsolationOnReturn pins the property multi-tenant serving relies
+// on: Get returns a copy for value-typed caches, so one tenant mutating
+// its returned Score cannot corrupt what the next tenant reads.
+func TestValueIsolationOnReturn(t *testing.T) {
+	c := NewScores(8)
+	c.Put("k", Score{Seconds: 3.5, Err: "original"})
+
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss on fresh entry")
+	}
+	got.Seconds = -1
+	got.Err = "corrupted"
+
+	again, ok := c.Get("k")
+	if !ok {
+		t.Fatal("entry vanished")
+	}
+	if again.Seconds != 3.5 || again.Err != "original" {
+		t.Fatalf("tenant mutation leaked into the cache: %+v", again)
+	}
+}
+
+// TestReferenceIsolationCloneOnReturn documents the contract for
+// reference-typed caches (the serving daemon's plan cache is
+// Cache[string, *planResult]): the cache hands back the stored pointer, so
+// the owner MUST treat cached values as immutable masters and clone on
+// return. The test mimics that discipline across two tenants and proves a
+// tenant-side mutation cannot reach the master or the other tenant.
+func TestReferenceIsolationCloneOnReturn(t *testing.T) {
+	type layout struct {
+		GPUAt []string
+	}
+	clone := func(l *layout) *layout {
+		return &layout{GPUAt: append([]string(nil), l.GPUAt...)}
+	}
+	c := New[string, *layout](4)
+	c.Put("plan", &layout{GPUAt: []string{"sw0", "sw1"}})
+
+	master, _ := c.Get("plan")
+	tenantA := clone(master)
+	tenantA.GPUAt[0] = "corrupted"
+
+	master2, _ := c.Get("plan")
+	tenantB := clone(master2)
+	if master2.GPUAt[0] != "sw0" {
+		t.Fatal("tenant mutation of a clone reached the cached master")
+	}
+	if tenantB.GPUAt[0] != "sw0" {
+		t.Fatal("tenant mutation leaked into another tenant's copy")
+	}
+
+	// And the inverse: without cloning, the pointer IS shared — the reason
+	// the discipline exists. (Guards against a future change silently
+	// deep-copying values and doubling serving memory.)
+	raw1, _ := c.Get("plan")
+	raw2, _ := c.Get("plan")
+	if raw1 != raw2 {
+		t.Fatal("reference-typed cache no longer shares storage; clone-on-return assumptions changed")
+	}
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"moment/internal/obs"
+)
+
+// This file is the single exposition code path for observer state over
+// HTTP: momentd mounts these handlers on its mux, and one-shot CLI runs
+// (obsflag -listen) mount the same ones, so the Prometheus text and trace
+// JSON a dashboard scrapes are byte-identical regardless of which binary
+// produced them.
+
+// MetricsHandler serves the observer's registry in Prometheus text
+// exposition format.
+func MetricsHandler(o *obs.Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Active(o).WritePrometheus(w); err != nil {
+			http.Error(w, fmt.Sprintf("write metrics: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// TraceHandler serves the observer's span log as Chrome trace-event JSON
+// (load it in chrome://tracing or Perfetto).
+func TraceHandler(o *obs.Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.Active(o).WriteTrace(w); err != nil {
+			http.Error(w, fmt.Sprintf("write trace: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ObsMux bundles the observability endpoints (/metrics, /debug/trace, and
+// a trivial /healthz) for processes that want exposition without the
+// planning service itself.
+func ObsMux(o *obs.Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(o))
+	mux.Handle("/debug/trace", TraceHandler(o))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,363 @@
+// Package loadtest drives synthetic multi-tenant load against an
+// in-process planning server and reports what the admission-control and
+// coalescing machinery actually did: planner runs vs requests, coalesce
+// and cache-hit counts, shed rate, and client-observed latency quantiles.
+//
+// The generator is fully deterministic for a given Config (seeded
+// math/rand, zipf-skewed tenant and problem popularity), so a load-test
+// record is reproducible enough to commit next to the benchmark records
+// and gate in CI: the serving-path row it contributes to BENCH_*.json
+// carries the *simulated* epoch time of the canonical problem — a
+// deterministic planner output — never wall-clock latency, which belongs
+// in the informational quantile fields only.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"moment/internal/experiments"
+	"moment/internal/obs"
+	"moment/internal/server"
+)
+
+// Config shapes a load-test run. The zero value is a usable smoke test.
+type Config struct {
+	// Tenants is the synthetic tenant population (default 200).
+	Tenants int
+	// Requests is the total request count (default 1000).
+	Requests int
+	// Concurrency is the number of concurrent client workers (default 32).
+	Concurrency int
+	// Problems is the number of distinct planning problems in the mix
+	// (default 4). Requests pick a problem zipf-skewed, so a few problems
+	// dominate — the regime coalescing and the plan cache are built for.
+	Problems int
+	// ZipfS/ZipfV shape both skews (defaults 1.3 / 2).
+	ZipfS, ZipfV float64
+	// Seed makes the request schedule reproducible (default 1).
+	Seed int64
+	// Server overrides the server-under-test configuration. Leave the
+	// Observer nil: the harness installs its own to read counters back.
+	Server server.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 200
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Problems <= 0 {
+		c.Problems = 4
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Record is the machine-readable result of one load-test run.
+type Record struct {
+	Tenants     int `json:"tenants"`
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	Problems    int `json:"problems"`
+
+	// Server-side accounting, read from the daemon's own metrics.
+	PlannerRuns   int `json:"planner_runs"`
+	Coalesced     int `json:"coalesced"`
+	PlanCacheHits int `json:"plan_cache_hits"`
+	Shed          int `json:"shed"`
+	Expired       int `json:"expired"`
+
+	// Client-side accounting.
+	OK        int     `json:"ok"`
+	Rejected  int     `json:"rejected"` // 429s observed by clients
+	Errors    int     `json:"errors"`   // anything else non-200
+	ShedRate  float64 `json:"shed_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	HitP99MS  float64 `json:"hit_p99_ms"` // p99 among plan-cache hits
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Canonical problem outputs (deterministic planner results, safe to
+	// regression-gate).
+	Machine        string  `json:"machine"`
+	Dataset        string  `json:"dataset"`
+	Model          string  `json:"model"`
+	EpochSec       float64 `json:"epoch_sec"`
+	PredictedIOSec float64 `json:"predicted_io_sec"`
+}
+
+// Check asserts the structural properties the harness exists to prove:
+// coalescing/caching collapse a skewed request mix onto few planner runs,
+// and nothing fell through the admission machinery unaccounted.
+func (r *Record) Check() error {
+	if r.OK == 0 {
+		return fmt.Errorf("loadtest: no request succeeded (%d rejected, %d errors)", r.Rejected, r.Errors)
+	}
+	if r.Errors > 0 {
+		return fmt.Errorf("loadtest: %d requests failed with non-429 errors", r.Errors)
+	}
+	if r.PlannerRuns > r.Problems {
+		return fmt.Errorf("loadtest: %d planner runs for %d distinct problems — coalescing/caching broken",
+			r.PlannerRuns, r.Problems)
+	}
+	if r.Coalesced+r.PlanCacheHits == 0 {
+		return fmt.Errorf("loadtest: skewed mix produced no coalesce or cache hits")
+	}
+	if r.OK+r.Rejected+r.Errors != r.Requests {
+		return fmt.Errorf("loadtest: %d+%d+%d responses != %d requests",
+			r.OK, r.Rejected, r.Errors, r.Requests)
+	}
+	if r.EpochSec <= 0 {
+		return fmt.Errorf("loadtest: canonical problem epoch %.3f, want positive", r.EpochSec)
+	}
+	return nil
+}
+
+// BenchRecord converts the load-test result into a benchmark row (layout
+// "serve") that joins the committed BENCH_*.json set and the momentbench
+// -compare gate. The gated epoch_sec is the canonical problem's simulated
+// epoch, so the row is as deterministic as every other benchmark row.
+func (r *Record) BenchRecord() experiments.BenchRecord {
+	return experiments.BenchRecord{
+		Machine:        r.Machine,
+		Dataset:        r.Dataset,
+		Model:          r.Model,
+		Layout:         "serve",
+		Policy:         "ddak",
+		EpochSec:       r.EpochSec,
+		PredictedIOSec: r.PredictedIOSec,
+		ServeTenants:   r.Tenants,
+		ServeRequests:  r.Requests,
+		ServeCoalesced: r.Coalesced,
+		ServeCacheHits: r.PlanCacheHits,
+		ServeShed:      r.Shed,
+		ServeP99MS:     r.P99MS,
+		ServeHitP99MS:  r.HitP99MS,
+	}
+}
+
+// problem is one distinct planning problem of the mix. Batch size is the
+// only varied dimension — enough to fragment the coalescing key without
+// making some problems invalid.
+func problemBody(i int) []byte {
+	req := server.PlanRequest{
+		Machine: "B",
+		Workload: server.WorkloadSpec{
+			Dataset:   "PA",
+			BatchSize: 8000 + 500*i,
+		},
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+// Run executes the load test against a fresh in-process server and returns
+// the record. The server is drained before returning, so a clean run leaks
+// nothing.
+func Run(cfg Config) (*Record, error) {
+	cfg = cfg.withDefaults()
+	o := obs.New()
+	scfg := cfg.Server
+	scfg.Observer = o
+	srv := server.New(scfg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	// Pre-generate the schedule so client workers stay deterministic
+	// regardless of scheduling order.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tenantZipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Tenants-1))
+	problemZipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Problems-1))
+	type job struct {
+		tenant string
+		body   []byte
+	}
+	jobs := make([]job, cfg.Requests)
+	bodies := make([][]byte, cfg.Problems)
+	for i := range bodies {
+		bodies[i] = problemBody(i)
+	}
+	for i := range jobs {
+		jobs[i] = job{
+			tenant: fmt.Sprintf("tenant-%03d", tenantZipf.Uint64()),
+			body:   bodies[problemZipf.Uint64()],
+		}
+	}
+
+	// Warm the canonical problem once so its deterministic outputs are
+	// available even if every later identical request coalesces or sheds.
+	canonical, err := postOne(ts, "loadtest-warmup", bodies[0])
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: warmup: %w", err)
+	}
+
+	type outcome struct {
+		code      int
+		cached    bool
+		latencyMS float64
+	}
+	outcomes := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ts.Client()
+			for i := range next {
+				j := jobs[i]
+				t0 := time.Now()
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(j.body))
+				if err != nil {
+					outcomes[i] = outcome{code: -1}
+					continue
+				}
+				req.Header.Set("X-Moment-Tenant", j.tenant)
+				resp, err := client.Do(req)
+				if err != nil {
+					outcomes[i] = outcome{code: -1}
+					continue
+				}
+				var pr server.PlanResponse
+				cached := false
+				if resp.StatusCode == http.StatusOK {
+					if json.NewDecoder(resp.Body).Decode(&pr) == nil {
+						cached = pr.CachedPlan
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+				outcomes[i] = outcome{
+					code:      resp.StatusCode,
+					cached:    cached,
+					latencyMS: float64(time.Since(t0).Microseconds()) / 1e3,
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rec := &Record{
+		Tenants:        cfg.Tenants,
+		Requests:       cfg.Requests,
+		Concurrency:    cfg.Concurrency,
+		Problems:       cfg.Problems,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		Machine:        canonical.Machine,
+		Dataset:        "PA",
+		Model:          "GraphSAGE",
+		EpochSec:       canonical.Epoch.EpochSec,
+		PredictedIOSec: canonical.PredictedIOSec,
+	}
+	var all, hits []float64
+	for _, oc := range outcomes {
+		switch {
+		case oc.code == http.StatusOK:
+			rec.OK++
+			all = append(all, oc.latencyMS)
+			if oc.cached {
+				hits = append(hits, oc.latencyMS)
+			}
+		case oc.code == http.StatusTooManyRequests:
+			rec.Rejected++
+		default:
+			rec.Errors++
+		}
+	}
+	rec.ShedRate = float64(rec.Rejected) / float64(cfg.Requests)
+	rec.P50MS = quantile(all, 0.50)
+	rec.P95MS = quantile(all, 0.95)
+	rec.P99MS = quantile(all, 0.99)
+	rec.HitP99MS = quantile(hits, 0.99)
+	rec.PlannerRuns = int(o.Counter("momentd_planner_runs_total").Value()) - 1 // exclude warmup
+	rec.Coalesced = int(counterTotal(o, "momentd_coalesced_total"))
+	rec.PlanCacheHits = int(counterTotal(o, "momentd_plan_cache_hits_total"))
+	rec.Shed = int(counterTotal(o, "momentd_shed_total"))
+	rec.Expired = int(o.Counter("momentd_jobs_expired_total").Value())
+	return rec, nil
+}
+
+// counterTotal sums a counter family across its label sets (the server
+// splits coalesce/hit counters by tenant and shed by reason). Snapshot
+// keys are full series names: `name` bare or `name{label=...}`.
+func counterTotal(o *obs.Observer, name string) float64 {
+	total := 0.0
+	for series, v := range o.Metrics().Snapshot() {
+		if series == name || strings.HasPrefix(series, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// postOne issues a single plan request and decodes the response.
+func postOne(ts *httptest.Server, tenant string, body []byte) (*server.PlanResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Moment-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var pr server.PlanResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+// quantile returns the q-quantile of xs (nearest-rank), 0 when empty.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

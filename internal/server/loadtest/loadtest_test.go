@@ -1,0 +1,67 @@
+package loadtest
+
+import (
+	"testing"
+)
+
+// TestRunSmoke drives a small zipf-skewed mix through a real in-process
+// server and checks the structural invariants: few planner runs, plenty of
+// coalesce/cache hits, full request accounting, deterministic epoch.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real planner runs in -short mode")
+	}
+	rec, err := Run(Config{Tenants: 50, Requests: 300, Concurrency: 16, Problems: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.PlanCacheHits < rec.Requests/2 {
+		t.Errorf("plan cache hits = %d of %d requests; the skewed mix should mostly hit",
+			rec.PlanCacheHits, rec.Requests)
+	}
+	if rec.HitP99MS <= 0 {
+		t.Error("no cache-hit latency quantile recorded")
+	}
+
+	// Same config, same schedule, same canonical outputs.
+	rec2, err := Run(Config{Tenants: 50, Requests: 300, Concurrency: 16, Problems: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.EpochSec != rec.EpochSec || rec2.PredictedIOSec != rec.PredictedIOSec {
+		t.Errorf("canonical outputs not deterministic: epoch %v vs %v, predicted %v vs %v",
+			rec.EpochSec, rec2.EpochSec, rec.PredictedIOSec, rec2.PredictedIOSec)
+	}
+
+	br := rec.BenchRecord()
+	if br.Layout != "serve" || br.EpochSec != rec.EpochSec || br.ServeRequests != 300 {
+		t.Errorf("bench record mismatch: %+v", br)
+	}
+}
+
+// TestCheckRejectsBrokenRuns exercises the gate logic itself.
+func TestCheckRejectsBrokenRuns(t *testing.T) {
+	good := Record{
+		Requests: 10, OK: 9, Rejected: 1,
+		Problems: 4, PlannerRuns: 3, Coalesced: 2, EpochSec: 1.5,
+	}
+	if err := good.Check(); err != nil {
+		t.Errorf("good record rejected: %v", err)
+	}
+	cases := map[string]Record{
+		"no successes":      {Requests: 10, Rejected: 10, Problems: 4},
+		"errors":            {Requests: 10, OK: 9, Errors: 1, Problems: 4, Coalesced: 1, EpochSec: 1},
+		"too many runs":     {Requests: 10, OK: 10, Problems: 2, PlannerRuns: 5, Coalesced: 1, EpochSec: 1},
+		"no sharing":        {Requests: 10, OK: 10, Problems: 4, PlannerRuns: 4, EpochSec: 1},
+		"lost accounting":   {Requests: 10, OK: 5, Problems: 4, PlannerRuns: 1, Coalesced: 1, EpochSec: 1},
+		"no epoch recorded": {Requests: 10, OK: 10, Problems: 4, PlannerRuns: 1, Coalesced: 1},
+	}
+	for name, rec := range cases {
+		if err := rec.Check(); err == nil {
+			t.Errorf("%s: Check passed, want failure", name)
+		}
+	}
+}

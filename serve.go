@@ -1,0 +1,55 @@
+package moment
+
+// Serving-layer re-exports: the planner-as-a-service daemon (momentd), its
+// request/response schema, the shared observability exposition handlers,
+// and the multi-tenant load-test harness.
+
+import (
+	"net/http"
+
+	"moment/internal/server"
+	"moment/internal/server/loadtest"
+)
+
+type (
+	// PlanServer is the multi-tenant planning service: an http.Handler
+	// with request coalescing, a cross-tenant plan cache, admission
+	// control and live /metrics. Construct with NewPlanServer; drain with
+	// its Drain/Close methods before exit.
+	PlanServer = server.Server
+	// PlanServerConfig tunes worker pool, queue bound, tenant quotas,
+	// cache sizes and deadlines (zero value = defaults).
+	PlanServerConfig = server.Config
+	// PlanRequest / PlanResponse are the JSON schema of POST /v1/plan;
+	// WorkloadSpec and SearchSpec are their nested sections.
+	PlanRequest  = server.PlanRequest
+	PlanResponse = server.PlanResponse
+	WorkloadSpec = server.WorkloadSpec
+	SearchSpec   = server.SearchSpec
+	// PlanServerStats is the /v1/stats document.
+	PlanServerStats = server.Stats
+
+	// LoadTestConfig / LoadTestRecord drive and report the synthetic
+	// multi-tenant load harness.
+	LoadTestConfig = loadtest.Config
+	LoadTestRecord = loadtest.Record
+)
+
+// NewPlanServer starts a planning service (workers are live on return).
+func NewPlanServer(cfg PlanServerConfig) *PlanServer { return server.New(cfg) }
+
+// RunLoadTest drives a zipf-skewed synthetic tenant mix against a fresh
+// in-process PlanServer and reports coalescing/shedding/latency accounting.
+func RunLoadTest(cfg LoadTestConfig) (*LoadTestRecord, error) { return loadtest.Run(cfg) }
+
+// MetricsHandler serves an observer's registry as Prometheus text; nil uses
+// the process default observer.
+func MetricsHandler(o *Observer) http.Handler { return server.MetricsHandler(o) }
+
+// TraceHandler serves an observer's span log as Chrome trace JSON.
+func TraceHandler(o *Observer) http.Handler { return server.TraceHandler(o) }
+
+// ObsMux bundles /metrics, /debug/trace and /healthz for processes that
+// want exposition without the planning service (obsflag -listen uses it,
+// so one-shot CLI runs and momentd share one exposition code path).
+func ObsMux(o *Observer) *http.ServeMux { return server.ObsMux(o) }
