@@ -133,6 +133,13 @@ func BenchmarkPlacementSearchStreaming(b *testing.B) {
 	benchSearch(b, placement.Options{})
 }
 
+// Inline disables the shared probe pool: the scoring workers build and
+// bisect in place, the pre-pool reference the pooled path is diffed
+// against.
+func BenchmarkPlacementSearchInline(b *testing.B) {
+	benchSearch(b, placement.Options{NoProbePool: true})
+}
+
 func BenchmarkPlacementSearchCached(b *testing.B) {
 	cache := scorecache.NewScores(1 << 16)
 	benchSearch(b, placement.Options{Cache: cache})

@@ -40,6 +40,10 @@ func main() {
 	serveRequests := flag.Int("serve-requests", 1000, "total requests for -serve-load")
 	serveShedMax := flag.Float64("serve-shed-max", 0.05,
 		"maximum tolerated -serve-load shed rate before exiting 1")
+	sweepNodes := flag.Int("sweep-nodes", 8,
+		"fleet size for the placement-sweep bench row with -bench/-compare (0 = skip the row)")
+	simEpochs := flag.Int("sim-epochs", 10000,
+		"horizon for the long-horizon simulation bench row with -bench/-compare (0 = skip the row)")
 	oflags := obsflag.Register()
 	flag.Parse()
 	oflags.Enable()
@@ -78,6 +82,22 @@ func main() {
 		}
 		if serveRec != nil {
 			recs = append(recs, serveRec.BenchRecord())
+		}
+		if *sweepNodes > 0 {
+			rec, err := moment.FleetSweepRecord(*sweepNodes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench: fleet sweep:", err)
+				os.Exit(1)
+			}
+			recs = append(recs, rec)
+		}
+		if *simEpochs > 0 {
+			rec, err := moment.LongSimRecord(*simEpochs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench: longsim:", err)
+				os.Exit(1)
+			}
+			recs = append(recs, rec)
 		}
 		if *benchPath != "" {
 			if err := writeBench(*benchPath, recs); err != nil {

@@ -140,6 +140,13 @@ type Replanner struct {
 	// Replanners sharing it). Entries are cloned on both insert and hit, so
 	// callers may mutate returned assignments freely.
 	Cache *Layouts
+	// ScheduleKey salts the layout fingerprint with the fault schedule the
+	// replanner is operating under (e.g. faults.Format output). Replanners
+	// for different schedules can then share one Layouts cache without a
+	// degraded run's layouts leaking into a healthy one whose bins happen
+	// to fingerprint identically. Set it together with Cache, before the
+	// first cached place().
+	ScheduleKey string
 
 	itemBytes []float64
 	current   *ddak.ItemAssignment
@@ -206,6 +213,7 @@ func (r *Replanner) layoutKey(hot []float64) uint64 {
 		h.Float(b.Capacity).Float(b.Traffic)
 	}
 	h.Uint(uint64(r.PoolN)).Float(r.TrafficScale)
+	h.String(r.ScheduleKey)
 	return h.Sum()
 }
 

@@ -67,6 +67,66 @@ func TestRebinCacheFaultCycle(t *testing.T) {
 	}
 }
 
+// TestScheduleKeyIsolatesSharedCache: two replanners under different fault
+// schedules share one Layouts cache. Their bin sets fingerprint
+// identically, so without the ScheduleKey salt the second replanner would
+// be served the first one's layouts; with it, each schedule plans its own
+// and only same-schedule revisits hit.
+func TestScheduleKeyIsolatesSharedCache(t *testing.T) {
+	hot := zipf(t, 200)
+	bytes := make([]float64, 200)
+	for i := range bytes {
+		bytes[i] = 10
+	}
+	shared := NewLayouts(64)
+	mk := func(scheduleKey string) *Replanner {
+		r, err := NewReplanner(hot, bytes, bins(), 10, 1, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = shared
+		r.ScheduleKey = scheduleKey
+		return r
+	}
+	degraded, err := ddak.DegradeBins(bins(), map[string]bool{"ssd0": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := mk("kill:ssd0@5")
+	b := mk("kill:ssd0@90")
+	if _, err := a.Rebin(degraded); err != nil {
+		t.Fatal(err)
+	}
+	// Same bins, different schedule: must not be served a's entry.
+	if _, err := b.Rebin(degraded); err != nil {
+		t.Fatal(err)
+	}
+	if b.CacheHits() != 0 {
+		t.Errorf("schedule B hit schedule A's layout (%d hits)", b.CacheHits())
+	}
+	// Same schedule revisiting the same bins still hits.
+	if _, err := a.Rebin(bins()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rebin(degraded); err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHits() != 1 {
+		t.Errorf("schedule A revisit: %d hits, want 1", a.CacheHits())
+	}
+	// And the layouts themselves agree with an uncached run — isolation
+	// must not change what gets planned.
+	plain := mk("")
+	plain.Cache = nil
+	mp, err := plain.Rebin(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := b.Current()
+	sameAssignment(t, mb, mp.Assignment)
+}
+
 // TestMaybeCacheOnHotnessReturn checks drift-triggered replans hit when the
 // workload swings back to a previously planned distribution.
 func TestMaybeCacheOnHotnessReturn(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"moment/internal/ddak"
+	"moment/internal/faults"
 	"moment/internal/obs"
 	"moment/internal/placement"
 	"moment/internal/profiler"
@@ -130,6 +131,13 @@ func CoOptimize(in Input) (*Plan, error) {
 	searchOpt := in.Search
 	if searchOpt.Observer == nil {
 		searchOpt.Observer = scoped
+	}
+	// Fault-aware runs score against a fault-degraded picture of the
+	// machine; their memoized scores must never be served to (or taken
+	// from) a healthy run sharing the same cache, so the schedule's
+	// canonical spec string becomes part of the cache key.
+	if searchOpt.FaultsKey == "" && !in.Sim.Faults.Empty() {
+		searchOpt.FaultsKey = faults.Format(in.Sim.Faults)
 	}
 	res, err := placement.Search(in.Machine, dem, searchOpt)
 	if err != nil {

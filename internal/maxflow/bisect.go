@@ -68,10 +68,18 @@ type TimeBisector struct {
 
 	// Warm-start bookkeeping: when warmOK, the graph holds a maximum flow
 	// of value warmFlow for the capacities of horizon warmT under the
-	// schedule applied at that probe.
+	// schedule applied at that probe, and the graph has not been mutated
+	// since (warmGen matches the graph's generation counter). Any mutation
+	// that bypasses the bisector — a direct SetCapacity, an external solve,
+	// an arena clone — advances the generation and auto-invalidates the
+	// warm state on the next probe: the monotonicity check alone only
+	// inspects registered edges, so without the generation guard a shrink
+	// elsewhere in the graph could silently warm-start from a flow that is
+	// no longer real.
 	warmT    float64
 	warmFlow float64
 	warmOK   bool
+	warmGen  uint64
 }
 
 // NewTimeBisector wraps g for bisection between terminals s and t.
@@ -150,10 +158,37 @@ func (b *TimeBisector) Reinit(g *Graph, s, t int, demand float64) {
 	b.warmOK = false
 }
 
+// CloneOnto copies the bisector — registered schedule, demand, solver,
+// options, and warm-start state — onto dst, rebinding it to graph g, and
+// returns dst. g must hold a copy of the receiver's graph state (typically
+// via Graph.CloneInto onto a worker arena): the warm bookkeeping travels
+// with the cloned flow and is rebased onto g's generation, so a warm
+// receiver yields a warm clone. Work counters reset — the clone reports
+// only its own solves. Slice capacity in dst is reused, so cloning onto a
+// recycled arena pair allocates nothing.
+func (b *TimeBisector) CloneOnto(dst *TimeBisector, g *Graph) *TimeBisector {
+	dst.G, dst.S, dst.T, dst.Demand = g, b.S, b.T, b.Demand
+	dst.Solver = b.Solver
+	dst.DisableWarmStart = b.DisableWarmStart
+	dst.Ctx = b.Ctx
+	dst.rateEdges = append(dst.rateEdges[:0], b.rateEdges...)
+	dst.rates = append(dst.rates[:0], b.rates...)
+	dst.fixedEdges = append(dst.fixedEdges[:0], b.fixedEdges...)
+	dst.fixed = append(dst.fixed[:0], b.fixed...)
+	dst.Probes, dst.Iterations = 0, 0
+	dst.WarmStarts, dst.WarmAborts = 0, 0
+	dst.warmT, dst.warmFlow, dst.warmOK = b.warmT, b.warmFlow, b.warmOK
+	dst.warmGen = g.gen
+	return dst
+}
+
 // InvalidateWarm discards the warm-start state, forcing the next probe to
-// re-apply capacities and solve cold. Required after mutating the graph's
-// capacities or flow directly (bypassing the bisector); SetRate/SetFixed do
-// NOT need it — the monotonicity check handles schedule changes.
+// re-apply capacities and solve cold. Direct graph mutations (bypassing the
+// bisector) are also self-detected via the graph's generation counter, so
+// calling this is no longer required for correctness — it remains as an
+// explicit hint for callers that know their warm state is useless (e.g.
+// before a batch of shrinking edits). SetRate/SetFixed never need it: the
+// monotonicity check handles registered-schedule changes.
 func (b *TimeBisector) InvalidateWarm() { b.warmOK = false }
 
 // target returns the capacity of registered rate edge i at horizon t.
@@ -224,6 +259,14 @@ func (b *TimeBisector) patch(t float64) {
 // from scratch (identical value by max-flow/min-cut; see Graph.Augment).
 func (b *TimeBisector) Feasible(t float64) bool {
 	b.Probes++
+	if b.warmOK && b.G.gen != b.warmGen {
+		// The graph moved underneath us since the last probe (a direct
+		// capacity write, an external solve, an arena reuse): the recorded
+		// warm flow no longer describes the graph. Unlike a non-monotone
+		// schedule change this is not a WarmAbort — the schedule may be
+		// fine — it is simply stale state, discarded before it can lie.
+		b.warmOK = false
+	}
 	if t <= 0 {
 		// Nothing moves at a zero horizon. Still apply the horizon-0
 		// capacities and clear any flow so callers reading Flow() or
@@ -251,6 +294,7 @@ func (b *TimeBisector) Feasible(t float64) bool {
 		flow = b.G.MaxFlow(b.S, b.T, b.Solver)
 	}
 	b.warmT, b.warmFlow, b.warmOK = t, flow, true
+	b.warmGen = b.G.gen
 	return flow >= b.Demand-relEps(b.Demand)
 }
 

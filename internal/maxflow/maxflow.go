@@ -37,6 +37,13 @@ type Graph struct {
 	resid []float64 // remaining (residual) capacity
 	label []string  // optional node labels for diagnostics
 	stats SolveStats
+	// gen is bumped by every operation that changes capacities, flow, or
+	// structure. Consumers that cache conclusions about the graph's state
+	// (the TimeBisector's warm flow, cloned-arena bookkeeping) record the
+	// generation they observed and treat a mismatch as "the graph moved
+	// underneath me". Clone copies it; CloneInto advances the destination's
+	// own counter so state keyed to the old contents can never match.
+	gen uint64
 }
 
 // SolveStats counts the work done by this graph's solvers, cumulative over
@@ -55,6 +62,12 @@ type SolveStats struct {
 
 // Stats returns the cumulative solver work counters.
 func (g *Graph) Stats() SolveStats { return g.stats }
+
+// Generation returns a counter that advances on every mutation of the
+// graph — capacity writes, flow changes (solves, Reset), and structural
+// edits. Two reads returning the same value bracket a window in which the
+// graph was untouched.
+func (g *Graph) Generation() uint64 { return g.gen }
 
 // New returns an empty flow network with n nodes, numbered 0..n-1.
 func New(n int) *Graph {
@@ -112,6 +125,7 @@ func (g *Graph) AddEdge(u, v int, capacity float64) EdgeID {
 	g.resid = append(g.resid, capacity, 0)
 	g.head[u] = append(g.head[u], id)
 	g.head[v] = append(g.head[v], id^1)
+	g.gen++
 	return id
 }
 
@@ -128,6 +142,7 @@ func (g *Graph) SetCapacity(e EdgeID, capacity float64) {
 	g.cap[e] = capacity
 	g.resid[e] = capacity
 	g.resid[e^1] = 0
+	g.gen++
 }
 
 // checkForwardEdge panics when e is out of range or names a residual
@@ -188,11 +203,13 @@ func (g *Graph) RaiseCapacity(e EdgeID, capacity float64) {
 		// becomes unbounded.
 		g.cap[e] = capacity
 		g.resid[e] = capacity
+		g.gen++
 		return
 	}
 	if delta := capacity - cur; delta > 0 {
 		g.cap[e] = capacity
 		g.resid[e] += delta
+		g.gen++
 	}
 }
 
@@ -202,6 +219,7 @@ func (g *Graph) Reset() {
 		g.resid[e] = g.cap[e]
 		g.resid[e+1] = 0
 	}
+	g.gen++
 }
 
 // Clear empties the graph — zero nodes, zero edges — while retaining every
@@ -219,6 +237,7 @@ func (g *Graph) Clear() {
 	g.resid = g.resid[:0]
 	g.label = g.label[:0]
 	g.n = 0
+	g.gen++
 }
 
 // Clone returns a deep copy of the graph including current flow.
@@ -231,6 +250,7 @@ func (g *Graph) Clone() *Graph {
 		resid: append([]float64(nil), g.resid...),
 		label: append([]string(nil), g.label...),
 		stats: g.stats,
+		gen:   g.gen,
 	}
 	for v := range g.head {
 		c.head[v] = append([]EdgeID(nil), g.head[v]...)
@@ -253,6 +273,10 @@ func (g *Graph) CloneInto(dst *Graph) *Graph {
 	dst.resid = append(dst.resid[:0], g.resid...)
 	dst.label = append(dst.label[:0], g.label...)
 	dst.stats = g.stats
+	// The destination's previous contents are gone: advance its own
+	// generation (rather than adopting the source's) so any state keyed to
+	// what the arena held before the clone is invalidated.
+	dst.gen++
 	// Adjacency: resize the outer slice preserving retained buckets, then
 	// overwrite each bucket in place.
 	for len(dst.head) < g.n {
@@ -304,6 +328,7 @@ func (g *Graph) MaxFlow(s, t int, solver Solver) float64 {
 		panic("maxflow: source equals sink")
 	}
 	g.stats.Solves++
+	g.gen++
 	g.Reset()
 	switch solver {
 	case EdmondsKarp:
@@ -333,6 +358,7 @@ func (g *Graph) Augment(s, t int, solver Solver) float64 {
 		panic("maxflow: source equals sink")
 	}
 	g.stats.Solves++
+	g.gen++
 	switch solver {
 	case EdmondsKarp:
 		return g.edmondsKarp(s, t)

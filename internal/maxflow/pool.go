@@ -1,0 +1,275 @@
+package maxflow
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Probe is one independent time-bisection job for a ProbePool: solve the
+// prototype bisector's network at the given tolerance. Seq is the caller's
+// deterministic ordering tag (typically the candidate's enumeration index)
+// used to break ties when merging results; Tag rides along untouched.
+type Probe struct {
+	Seq int
+	Tag any
+	Bis *TimeBisector
+	Tol float64
+}
+
+// ProbeResult is one solved probe. Work accounting mirrors what a caller of
+// MinTime would read off the bisector and its graph afterwards, as deltas
+// covering this probe alone, so pooled solves can be metered identically to
+// inline ones.
+type ProbeResult struct {
+	Seq  int
+	Tag  any
+	Time float64
+	Err  error
+
+	Stats       SolveStats // solver work (solves, augmenting paths, relabels)
+	Probes      int
+	Iterations  int
+	WarmStarts  int
+	WarmAborts  int
+	WallSeconds float64
+}
+
+// PoolStats is a snapshot of a ProbePool's lifetime counters.
+type PoolStats struct {
+	Submitted   int64 // probes accepted by Submit
+	Solved      int64 // probes solved to completion (feasible or not)
+	Canceled    int64 // probes or submissions abandoned via the context
+	ArenaReuses int64 // submissions served by a recycled arena (vs a fresh one)
+}
+
+// poolArena is one worker-side scratch pair: a graph arena plus a bisector
+// rebound onto it per job. Both retain their backing arrays across jobs, so
+// a recycled arena absorbs a clone without allocating.
+type poolArena struct {
+	g    *Graph
+	bis  TimeBisector
+	used bool
+}
+
+type poolJob struct {
+	seq   int
+	tag   any
+	tol   float64
+	arena *poolArena
+}
+
+// ProbePool solves independent TimeBisector probes concurrently, one
+// worker per goroutine, each on its own warm-started graph arena. Submit
+// clones the prototype's graph and schedule synchronously (the caller may
+// rebuild or reuse the prototype the moment Submit returns) onto a recycled
+// arena from a bounded free list — the list doubles as backpressure, so a
+// fast producer cannot outrun the solvers by more than the pipeline depth.
+//
+// Results are delivered on Results in completion order; merge them
+// deterministically with BestProbe (min (Time, Seq)) or sort by Seq. A nil
+// Ctx runs to completion; a canceling Ctx aborts queued submissions,
+// in-flight bisections (per-probe checks, see TimeBisector.Ctx), and
+// result delivery without deadlock.
+type ProbePool struct {
+	// Workers is the solver goroutine count; <= 0 means GOMAXPROCS.
+	Workers int
+	// Ctx, when non-nil, cancels the pool: submissions fail, in-flight
+	// solves return the context error, undelivered results are dropped.
+	Ctx context.Context
+
+	nworkers  int
+	jobs      chan poolJob
+	results   chan ProbeResult
+	free      chan *poolArena
+	wg        sync.WaitGroup
+	submitted atomic.Int64
+	solved    atomic.Int64
+	canceled  atomic.Int64
+	reuses    atomic.Int64
+}
+
+// Start launches the worker goroutines. Must be called exactly once,
+// before any Submit.
+func (p *ProbePool) Start() {
+	if p.jobs != nil {
+		panic("maxflow: ProbePool started twice")
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	p.nworkers = w
+	p.jobs = make(chan poolJob, w)
+	p.results = make(chan ProbeResult, w)
+	// One arena per worker plus one per queue slot: Submit blocks only
+	// when every solver is busy and the job queue is full.
+	p.free = make(chan *poolArena, 2*w)
+	for i := 0; i < 2*w; i++ {
+		p.free <- &poolArena{g: New(0)}
+	}
+	p.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+}
+
+// NumWorkers returns the resolved worker count (after Start).
+func (p *ProbePool) NumWorkers() int { return p.nworkers }
+
+// Submit clones the probe's network onto a pool arena and enqueues it.
+// The clone happens on the caller's goroutine: when Submit returns, the
+// prototype graph and bisector are free to be reused or rebuilt. Blocks
+// for backpressure when the pool is saturated. Returns the context's error
+// (submitting nothing) once Ctx is done.
+func (p *ProbePool) Submit(pr Probe) error {
+	var arena *poolArena
+	if p.Ctx != nil {
+		select {
+		case arena = <-p.free:
+		case <-p.Ctx.Done():
+			p.canceled.Add(1)
+			return p.Ctx.Err()
+		}
+	} else {
+		arena = <-p.free
+	}
+	if arena.used {
+		p.reuses.Add(1)
+	}
+	arena.used = true
+	pr.Bis.CloneOnto(&arena.bis, pr.Bis.G.CloneInto(arena.g))
+	if p.Ctx != nil {
+		// The pool's context governs in-flight solves; it is expected to
+		// be derived from (or identical to) the prototype's own context.
+		arena.bis.Ctx = p.Ctx
+	}
+	job := poolJob{seq: pr.Seq, tag: pr.Tag, tol: pr.Tol, arena: arena}
+	if p.Ctx != nil {
+		select {
+		case p.jobs <- job:
+		case <-p.Ctx.Done():
+			p.free <- arena
+			p.canceled.Add(1)
+			return p.Ctx.Err()
+		}
+	} else {
+		p.jobs <- job
+	}
+	p.submitted.Add(1)
+	return nil
+}
+
+// Results delivers solved probes in completion order. The channel closes
+// after Close.
+func (p *ProbePool) Results() <-chan ProbeResult { return p.results }
+
+// Close ends the submission side, waits for in-flight solves, and closes
+// Results. Call exactly once, after the last Submit.
+func (p *ProbePool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.results)
+}
+
+// Stats returns a snapshot of the pool's lifetime counters.
+func (p *ProbePool) Stats() PoolStats {
+	return PoolStats{
+		Submitted:   p.submitted.Load(),
+		Solved:      p.solved.Load(),
+		Canceled:    p.canceled.Load(),
+		ArenaReuses: p.reuses.Load(),
+	}
+}
+
+func (p *ProbePool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		a := job.arena
+		before := a.g.stats
+		start := time.Now()
+		tm, err := a.bis.MinTime(job.tol)
+		wall := time.Since(start).Seconds()
+		after := a.g.stats
+		res := ProbeResult{
+			Seq:  job.seq,
+			Tag:  job.tag,
+			Time: tm,
+			Err:  err,
+			Stats: SolveStats{
+				AugmentingPaths: after.AugmentingPaths - before.AugmentingPaths,
+				Relabels:        after.Relabels - before.Relabels,
+				Solves:          after.Solves - before.Solves,
+			},
+			Probes:      a.bis.Probes,
+			Iterations:  a.bis.Iterations,
+			WarmStarts:  a.bis.WarmStarts,
+			WarmAborts:  a.bis.WarmAborts,
+			WallSeconds: wall,
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			p.canceled.Add(1)
+		} else {
+			p.solved.Add(1)
+		}
+		// Recycle before delivering: a blocked result send must not hold
+		// an arena hostage from waiting submitters.
+		p.free <- a
+		if p.Ctx != nil {
+			select {
+			case p.results <- res:
+			case <-p.Ctx.Done():
+				// The consumer is gone; drop the result.
+			}
+		} else {
+			p.results <- res
+		}
+	}
+}
+
+// Solve is the batch convenience: Start, submit every probe, Close, and
+// return the results sorted by Seq. Submissions refused by a canceled
+// context come back as results carrying the context error, so the output
+// always has one entry per input probe.
+func (p *ProbePool) Solve(probes []Probe) []ProbeResult {
+	p.Start()
+	out := make([]ProbeResult, 0, len(probes))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range p.results {
+			out = append(out, r)
+		}
+	}()
+	var refused []ProbeResult
+	for _, pr := range probes {
+		if err := p.Submit(pr); err != nil {
+			refused = append(refused, ProbeResult{Seq: pr.Seq, Tag: pr.Tag, Err: err})
+		}
+	}
+	p.Close()
+	<-done
+	out = append(out, refused...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// BestProbe merges pool results deterministically: the error-free result
+// with the smallest Time wins, ties broken by the smallest Seq — the same
+// rule the placement search's collector applies, so a pooled solve of N
+// candidates picks the identical winner regardless of completion order.
+func BestProbe(rs []ProbeResult) (best ProbeResult, ok bool) {
+	for _, r := range rs {
+		if r.Err != nil {
+			continue
+		}
+		if !ok || r.Time < best.Time || (r.Time == best.Time && r.Seq < best.Seq) {
+			best, ok = r, true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,174 @@
+package maxflow
+
+import (
+	"context"
+	"testing"
+)
+
+// poolNet builds a small two-layer network (source → relays → sink) whose
+// shape varies with the parameters: rate edges feed the relays, fixed byte
+// budgets drain them.
+func poolNet(nMid int, scale, demand float64) *TimeBisector {
+	g := New(nMid + 2)
+	s, t := 0, nMid+1
+	b := NewTimeBisector(g, s, t, demand)
+	for i := 0; i < nMid; i++ {
+		e := g.AddEdge(s, 1+i, 0)
+		b.AddRateEdge(e, scale*float64(10+i*3))
+		f := g.AddEdge(1+i, t, 0)
+		b.AddFixedEdge(f, demand/float64(nMid)*1.5)
+	}
+	return b
+}
+
+// sequentialReference solves a probe exactly the way a pool worker does —
+// clone onto a scratch arena, MinTime — but inline.
+func sequentialReference(pr Probe) ProbeResult {
+	arena := New(0)
+	var bis TimeBisector
+	pr.Bis.CloneOnto(&bis, pr.Bis.G.CloneInto(arena))
+	before := arena.Stats()
+	tm, err := bis.MinTime(pr.Tol)
+	after := arena.Stats()
+	return ProbeResult{
+		Seq: pr.Seq, Tag: pr.Tag, Time: tm, Err: err,
+		Stats: SolveStats{
+			AugmentingPaths: after.AugmentingPaths - before.AugmentingPaths,
+			Relabels:        after.Relabels - before.Relabels,
+			Solves:          after.Solves - before.Solves,
+		},
+		Probes: bis.Probes, Iterations: bis.Iterations,
+		WarmStarts: bis.WarmStarts, WarmAborts: bis.WarmAborts,
+	}
+}
+
+func TestProbePoolMatchesSequential(t *testing.T) {
+	var probes []Probe
+	for i := 0; i < 24; i++ {
+		b := poolNet(2+i%5, 1+0.37*float64(i%7), 1000+50*float64(i))
+		probes = append(probes, Probe{Seq: i, Bis: b, Tol: 1e-4})
+	}
+	pool := &ProbePool{Workers: 4}
+	got := pool.Solve(probes)
+	if len(got) != len(probes) {
+		t.Fatalf("pool returned %d results for %d probes", len(got), len(probes))
+	}
+	for i, r := range got {
+		want := sequentialReference(probes[i])
+		if r.Seq != want.Seq {
+			t.Fatalf("result %d: seq %d, want %d", i, r.Seq, want.Seq)
+		}
+		if r.Err != nil || want.Err != nil {
+			t.Fatalf("seq %d: unexpected errors pool=%v seq=%v", r.Seq, r.Err, want.Err)
+		}
+		if r.Time != want.Time {
+			t.Fatalf("seq %d: pooled time %v != sequential %v", r.Seq, r.Time, want.Time)
+		}
+		if r.Stats != want.Stats {
+			t.Fatalf("seq %d: pooled stats %+v != sequential %+v", r.Seq, r.Stats, want.Stats)
+		}
+		if r.Probes != want.Probes || r.Iterations != want.Iterations ||
+			r.WarmStarts != want.WarmStarts || r.WarmAborts != want.WarmAborts {
+			t.Fatalf("seq %d: bisector counters differ: pooled %+v sequential %+v", r.Seq, r, want)
+		}
+	}
+	st := pool.Stats()
+	if st.Submitted != int64(len(probes)) || st.Solved != int64(len(probes)) || st.Canceled != 0 {
+		t.Fatalf("pool stats %+v, want submitted=solved=%d", st, len(probes))
+	}
+	// 4 workers → 8 arenas; everything past the initial fills is a reuse.
+	if st.ArenaReuses < int64(len(probes))-8 {
+		t.Fatalf("arena reuses %d, want >= %d", st.ArenaReuses, len(probes)-8)
+	}
+}
+
+func TestBestProbeDeterministicMerge(t *testing.T) {
+	// Identical networks at different seqs tie on time; the merge must pick
+	// the lowest seq no matter the completion order.
+	var probes []Probe
+	for _, seq := range []int{7, 3, 11, 5} {
+		probes = append(probes, Probe{Seq: seq, Bis: poolNet(3, 2, 500), Tol: 1e-4})
+	}
+	rs := (&ProbePool{Workers: 3}).Solve(probes)
+	best, ok := BestProbe(rs)
+	if !ok {
+		t.Fatal("no feasible probe")
+	}
+	if best.Seq != 3 {
+		t.Fatalf("tie broken to seq %d, want 3", best.Seq)
+	}
+	for _, r := range rs[1:] {
+		if r.Time != rs[0].Time {
+			t.Fatalf("identical networks solved to different times: %v vs %v", r.Time, rs[0].Time)
+		}
+	}
+}
+
+func TestProbePoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := &ProbePool{Workers: 2, Ctx: ctx}
+	pool.Start()
+	if err := pool.Submit(Probe{Seq: 0, Bis: poolNet(3, 1, 800), Tol: 1e-4}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	r := <-pool.Results()
+	if r.Err != nil {
+		t.Fatalf("pre-cancel result: %v", r.Err)
+	}
+	cancel()
+	// Eventually every submission is refused with the context's error; the
+	// free list may still serve a few in-flight slots first.
+	refused := false
+	for i := 0; i < 64 && !refused; i++ {
+		if err := pool.Submit(Probe{Seq: 1 + i, Bis: poolNet(3, 1, 800), Tol: 1e-4}); err != nil {
+			if err != context.Canceled {
+				t.Fatalf("submit error %v, want context.Canceled", err)
+			}
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("submissions kept succeeding after cancel")
+	}
+	pool.Close() // must not deadlock with undelivered results
+	for range pool.Results() {
+		// drain whatever made it out
+	}
+}
+
+func TestCloneOntoPreservesWarmState(t *testing.T) {
+	proto := poolNet(4, 1.5, 1200)
+	tm, err := proto.MinTime(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := New(0)
+	var clone TimeBisector
+	proto.CloneOnto(&clone, proto.G.CloneInto(arena))
+	if !clone.Feasible(tm * 2) {
+		t.Fatal("double the solved horizon must stay feasible")
+	}
+	if clone.WarmStarts != 1 {
+		t.Fatalf("clone probe at a grown horizon should warm-start (WarmStarts=%d)", clone.WarmStarts)
+	}
+	// And the warm answer matches a cold solve of the same question.
+	cold := poolNet(4, 1.5, 1200)
+	cold.DisableWarmStart = true
+	if !cold.Feasible(tm * 2) {
+		t.Fatal("cold reference disagrees on feasibility")
+	}
+}
+
+func TestCloneOntoArenaReuseAllocs(t *testing.T) {
+	proto := poolNet(6, 2, 1500)
+	arena := New(0)
+	var scratch TimeBisector
+	// Warm the arena pair once so the backing arrays exist.
+	proto.CloneOnto(&scratch, proto.G.CloneInto(arena))
+	allocs := testing.AllocsPerRun(200, func() {
+		proto.CloneOnto(&scratch, proto.G.CloneInto(arena))
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena clone allocates %v times per run, want 0", allocs)
+	}
+}

@@ -34,6 +34,10 @@ type LocalSearchOptions struct {
 	// climbing that revisits a placement class — across restarts or across
 	// separate searches — skips the max-flow solve.
 	Cache *scorecache.Scores
+	// FaultsKey mirrors Options.FaultsKey: the fault-schedule component of
+	// the cache key, so fault-aware local searches stay isolated from
+	// healthy ones sharing the same cache.
+	FaultsKey string
 	// Observer receives spans and metrics (nil falls back to the process
 	// default observer).
 	Observer *obs.Observer
@@ -114,7 +118,7 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 
 	prefix := ""
 	if opt.Cache != nil {
-		prefix = cachePrefix(m, d, opt.Tolerance)
+		prefix = cachePrefix(m, d, opt.Tolerance, opt.FaultsKey)
 	}
 	evaluations := 0
 	cacheHits := 0

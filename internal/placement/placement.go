@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"moment/internal/flownet"
+	"moment/internal/maxflow"
 	"moment/internal/obs"
 	"moment/internal/scorecache"
 	"moment/internal/topology"
@@ -170,6 +171,19 @@ type Options struct {
 	// canonical placement class with machine-rate and demand fingerprints,
 	// so a shared cache is safe across machines and demands.
 	Cache *scorecache.Scores
+	// FaultsKey folds an injected fault schedule into the score-cache key
+	// (callers pass faults.Format output). Two searches over identical
+	// machine/demand fingerprints but different fault schedules must not
+	// share memoized scores: leave it empty only when scores are
+	// schedule-independent (the healthy-machine planner).
+	FaultsKey string
+	// NoProbePool makes the streaming pipeline solve bisections inline in
+	// its scoring workers instead of submitting them to the shared
+	// maxflow.ProbePool — the pre-pool behavior, kept as the differential
+	// reference (and escape hatch). Serial mode never uses the pool. The
+	// pool is also bypassed while flownet self-checks are installed, since
+	// those audit the solved flow on the network itself.
+	NoProbePool bool
 	// Observer receives spans and metrics for the search (nil falls back
 	// to the process default observer; both nil = no instrumentation).
 	Observer *obs.Observer
@@ -226,19 +240,27 @@ type scoredSeq struct {
 // bisection tolerance, so one shared cache serves different machines,
 // demands, and tolerances without collisions.
 func CacheKey(m *topology.Machine, p *topology.Placement, d *flownet.Demand, tol float64) (string, error) {
+	return CacheKeyFaults(m, p, d, tol, "")
+}
+
+// CacheKeyFaults is CacheKey for searches run under an injected fault
+// schedule: faultsKey (Options.FaultsKey, typically faults.Format output)
+// joins the prefix so schedules with identical machine/demand fingerprints
+// occupy disjoint cache keyspaces.
+func CacheKeyFaults(m *topology.Machine, p *topology.Placement, d *flownet.Demand, tol float64, faultsKey string) (string, error) {
 	key, err := CanonicalKey(m, p)
 	if err != nil {
 		return "", err
 	}
-	return cachePrefix(m, d, tol) + key, nil
+	return cachePrefix(m, d, tol, faultsKey) + key, nil
 }
 
 // cachePrefix fingerprints everything that determines a candidate's score
 // besides its canonical placement class: the machine's link rates and
 // device counts (CanonicalKey covers attach-point structure but not fabric
 // bandwidths — two machines can differ only in QPIBW), the demand vector,
-// and the tolerance.
-func cachePrefix(m *topology.Machine, d *flownet.Demand, tol float64) string {
+// the tolerance, and the fault schedule the scores were computed under.
+func cachePrefix(m *topology.Machine, d *flownet.Demand, tol float64, faultsKey string) string {
 	h := scorecache.NewHasher()
 	h.Float(float64(m.QPIBW)).Float(float64(m.DRAMBW))
 	h.Float(float64(m.PCIeX16)).Float(float64(m.PCIeX4))
@@ -249,6 +271,7 @@ func cachePrefix(m *topology.Machine, d *flownet.Demand, tol float64) string {
 		h.Uint(uint64(nv.A)).Uint(uint64(nv.B))
 	}
 	h.Float(tol)
+	h.String(faultsKey)
 	return fmt.Sprintf("%x|%x|", h.Sum(), d.Fingerprint())
 }
 
@@ -347,7 +370,7 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 
 	st := &searchState{m: m, d: d, opt: opt, o: o, sp: sp}
 	if opt.Cache != nil {
-		st.prefix = cachePrefix(m, d, opt.Tolerance)
+		st.prefix = cachePrefix(m, d, opt.Tolerance, opt.FaultsKey)
 	}
 
 	var col collector
@@ -485,24 +508,41 @@ func searchSerial(st *searchState, gpuDists, ssdDists [][]int, col *collector) e
 }
 
 // searchStream is the concurrent pipeline: an enumerator goroutine feeds a
-// dedupe goroutine feeds a bounded scoring pool; the caller's goroutine
-// collects. A closed done channel aborts every stage early (canonicalization
-// failure — enumerated candidates are valid by construction, but the guard
-// keeps the pipeline from deadlocking if that invariant ever breaks).
+// dedupe goroutine feeds a scoring stage; the caller's goroutine collects.
+// The scoring stage has two modes: by default, builder goroutines construct
+// candidate networks and hand the bisections to a shared maxflow.ProbePool
+// whose workers solve them on warm graph arenas (build and solve overlap,
+// see streamPoolScore); with Options.NoProbePool — or while flownet
+// self-checks are installed — a bounded worker pool builds and solves
+// inline, the pre-pool reference behavior. A closed done channel aborts
+// every stage early (canonicalization failure — enumerated candidates are
+// valid by construction, but the guard keeps the pipeline from deadlocking
+// if that invariant ever breaks).
 func searchStream(st *searchState, gpuDists, ssdDists [][]int, total int, col *collector) error {
 	workers := st.opt.Parallelism
 	if workers > total {
 		workers = total
 	}
+	usePool := !st.opt.NoProbePool && flownet.Check == nil
 	candc := make(chan cand, workers)
 	keyc := make(chan cand, workers)
 	resc := make(chan scoredSeq, workers)
 	done := make(chan struct{})
+	// The pool context fans an abort out to in-flight bisections and
+	// blocked pool operations; deriving it from the caller's context makes
+	// external cancellation reach pooled solves without a channel receive.
+	baseCtx := st.opt.Ctx
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	poolCtx, poolCancel := context.WithCancel(baseCtx)
+	defer poolCancel()
 	var failErr error
 	var failOnce sync.Once
 	fail := func(err error) {
 		failOnce.Do(func() {
 			failErr = err
+			poolCancel()
 			close(done)
 		})
 	}
@@ -569,35 +609,160 @@ func searchStream(st *searchState, gpuDists, ssdDists [][]int, total int, col *c
 		}
 	}()
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ { // stage 3: scoring pool
-		wg.Add(1)
+	var pool *maxflow.ProbePool
+	if usePool {
+		pool = streamPoolScore(st, keyc, resc, done, poolCtx, workers)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ { // stage 3: inline scoring pool
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var scratch *flownet.Network
+				for c := range keyc {
+					if evalHook != nil {
+						evalHook()
+					}
+					var s scoredSeq
+					s, scratch = scoreCached(st, c, scratch)
+					select {
+					case resc <- s:
+					case <-done:
+						return
+					}
+				}
+			}()
+		}
 		go func() {
-			defer wg.Done()
+			wg.Wait()
+			close(resc)
+		}()
+	}
+
+	for s := range resc { // stage 4: collect (caller's goroutine)
+		col.add(s)
+	}
+	if st.opt.Ctx != nil {
+		// Cancellation reaches the pipeline through context parentage
+		// (poolCtx derives from the caller's context), which can drain every
+		// stage before the AfterFunc goroutine — the failErr writer — gets
+		// scheduled. Routing the context error through fail() here closes
+		// that race: the Once both makes the call idempotent and
+		// synchronizes the failErr read below with any concurrent writer.
+		if err := st.opt.Ctx.Err(); err != nil {
+			fail(err)
+		}
+	}
+	if pool != nil {
+		// resc only closes after ProbePool.Close returned (streamPoolScore's
+		// shutdown sequence), so the snapshot is final.
+		ps := pool.Stats()
+		st.o.Counter("probe_pool_probes_total").Add(float64(ps.Submitted))
+		st.o.Counter("probe_pool_solved_total").Add(float64(ps.Solved))
+		st.o.Counter("probe_pool_canceled_total").Add(float64(ps.Canceled))
+		st.o.Counter("probe_pool_arena_reuses_total").Add(float64(ps.ArenaReuses))
+		st.o.Gauge("probe_pool_workers").Set(float64(pool.NumWorkers()))
+	}
+	return failErr
+}
+
+// streamPoolScore is the pooled scoring stage: `workers` builder goroutines
+// consume deduped candidates, serve cache hits and build failures directly,
+// and submit everything else to a shared maxflow.ProbePool that solves the
+// bisections concurrently on its own warm graph arenas. Submit clones the
+// candidate's network synchronously, so a builder starts constructing its
+// next network (into the same recycled scratch) while the pool is still
+// solving the previous one — construction overlaps solving instead of
+// queueing behind it. A finisher goroutine meters pool results exactly as
+// an inline SolveTol would (flownet.MeterProbe) and forwards them; the
+// collector's (time, seq) rule makes the merge deterministic regardless of
+// completion order. Shutdown is sequenced builders → pool → finisher →
+// resc, so when resc closes the pool's counters are final.
+func streamPoolScore(st *searchState, keyc <-chan cand, resc chan<- scoredSeq, done <-chan struct{}, poolCtx context.Context, workers int) *maxflow.ProbePool {
+	pool := &maxflow.ProbePool{Workers: workers, Ctx: poolCtx}
+	pool.Start()
+	var bwg, fwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
 			var scratch *flownet.Network
 			for c := range keyc {
 				if evalHook != nil {
 					evalHook()
 				}
-				var s scoredSeq
-				s, scratch = scoreCached(st, c, scratch)
-				select {
-				case resc <- s:
-				case <-done:
+				if s, ok := cacheGet(st, c); ok {
+					select {
+					case resc <- s:
+						continue
+					case <-done:
+						return
+					}
+				}
+				n, err := flownet.BuildReuse(st.m, c.p, st.d, scratch)
+				if err != nil {
+					sp := st.sp.Fork("maxflow-score")
+					sp.SetStr("candidate", c.p.Name)
+					sp.SetStr("error", err.Error())
+					sp.End()
+					st.o.Counter("placement_candidates_infeasible_total").Inc()
+					st.o.Logf("placement: candidate %s infeasible: %v", c.p.Name, err)
+					s := scoredSeq{Scored: Scored{Placement: c.p, Err: err}, seq: c.seq}
+					cachePut(st, c, s.Scored)
+					select {
+					case resc <- s:
+						continue
+					case <-done:
+						return
+					}
+				}
+				scratch = n
+				if err := pool.Submit(n.Probe(c.seq, c, st.opt.Tolerance)); err != nil {
+					// Pool context canceled: the context AfterFunc (or the
+					// failing stage) already routed the error to fail().
 					return
 				}
 			}
 		}()
 	}
+	fwg.Add(1)
 	go func() {
-		wg.Wait()
+		defer fwg.Done()
+		for r := range pool.Results() {
+			c := r.Tag.(cand)
+			sp := st.sp.Fork("maxflow-score")
+			sp.SetStr("candidate", c.p.Name)
+			t, err := flownet.MeterProbe(st.o, st.m.Name, c.p.Name, r)
+			s := scoredSeq{seq: c.seq}
+			s.Placement = c.p
+			if err != nil {
+				sp.SetStr("error", err.Error())
+				s.Err = err
+				if !isCanceled(err) {
+					st.o.Counter("placement_candidates_infeasible_total").Inc()
+					st.o.Logf("placement: candidate %s unsolvable: %v", c.p.Name, err)
+				}
+			} else {
+				sp.SetFloat("predicted_seconds", t.Sec())
+				s.Time = t
+				st.o.Counter("placement_candidates_scored_total").Inc()
+			}
+			sp.End()
+			cachePut(st, c, s.Scored)
+			select {
+			case resc <- s:
+			case <-done:
+				return
+			}
+		}
+	}()
+	go func() {
+		bwg.Wait()
+		pool.Close()
+		fwg.Wait()
 		close(resc)
 	}()
-
-	for s := range resc { // stage 4: collect (caller's goroutine)
-		col.add(s)
-	}
-	return failErr
+	return pool
 }
 
 // Check, when non-nil, audits every Search result before it is returned
@@ -611,35 +776,55 @@ var Check func(m *topology.Machine, d *flownet.Demand, opt Options, res *Result)
 // evaluation (test instrumentation for the concurrency bound).
 var evalHook func()
 
-// scoreCached scores one candidate, consulting the cache first when the
-// search has one, and returns the (possibly newly built) scratch network
-// for the worker to reuse on its next candidate.
-func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, *flownet.Network) {
-	if st.opt.Cache != nil && c.key != "" {
-		if s, ok := st.opt.Cache.Get(st.prefix + c.key); ok {
-			st.o.Counter("placement_cache_hits_total").Inc()
-			out := scoredSeq{seq: c.seq, hit: true}
-			out.Placement = c.p
-			if s.Infeasible {
-				out.Err = errors.New(s.Err)
-				st.o.Counter("placement_candidates_infeasible_total").Inc()
-			} else {
-				out.Time = units.Seconds(s.Seconds)
-				st.o.Counter("placement_candidates_scored_total").Inc()
-			}
-			return out, scratch
-		}
+// cacheGet consults the score cache for candidate c, accounting the hit or
+// miss. It is the shared fast path of every scoring mode (serial, inline
+// streaming, pooled streaming), so hit/miss/scored/infeasible counters are
+// identical across them by construction.
+func cacheGet(st *searchState, c cand) (scoredSeq, bool) {
+	if st.opt.Cache == nil || c.key == "" {
+		return scoredSeq{}, false
+	}
+	s, ok := st.opt.Cache.Get(st.prefix + c.key)
+	if !ok {
 		st.o.Counter("placement_cache_misses_total").Inc()
+		return scoredSeq{}, false
+	}
+	st.o.Counter("placement_cache_hits_total").Inc()
+	out := scoredSeq{seq: c.seq, hit: true}
+	out.Placement = c.p
+	if s.Infeasible {
+		out.Err = errors.New(s.Err)
+		st.o.Counter("placement_candidates_infeasible_total").Inc()
+	} else {
+		out.Time = units.Seconds(s.Seconds)
+		st.o.Counter("placement_candidates_scored_total").Inc()
+	}
+	return out, true
+}
+
+// cachePut memoizes a scored candidate unless the result reflects caller
+// cancellation rather than a property of the candidate.
+func cachePut(st *searchState, c cand, s Scored) {
+	if st.opt.Cache == nil || c.key == "" || isCanceled(s.Err) {
+		return
+	}
+	entry := scorecache.Score{Seconds: s.Time.Sec()}
+	if s.Err != nil {
+		entry = scorecache.Score{Infeasible: true, Err: s.Err.Error()}
+	}
+	st.opt.Cache.Put(st.prefix+c.key, entry)
+}
+
+// scoreCached scores one candidate inline, consulting the cache first when
+// the search has one, and returns the (possibly newly built) scratch
+// network for the worker to reuse on its next candidate.
+func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, *flownet.Network) {
+	if out, ok := cacheGet(st, c); ok {
+		return out, scratch
 	}
 	var s Scored
 	s, scratch = score(st.opt.Ctx, st.m, c.p, st.d, st.opt.Tolerance, st.o, st.sp, scratch)
-	if st.opt.Cache != nil && c.key != "" && !isCanceled(s.Err) {
-		entry := scorecache.Score{Seconds: s.Time.Sec()}
-		if s.Err != nil {
-			entry = scorecache.Score{Infeasible: true, Err: s.Err.Error()}
-		}
-		st.opt.Cache.Put(st.prefix+c.key, entry)
-	}
+	cachePut(st, c, s)
 	return scoredSeq{Scored: s, seq: c.seq}, scratch
 }
 

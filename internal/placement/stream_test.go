@@ -200,6 +200,162 @@ func TestSearchCacheKeySeparation(t *testing.T) {
 	}
 }
 
+// TestFaultsKeyIsolatesSharedCache shares one cache between a healthy
+// search (empty FaultsKey) and a fault-aware one over the *same* machine
+// and demand. The fault schedule degrades the scoring picture outside the
+// machine/demand fingerprint, so without the FaultsKey component the
+// second search would be served the first one's scores wholesale.
+func TestFaultsKeyIsolatesSharedCache(t *testing.T) {
+	m := topology.MachineB()
+	d := demand(4)
+	cache := scorecache.NewScores(4096)
+	healthy, err := Search(m, d, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.CacheHits != 0 {
+		t.Fatalf("cold healthy search reported %d hits", healthy.CacheHits)
+	}
+	faulted, err := Search(m, d, Options{Cache: cache, FaultsKey: "kill:ssd0@5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.CacheHits != 0 {
+		t.Errorf("fault-aware search took %d hits from the healthy run", faulted.CacheHits)
+	}
+	// Same schedule revisiting is still fully memoized...
+	again, err := Search(m, d, Options{Cache: cache, FaultsKey: "kill:ssd0@5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != again.Evaluated {
+		t.Errorf("same-schedule rerun hit %d of %d evaluations", again.CacheHits, again.Evaluated)
+	}
+	// ...and a different schedule is isolated again.
+	other, err := Search(m, d, Options{Cache: cache, FaultsKey: "kill:ssd0@90"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHits != 0 {
+		t.Errorf("schedule B search took %d hits from schedule A", other.CacheHits)
+	}
+	// Isolation must not change what gets planned.
+	plain, err := Search(m, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*Result{healthy, faulted, again, other} {
+		if r.Time != plain.Time || r.Best.Name != plain.Best.Name {
+			t.Errorf("run %d: %v/%q vs cache-free %v/%q",
+				i, r.Time, r.Best.Name, plain.Time, plain.Best.Name)
+		}
+	}
+	// LocalSearch shares the key space, FaultsKey included: warmed by the
+	// same-schedule exhaustive search it hits, across schedules it must not.
+	lsSame, err := LocalSearch(m, d, LocalSearchOptions{Seed: 7, Cache: cache, FaultsKey: "kill:ssd0@5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsSame.CacheHits == 0 {
+		t.Error("same-schedule local search got no hits from a Search-warmed cache")
+	}
+	// A local search's revisit-heavy walk hits its own entries within one
+	// run, so cross-schedule isolation shows as "no more hits than the same
+	// walk against a fresh cache".
+	lsFresh, err := LocalSearch(m, d, LocalSearchOptions{Seed: 7, Cache: scorecache.NewScores(4096), FaultsKey: "throttle:ssd1@2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsOther, err := LocalSearch(m, d, LocalSearchOptions{Seed: 7, Cache: cache, FaultsKey: "throttle:ssd1@2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsOther.CacheHits != lsFresh.CacheHits {
+		t.Errorf("cross-schedule local search took %d hits, fresh-cache walk %d",
+			lsOther.CacheHits, lsFresh.CacheHits)
+	}
+}
+
+// TestProbePoolMatchesInline is the pooled-vs-inline differential: with the
+// ProbePool on (default) and off (NoProbePool, the pre-pool reference), the
+// search must agree on the best score, the winner, every kept score, the
+// placement pipeline counters, and the maxflow solver-work counters that
+// MeterProbe mirrors from SolveTol. Run under -race this also exercises the
+// pool's arena recycling and merge synchronization.
+func TestProbePoolMatchesInline(t *testing.T) {
+	machines := map[string]func() *topology.Machine{
+		"A":          topology.MachineA,
+		"B-degraded": degradedB,
+	}
+	counters := []string{
+		"placement_candidates_enumerated_total",
+		"placement_candidates_pruned_total",
+		"placement_candidates_scored_total",
+		"placement_candidates_infeasible_total",
+		"maxflow_solves_total",
+		"maxflow_augmenting_paths_total",
+		"maxflow_relabels_total",
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for mName, mk := range machines {
+		m := mk()
+		d := demand(m.NumGPUs)
+		inlineObs := obs.New()
+		inline, err := Search(m, d, Options{NoProbePool: true, KeepScores: true, Observer: inlineObs})
+		if err != nil {
+			t.Fatalf("%s inline: %v", mName, err)
+		}
+		if v := inlineObs.Counter("probe_pool_probes_total").Value(); v != 0 {
+			t.Errorf("%s: inline path submitted %v pool probes", mName, v)
+		}
+		for _, procs := range []int{2, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			name := fmt.Sprintf("%s/procs=%d", mName, procs)
+			pooledObs := obs.New()
+			pooled, err := Search(m, d, Options{KeepScores: true, Observer: pooledObs})
+			if err != nil {
+				t.Fatalf("%s pooled: %v", name, err)
+			}
+			if pooled.Time != inline.Time || pooled.Best.Name != inline.Best.Name {
+				t.Errorf("%s: pooled %v/%q vs inline %v/%q", name,
+					pooled.Time, pooled.Best.Name, inline.Time, inline.Best.Name)
+			}
+			if pooled.Enumerated != inline.Enumerated || pooled.Evaluated != inline.Evaluated {
+				t.Errorf("%s: counts %d/%d pooled vs %d/%d inline", name,
+					pooled.Enumerated, pooled.Evaluated, inline.Enumerated, inline.Evaluated)
+			}
+			if len(pooled.Scores) != len(inline.Scores) {
+				t.Errorf("%s: %d scores vs %d", name, len(pooled.Scores), len(inline.Scores))
+			} else {
+				for i := range pooled.Scores {
+					if pooled.Scores[i].Time != inline.Scores[i].Time {
+						t.Errorf("%s: score[%d] %v pooled vs %v inline", name, i,
+							pooled.Scores[i].Time, inline.Scores[i].Time)
+						break
+					}
+				}
+			}
+			for _, c := range counters {
+				if pv, iv := pooledObs.Counter(c).Value(), inlineObs.Counter(c).Value(); pv != iv {
+					t.Errorf("%s: counter %s = %v pooled vs %v inline", name, c, pv, iv)
+				}
+			}
+			submitted := pooledObs.Counter("probe_pool_probes_total").Value()
+			solved := pooledObs.Counter("probe_pool_solved_total").Value()
+			if submitted != float64(pooled.Evaluated) {
+				t.Errorf("%s: %v pool probes for %d evaluations", name, submitted, pooled.Evaluated)
+			}
+			if solved != submitted {
+				t.Errorf("%s: solved %v of %v submitted probes", name, solved, submitted)
+			}
+			if v := pooledObs.Counter("probe_pool_canceled_total").Value(); v != 0 {
+				t.Errorf("%s: %v probes canceled in an uncanceled search", name, v)
+			}
+		}
+	}
+}
+
 // TestSearchCacheInfeasibleMemoized ensures infeasible candidates are
 // remembered too — a warm search repeats the infeasibility verdict without
 // re-solving, and a fully infeasible search still errors.

@@ -431,12 +431,16 @@ func (s *Server) estimatedWait(position int) time.Duration {
 	return time.Duration(runsAhead * ewma * float64(time.Second))
 }
 
+// retryAfterSec converts the queue-wait estimate into a whole-second
+// Retry-After value. The HTTP header has no sub-second resolution, so
+// fractional estimates round up, and the result is clamped to >= 1: a
+// Retry-After of 0 invites an immediate retry into the same full queue.
 func (s *Server) retryAfterSec(position int) int {
-	wait := s.estimatedWait(position)
-	if wait <= 0 {
+	sec := int(math.Ceil(s.estimatedWait(position).Seconds()))
+	if sec < 1 {
 		return 1
 	}
-	return int(math.Ceil(wait.Seconds()))
+	return sec
 }
 
 // worker drains the queue until Drain closes it.

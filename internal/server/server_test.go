@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -336,6 +337,87 @@ func TestShedDeadline(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
+}
+
+// TestRetryAfterSubSecondEWMA: a shed with a sub-second smoothed run time
+// must still advertise Retry-After >= 1 — the header has whole-second
+// resolution, and 0 invites an immediate retry into the same full queue.
+func TestRetryAfterSubSecondEWMA(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, TenantConcurrency: -1},
+		func(ctx context.Context, cr *canonReq) (*planResult, error) {
+			started <- struct{}{}
+			<-release
+			return fakeResult(cr.name), nil
+		})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	// A Fatal below must still unblock the planner, or the deferred
+	// ts.Close() waits forever on the in-flight handlers.
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	s.ewmaBits.update(0.05) // runs "take" 50ms: every wait estimate is sub-second
+
+	for _, pos := range []int{0, 1, 3, 100} {
+		if sec := s.retryAfterSec(pos); sec < 1 {
+			t.Errorf("retryAfterSec(%d) = %d with 50ms EWMA, want >= 1", pos, sec)
+		}
+	}
+
+	// Occupy the worker, then the queue slot — strictly in that order. The
+	// two posts must not race each other: if both arrived before the worker
+	// dequeued the first, the second would be shed by the depth-1 queue
+	// instead of occupying it.
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	post := func(i int) {
+		defer wg.Done()
+		codes[i], _, _ = postPlan(t, ts, planBody(t, 4000+i), nil)
+	}
+	wg.Add(1)
+	go post(0)
+	select { // worker has dequeued #0 and is blocked in the planner
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started a flight")
+	}
+	wg.Add(1)
+	go post(1) // with the worker pinned, #1 can only sit in the queue
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		queued := s.queued
+		s.mu.Unlock()
+		if queued >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	code, _, hdr := postPlan(t, ts, planBody(t, 9998), nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", code)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", hdr.Get("Retry-After"), err)
+	}
+	if ra < 1 {
+		t.Errorf("Retry-After = %d with sub-second EWMA, want >= 1", ra)
+	}
+
+	unblock()
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i, c)
+		}
+	}
 }
 
 // TestClientDisconnectReleasesWorker: when every waiter abandons a flight,

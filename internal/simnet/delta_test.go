@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"moment/internal/faults"
+)
+
+// chatterbox is a FaultLookup that reports a fault boundary every second
+// but never changes any link factor — the shape of a schedule whose events
+// all target GPUs or SSD error rates. A correct delta loop reuses the
+// previous rate allocation at every one of its boundaries.
+type chatterbox struct{ horizon float64 }
+
+func (c chatterbox) LinkFactor(string, float64) float64 { return 1 }
+func (c chatterbox) NextChange(t float64) float64 {
+	next := math.Floor(t) + 1
+	if next > c.horizon {
+		return math.Inf(1)
+	}
+	return next
+}
+
+func TestRateReuseAtQuietFaultBoundaries(t *testing.T) {
+	build := func(f FaultLookup) *Net {
+		n := New()
+		a, _ := n.AddLink("a", 10)
+		b, _ := n.AddLink("b", 7)
+		n.AddFlow("f1", []LinkID{a, b}, 100, 0)
+		n.AddFlow("f2", []LinkID{b}, 50, 3)
+		if f != nil {
+			n.SetFaults(f)
+		}
+		return n
+	}
+	quiet, err := build(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := build(chatterbox{horizon: 100}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Makespan != noisy.Makespan {
+		t.Errorf("quiet boundaries changed makespan: %v vs %v", noisy.Makespan, quiet.Makespan)
+	}
+	for i := range quiet.FlowDone {
+		if quiet.FlowDone[i] != noisy.FlowDone[i] {
+			t.Errorf("flow %d done drifted: %v vs %v", i, noisy.FlowDone[i], quiet.FlowDone[i])
+		}
+	}
+	// Every per-second boundary that coincides with no admission or
+	// completion must be a reuse, and the solve count must match the
+	// boundary-free run exactly.
+	if noisy.RateSolves != quiet.RateSolves {
+		t.Errorf("noisy run solved rates %d times, quiet run %d — boundaries should all reuse",
+			noisy.RateSolves, quiet.RateSolves)
+	}
+	if noisy.RateReuses == 0 {
+		t.Error("no rate reuses across ~15 quiet fault boundaries")
+	}
+	if quiet.RateReuses != 0 {
+		t.Errorf("quiet run reports %d reuses, want 0 (every event changes the active set)", quiet.RateReuses)
+	}
+}
+
+func TestRateRecomputeWhenLinkFactorMoves(t *testing.T) {
+	// Same scenario as TestThrottleMidFlow: the t=5 boundary changes the
+	// trunk's factor, so it must trigger a recompute, not a reuse.
+	n := New()
+	l, _ := n.AddLink("trunk", 100)
+	n.AddFlow("f", []LinkID{l}, 1000, 0)
+	in, err := faults.NewInjector(&faults.Schedule{Events: []faults.Event{
+		faults.Downtrain("trunk", 5, 0.5, 0),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(in)
+	res, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-15) > 1e-6 {
+		t.Errorf("makespan %v, want 15", res.Makespan)
+	}
+	if res.RateSolves < 2 {
+		t.Errorf("rate solves %d, want >= 2 (admission + factor change)", res.RateSolves)
+	}
+}
+
+func TestClearFlowsReusesFabric(t *testing.T) {
+	n := New()
+	a, _ := n.AddLink("a", 10)
+	b, _ := n.AddLink("b", 7)
+	n.AddFlow("f1", []LinkID{a, b}, 100, 0)
+	first, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.ClearFlows()
+	if n.NumFlows() != 0 {
+		t.Fatalf("ClearFlows left %d flows", n.NumFlows())
+	}
+	if n.NumLinks() != 2 {
+		t.Fatalf("ClearFlows dropped links: %d left", n.NumLinks())
+	}
+	// Re-add the same flow; the rerun must match the first epoch exactly.
+	n.AddFlow("f1", []LinkID{a, b}, 100, 0)
+	second, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Makespan != second.Makespan {
+		t.Errorf("fabric reuse drifted: %v vs %v", second.Makespan, first.Makespan)
+	}
+	if first.FlowDone[0] != second.FlowDone[0] {
+		t.Errorf("flow done drifted: %v vs %v", second.FlowDone[0], first.FlowDone[0])
+	}
+}

@@ -210,6 +210,13 @@ type Result struct {
 	// FlowRemain holds each flow's undelivered bytes (all zero when the
 	// simulation ran to completion).
 	FlowRemain []float64
+	// RateSolves counts max-min fair-rate recomputations the event loop
+	// performed; RateReuses counts events where the previous allocation was
+	// provably still valid (active set unchanged and no link's effective
+	// capacity moved — e.g. a fault boundary that only touched GPU or SSD
+	// factors) and the solve was skipped.
+	RateSolves int
+	RateReuses int
 }
 
 // Run simulates to completion and returns per-flow completion times,
@@ -258,6 +265,16 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 	})
 	var active []int
 
+	// Incremental flow-delta evaluation: the fair-rate allocation only
+	// depends on the active set and the links' effective capacities. Both
+	// are piecewise-constant between events, so an event that changes
+	// neither — typically a fault boundary whose factors touch GPUs or
+	// SSDs but no link — reuses the previous allocation instead of
+	// re-running progressive filling.
+	rateSolves, rateReuses := 0, 0
+	ratesValid := false
+	lastEff := make([]float64, len(n.links))
+
 	for len(pending) > 0 || len(active) > 0 {
 		if now >= stop-1e-12 {
 			break
@@ -268,6 +285,7 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 			pending = pending[1:]
 			n.flows[fi].started = true
 			active = append(active, fi)
+			ratesValid = false
 		}
 		if len(active) == 0 {
 			// Jump to the next start (or the stop time, if sooner).
@@ -279,7 +297,24 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 			now = next
 			continue
 		}
-		n.maxMinRates(active, now)
+		if ratesValid {
+			for li := range n.links {
+				if n.effRate(li, now) != lastEff[li] {
+					ratesValid = false
+					break
+				}
+			}
+		}
+		if ratesValid {
+			rateReuses++
+		} else {
+			n.maxMinRates(active, now)
+			for li := range n.links {
+				lastEff[li] = n.effRate(li, now)
+			}
+			ratesValid = true
+			rateSolves++
+		}
 		// Next event: earliest completion among active, next start, next
 		// fault boundary, or the stop time.
 		nextEvent := math.Inf(1)
@@ -332,6 +367,7 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 			if f.remain <= 1e-6 {
 				f.done = now
 				f.remain = 0
+				ratesValid = false
 			} else {
 				out = append(out, fi)
 			}
@@ -360,8 +396,14 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 		// Truncated with work in flight: the run "ends" at the stop time.
 		res.Makespan = now
 	}
+	res.RateSolves = rateSolves
+	res.RateReuses = rateReuses
 	if o := n.obsrv; o != nil {
 		sp.SetFloat("makespan_seconds", res.Makespan)
+		sp.SetInt("rate_solves", rateSolves)
+		sp.SetInt("rate_reuses", rateReuses)
+		o.Counter("sim_delta_rate_solves_total").Add(float64(rateSolves))
+		o.Counter("sim_delta_rate_reuses_total").Add(float64(rateReuses))
 		o.Gauge("simnet_makespan_seconds").Set(res.Makespan)
 		for li, l := range n.links {
 			capBytes := l.rate * res.Makespan
@@ -373,6 +415,15 @@ func (n *Net) runUntil(stop float64) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// ClearFlows drops every flow but keeps the links, observer, and fault
+// injector, and re-arms the net so it can Run again. Repeated epoch
+// simulations over the same fabric reuse one Net instead of rebuilding
+// links from the topology each time.
+func (n *Net) ClearFlows() {
+	n.flows = n.flows[:0]
+	n.ran = false
 }
 
 // LinkName returns the registered name of a link.

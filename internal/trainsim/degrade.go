@@ -154,6 +154,13 @@ type degradeInput struct {
 	items      []ddak.Item
 	fetchEpoch float64
 	ssdsPerGPU int
+	// t0 starts the timeline at an absolute schedule time instead of 0, and
+	// dead seeds devices that already fail-stopped before t0 (their traffic
+	// must have been re-routed out of specs by the caller). Both are zero
+	// for a single-epoch run; the multi-epoch sweep uses them to evaluate a
+	// later epoch against the same absolute fault schedule.
+	t0   float64
+	dead map[int]bool
 }
 
 // simulateDegradedIO runs the epoch's fabric traffic under the fault
@@ -167,10 +174,13 @@ func simulateDegradedIO(in degradeInput) (float64, *FaultReport, error) {
 	m := in.cfg.Machine
 	rep := &FaultReport{}
 	dead := map[int]bool{}
+	for j := range in.dead {
+		dead[j] = true
+	}
 	var repl *adaptive.Replanner
 	bins := in.bins
 	cur := append([]flowSpec(nil), in.specs...)
-	t := 0.0
+	t := in.t0
 	for {
 		// Next unhandled SSD fail-stop, in absolute time.
 		tf, fs := math.Inf(1), -1
@@ -231,7 +241,7 @@ func simulateDegradedIO(in degradeInput) (float64, *FaultReport, error) {
 		}
 		if in.cfg.Policy != PolicyHash {
 			if repl == nil {
-				repl, err = newReplannerFromItems(in.items, in.bins, in.cfg.PoolN, in.fetchEpoch)
+				repl, err = newReplannerFromItems(in.items, in.bins, in.cfg.PoolN, in.fetchEpoch, faults.Format(in.cfg.Faults))
 				if err != nil {
 					return 0, nil, err
 				}
@@ -324,8 +334,10 @@ func rerouteStranded(next []flowSpec, stranded map[int]float64, cfg Config, bins
 
 // newReplannerFromItems seeds an adaptive replanner with the epoch's item
 // profile so degradation re-solves account their migration bill against
-// the layout actually in force.
-func newReplannerFromItems(items []ddak.Item, bins []ddak.Bin, poolN int, fetchEpoch float64) (*adaptive.Replanner, error) {
+// the layout actually in force. scheduleKey (faults.Format output) salts
+// the replanner's layout fingerprints so a shared layout cache never
+// serves one schedule's degraded layouts to another.
+func newReplannerFromItems(items []ddak.Item, bins []ddak.Bin, poolN int, fetchEpoch float64, scheduleKey string) (*adaptive.Replanner, error) {
 	hot := make([]float64, len(items))
 	sizes := make([]float64, len(items))
 	for i, it := range items {
@@ -333,7 +345,12 @@ func newReplannerFromItems(items []ddak.Item, bins []ddak.Bin, poolN int, fetchE
 		sizes[i] = it.Bytes
 	}
 	// The threshold is irrelevant on the Rebin path; any valid value works.
-	return adaptive.NewReplanner(hot, sizes, bins, poolN, fetchEpoch, 0.5)
+	r, err := adaptive.NewReplanner(hot, sizes, bins, poolN, fetchEpoch, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	r.ScheduleKey = scheduleKey
+	return r, nil
 }
 
 // stragglerCompute stretches the per-GPU compute stage under GPU slowdown

@@ -1,0 +1,285 @@
+package trainsim
+
+import (
+	"fmt"
+	"strings"
+
+	"moment/internal/ddak"
+	"moment/internal/faults"
+	"moment/internal/obs"
+	"moment/internal/simnet"
+	"moment/internal/units"
+)
+
+// This file implements long-horizon fleet sweeps: simulating thousands of
+// back-to-back training epochs against one absolute fault schedule. The
+// expensive planning pipeline (stats, max-flow prediction, DDAK) runs
+// once; each epoch then only needs a fabric evaluation. Between fault
+// boundaries the fabric evaluation itself is redundant — an epoch whose
+// fault signature (every link and GPU factor plus the dead-device set at
+// its start) matches an earlier epoch, and whose duration fits entirely
+// before the next factor change, must take exactly as long. The delta
+// cache exploits that: signature-identical quiet epochs are served from
+// memory and only epochs that straddle a fault boundary re-simulate.
+
+// SweepOptions tunes SimulateEpochs.
+type SweepOptions struct {
+	// Epochs is the number of back-to-back epochs to simulate (default 1).
+	Epochs int
+	// NoDeltaCache disables the fault-signature epoch cache, re-simulating
+	// every epoch in full — the reference (and benchmark baseline) path.
+	NoDeltaCache bool
+}
+
+// SweepResult aggregates a multi-epoch training run.
+type SweepResult struct {
+	// Epochs is the number of epochs simulated.
+	Epochs int
+	// Total is the wall-clock of the whole run, including recovery stalls.
+	Total units.Duration
+	// EpochTimes holds each epoch's duration in seconds.
+	EpochTimes []float64
+	// Resims counts epochs evaluated by full fabric simulation; CacheHits
+	// counts epochs served by the delta cache (Resims + CacheHits = Epochs).
+	Resims    int
+	CacheHits int
+	// DeadSSDs lists devices lost over the horizon, in failure order.
+	DeadSSDs []int
+	// Nominal is the healthy single-epoch result the sweep degrades from.
+	Nominal *Result
+}
+
+// sweepEntry is one cached epoch: the duration observed for a fault
+// signature, valid for any later epoch with the same signature whose span
+// [t, t+dur) contains no factor change.
+type sweepEntry struct {
+	dur float64
+}
+
+// faultSig fingerprints the fault state at time t as seen by this fabric:
+// the capacity factor of every link, the compute factor of every GPU, and
+// the sorted dead-device set. Two epochs with equal signatures and no
+// mid-epoch boundary are byte-for-byte identical simulations.
+func faultSig(inj *faults.Injector, linkNames []string, nGPU, nSSD int, t float64) string {
+	var b strings.Builder
+	for _, name := range linkNames {
+		fmt.Fprintf(&b, "%s=%g;", name, inj.LinkFactor(name, t))
+	}
+	for g := 0; g < nGPU; g++ {
+		fmt.Fprintf(&b, "g%d=%g;", g, inj.GPUFactor(g, t))
+	}
+	for j := 0; j < nSSD; j++ {
+		if inj.SSDFailed(j, t) {
+			fmt.Fprintf(&b, "dead%d;", j)
+		}
+	}
+	return b.String()
+}
+
+// respecDead rebuilds the healthy flow list for a fleet where some SSDs
+// already fail-stopped: every dead device's bytes re-route to survivors,
+// whole-epoch, weighted by the degraded bins' traffic budgets.
+func respecDead(specs []flowSpec, cfg Config, bins []ddak.Bin, ssdBin0 int, dead map[int]bool, ssdsPerGPU int) ([]flowSpec, error) {
+	if len(dead) == 0 {
+		return specs, nil
+	}
+	next := make([]flowSpec, 0, len(specs))
+	stranded := map[int]float64{}
+	for _, sp := range specs {
+		if sp.ssd >= 0 && dead[sp.ssd] {
+			stranded[sp.gpu] += sp.bytes
+			continue
+		}
+		next = append(next, sp)
+	}
+	return rerouteStranded(next, stranded, cfg, bins, ssdBin0, dead, ssdsPerGPU)
+}
+
+// SimulateEpochs simulates opt.Epochs back-to-back training epochs under
+// cfg.Faults interpreted as one absolute schedule spanning the whole run
+// (event times are seconds from the start of epoch 0). Planning runs
+// once; each epoch is then either re-simulated on the fabric or — when
+// the delta cache can prove it identical to an earlier epoch — served
+// from memory. SSD fail-stops persist: once a device dies, every later
+// epoch runs without it.
+func SimulateEpochs(cfg Config, opt SweepOptions) (*SweepResult, error) {
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	o := obs.Active(cfg.Observer)
+	sp := o.Begin("trainsim.sweep")
+	if cfg.Machine != nil {
+		sp.SetStr("machine", cfg.Machine.Name)
+	}
+	sp.SetInt("epochs", opt.Epochs)
+	defer sp.End()
+
+	// The nominal single-epoch result (reported, and the healthy fast path).
+	healthyCfg := cfg
+	healthyCfg.Faults = nil
+	nominal, err := SimulateEpoch(healthyCfg)
+	if err != nil {
+		return nil, err
+	}
+	if nominal.OOM != "" {
+		return nil, fmt.Errorf("trainsim: sweep configuration cannot run: %s", nominal.OOM)
+	}
+
+	// One planning pass serves every epoch.
+	es, oom, err := placeAndSpecs(cfg, o, sp)
+	if err != nil {
+		return nil, err
+	}
+	if oom != nil {
+		return nil, fmt.Errorf("trainsim: sweep configuration cannot run: %s", oom.OOM)
+	}
+	cfg = es.cfg
+	m := cfg.Machine
+	nGPU := m.NumGPUs
+
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		inj, err = faults.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if err := inj.CheckTargets(m.NumSSDs, nGPU); err != nil {
+			return nil, err
+		}
+	}
+
+	// Link names for the fault signature come from the actual fabric.
+	probe, err := NewFabric(m, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	linkNames := make([]string, probe.Net.NumLinks())
+	for i := range linkNames {
+		linkNames[i] = probe.Net.LinkName(simnet.LinkID(i))
+	}
+
+	res := &SweepResult{
+		Epochs:     opt.Epochs,
+		EpochTimes: make([]float64, 0, opt.Epochs),
+		Nominal:    nominal,
+	}
+	cache := map[string]sweepEntry{}
+	pol := cfg.Retry.Defaults()
+
+	// resim evaluates one epoch in full starting at absolute time t with
+	// the given dead set and (already re-routed) flow list.
+	resim := func(t float64, dead map[int]bool, specs []flowSpec) (float64, error) {
+		if inj == nil {
+			// Healthy fleet: the nominal epoch, exactly. Still charged as a
+			// resim when the cache is off (the baseline re-runs the fabric).
+			if opt.NoDeltaCache {
+				fab, err := NewFabric(m, cfg.Placement)
+				if err != nil {
+					return 0, err
+				}
+				if err := addFlows(fab, specs); err != nil {
+					return 0, err
+				}
+				run, err := fab.Net.Run()
+				if err != nil {
+					return 0, err
+				}
+				return es.epochOf(run.Makespan, es.computeTime), nil
+			}
+			return nominal.EpochTime.Sec(), nil
+		}
+		end, _, err := simulateDegradedIO(degradeInput{
+			cfg:        cfg,
+			specs:      specs,
+			inj:        inj,
+			pol:        pol,
+			bins:       es.bins,
+			ssdBin0:    es.ssdBin0,
+			items:      es.placeItems,
+			fetchEpoch: es.pl.fetchEpoch,
+			ssdsPerGPU: es.pl.ssdsPerGPU,
+			t0:         t,
+			dead:       dead,
+		})
+		if err != nil {
+			return 0, err
+		}
+		comp := stragglerCompute(es.computeTime, nGPU, inj.WithBase(t))
+		return es.epochOf(end-t, comp), nil
+	}
+
+	t := 0.0
+	dead := map[int]bool{}
+	specs := es.specs
+	bins := es.bins
+	for e := 0; e < opt.Epochs; e++ {
+		// Carry fail-stops forward: a device dead at this epoch's start
+		// stays dead, and the healthy flow list is re-routed once per death.
+		changed := false
+		for j := 0; j < m.NumSSDs; j++ {
+			if inj != nil && !dead[j] && inj.SSDFailed(j, t) {
+				dead[j] = true
+				res.DeadSSDs = append(res.DeadSSDs, j)
+				changed = true
+			}
+		}
+		if changed {
+			deadNames := map[string]bool{}
+			for j := range dead {
+				deadNames[fmt.Sprintf("ssd%d", j)] = true
+			}
+			bins, err = ddak.DegradeBins(es.bins, deadNames)
+			if err != nil {
+				return nil, fmt.Errorf("trainsim: sweep cannot degrade past epoch %d: %w", e, err)
+			}
+			specs, err = respecDead(es.specs, cfg, bins, es.ssdBin0, dead, es.pl.ssdsPerGPU)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		var sig string
+		if !opt.NoDeltaCache {
+			if inj == nil {
+				sig = "healthy"
+			} else {
+				sig = faultSig(inj, linkNames, nGPU, m.NumSSDs, t)
+			}
+			if entry, ok := cache[sig]; ok && quietFor(inj, t, entry.dur) {
+				res.CacheHits++
+				res.EpochTimes = append(res.EpochTimes, entry.dur)
+				t += entry.dur
+				continue
+			}
+		}
+
+		dur, err := resim(t, dead, specs)
+		if err != nil {
+			return nil, fmt.Errorf("trainsim: sweep epoch %d (t=%.3f): %w", e, t, err)
+		}
+		res.Resims++
+		res.EpochTimes = append(res.EpochTimes, dur)
+		// Only boundary-free epochs generalize: a duration that straddled a
+		// factor change depends on when in the epoch the change landed.
+		if !opt.NoDeltaCache && quietFor(inj, t, dur) {
+			cache[sig] = sweepEntry{dur: dur}
+		}
+		t += dur
+	}
+	res.Total = units.Seconds(t)
+	sp.SetFloat("total_seconds", t)
+	sp.SetInt("resims", res.Resims)
+	sp.SetInt("cache_hits", res.CacheHits)
+	o.Counter("sim_delta_epochs_total").Add(float64(opt.Epochs))
+	o.Counter("sim_delta_cache_hits_total").Add(float64(res.CacheHits))
+	o.Counter("sim_delta_resims_total").Add(float64(res.Resims))
+	return res, nil
+}
+
+// quietFor reports whether no fault factor changes inside [t, t+dur).
+func quietFor(inj *faults.Injector, t, dur float64) bool {
+	if inj == nil {
+		return true
+	}
+	return inj.NextChange(t) >= t+dur-1e-9
+}

@@ -371,31 +371,53 @@ func buildPlan(cfg Config) (*plan, *Result, error) {
 	}, nil, nil
 }
 
-// SimulateEpoch runs the full pipeline: workload stats → provisional tier
-// budgets → max-flow prediction → fabric-fair traffic plan → DDAK/hash
-// data placement → fabric simulation → pipelined epoch assembly.
-func SimulateEpoch(cfg Config) (*Result, error) {
-	o := obs.Active(cfg.Observer)
-	epochSp := o.Begin("trainsim.epoch")
-	if cfg.Machine != nil {
-		epochSp.SetStr("machine", cfg.Machine.Name)
-	}
-	if cfg.Placement != nil {
-		epochSp.SetStr("placement", cfg.Placement.Name)
-	}
-	epochSp.SetStr("policy", cfg.Policy.String())
-	defer epochSp.End()
-	scoped := o.In(epochSp)
+// epochSetup carries everything SimulateEpoch derives before touching the
+// fabric: the normalized config and plan, the max-flow prediction, the
+// DDAK layout, the logical flow list, and the non-I/O stage durations. A
+// multi-epoch sweep (SimulateEpochs) builds it once and replays fabric
+// runs against it instead of re-planning every epoch.
+type epochSetup struct {
+	cfg        Config
+	pl         *plan
+	predicted  units.Duration
+	bins       []ddak.Bin
+	ssdBin0    int
+	placeItems []ddak.Item
+	assign     *ddak.ItemAssignment
+	served     []float64
+	specs      []flowSpec
+	hitGPU     float64
+	hitCPU     float64
 
+	computeTime float64
+	sampleTime  float64
+	iterPerGPU  float64
+}
+
+// epochOf assembles a pipelined epoch from its stage times (§3.1 System
+// Runtime): the longest stage dominates, plus a pipeline-fill term.
+func (es *epochSetup) epochOf(io, comp float64) float64 {
+	stageMax := math.Max(io, math.Max(comp, es.sampleTime))
+	fill := (io + comp + es.sampleTime - stageMax) / math.Max(es.iterPerGPU, 1)
+	return stageMax + fill
+}
+
+// placeAndSpecs runs the epoch pipeline up to (but not including) the
+// fabric simulation: workload stats → provisional tier budgets → max-flow
+// prediction → fabric-fair traffic plan → DDAK/hash data placement →
+// logical flow list → compute/sampling stage times. A non-nil second
+// return is an OOM pseudo-result.
+func placeAndSpecs(cfg Config, o *obs.Observer, epochSp *obs.Span) (*epochSetup, *Result, error) {
+	scoped := o.In(epochSp)
 	planSp := epochSp.Child("plan")
 	pl, oom, err := buildPlan(cfg)
 	planSp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if oom != nil {
 		o.Counter("trainsim_oom_total").Inc()
-		return oom, nil
+		return nil, oom, nil
 	}
 	cfg = pl.cfg
 	m := cfg.Machine
@@ -419,14 +441,14 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	net, err := flownet.Build(m, cfg.Placement, pl.demand)
 	if err != nil {
 		predictSp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	net.SetObserver(o)
 	predicted, err := net.Solve()
 	predictSp.SetFloat("predicted_io_seconds", predicted.Sec())
 	predictSp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// ---- Fabric-fair traffic plan --------------------------------------
@@ -438,7 +460,7 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	ssdShare, _, err := fairShares(m, cfg.Placement, cfg.Mode, ssdsPerGPU)
 	fairSp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// The CPU cache's socket split follows GPU locality: caching hot
 	// vertices in the DRAM of a socket with no GPUs only adds QPI
@@ -499,7 +521,7 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 		assign, err = ddak.PlaceItemsObserved(placeItems, bins, cfg.PoolN, fetchEpoch, scoped)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.Cache == CachePartitioned {
 		hitGPU = assign.HitRateItems(ddak.TierGPU)
@@ -509,13 +531,77 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	}
 	hitCPU := assign.HitRateItems(ddak.TierCPU) * sumHot(placeItems)
 
-	// ---- Fabric simulation ----------------------------------------------
+	// ---- Logical flow list ----------------------------------------------
 	fabricScale := fetchEpoch
 	if cfg.Cache != CachePartitioned {
 		fabricScale = fetchEpoch * sumHot(placeItems)
 	}
 	served := assign.ServedBytesItems(fabricScale)
 	specs := buildFlowSpecs(cfg, pl, served, gpuBin, dramBin, ssdBin0)
+
+	// ---- Compute + sampling stages --------------------------------------
+	iterPerGPU := math.Ceil(float64(stats.BatchesPerEpoch) / float64(nGPU))
+	cost := gnn.DefaultCostModel(w.Model, d.FeatureDim, 2)
+	iterSec, err := cost.IterationSeconds(int64(stats.UniquePerBatch), int64(stats.EdgesPerBatch))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &epochSetup{
+		cfg:         cfg,
+		pl:          pl,
+		predicted:   predicted,
+		bins:        bins,
+		ssdBin0:     ssdBin0,
+		placeItems:  placeItems,
+		assign:      assign,
+		served:      served,
+		specs:       specs,
+		hitGPU:      hitGPU,
+		hitCPU:      hitCPU,
+		computeTime: iterSec * iterPerGPU,
+		sampleTime:  stats.EdgesPerBatch / cfg.SampleRate * iterPerGPU,
+		iterPerGPU:  iterPerGPU,
+	}, nil, nil
+}
+
+// SimulateEpoch runs the full pipeline: workload stats → provisional tier
+// budgets → max-flow prediction → fabric-fair traffic plan → DDAK/hash
+// data placement → fabric simulation → pipelined epoch assembly.
+func SimulateEpoch(cfg Config) (*Result, error) {
+	o := obs.Active(cfg.Observer)
+	epochSp := o.Begin("trainsim.epoch")
+	if cfg.Machine != nil {
+		epochSp.SetStr("machine", cfg.Machine.Name)
+	}
+	if cfg.Placement != nil {
+		epochSp.SetStr("placement", cfg.Placement.Name)
+	}
+	epochSp.SetStr("policy", cfg.Policy.String())
+	defer epochSp.End()
+	scoped := o.In(epochSp)
+
+	es, oom, err := placeAndSpecs(cfg, o, epochSp)
+	if err != nil {
+		return nil, err
+	}
+	if oom != nil {
+		return oom, nil
+	}
+	cfg = es.cfg
+	m := cfg.Machine
+	w := cfg.Workload
+	d := w.Dataset
+	nGPU := m.NumGPUs
+	stats := es.pl.stats
+	fetchEpoch := es.pl.fetchEpoch
+	ssdsPerGPU := es.pl.ssdsPerGPU
+	predicted := es.predicted
+	specs, bins, ssdBin0 := es.specs, es.bins, es.ssdBin0
+	served := es.served
+	hitGPU, hitCPU := es.hitGPU, es.hitCPU
+	computeTime, sampleTime := es.computeTime, es.sampleTime
+
+	// ---- Fabric simulation ----------------------------------------------
 	fab, err := NewFabric(m, cfg.Placement)
 	if err != nil {
 		return nil, err
@@ -532,22 +618,8 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 	}
 	ioTime := runRes.Makespan
 
-	// ---- Compute + sampling stages --------------------------------------
-	iterPerGPU := math.Ceil(float64(stats.BatchesPerEpoch) / float64(nGPU))
-	cost := gnn.DefaultCostModel(w.Model, d.FeatureDim, 2)
-	iterSec, err := cost.IterationSeconds(int64(stats.UniquePerBatch), int64(stats.EdgesPerBatch))
-	if err != nil {
-		return nil, err
-	}
-	computeTime := iterSec * iterPerGPU
-	sampleTime := stats.EdgesPerBatch / cfg.SampleRate * iterPerGPU
-
 	// ---- Pipelined epoch (§3.1 System Runtime) --------------------------
-	epochOf := func(io, comp float64) float64 {
-		stageMax := math.Max(io, math.Max(comp, sampleTime))
-		fill := (io + comp + sampleTime - stageMax) / math.Max(iterPerGPU, 1)
-		return stageMax + fill
-	}
+	epochOf := es.epochOf
 	nomIO := ioTime
 	epoch := epochOf(ioTime, computeTime)
 
@@ -570,7 +642,7 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 			pol:        cfg.Retry.Defaults(),
 			bins:       bins,
 			ssdBin0:    ssdBin0,
-			items:      placeItems,
+			items:      es.placeItems,
 			fetchEpoch: fetchEpoch,
 			ssdsPerGPU: ssdsPerGPU,
 		})
@@ -630,7 +702,7 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 		HitGPU:       hitGPU,
 		HitCPU:       hitCPU,
 		Stats:        stats,
-		BinAssign:    assign,
+		BinAssign:    es.assign,
 		PreprocessOK: true,
 		Faults:       frep,
 	}

@@ -221,6 +221,21 @@ type BenchRecord = experiments.BenchRecord
 // record per configuration.
 func BenchRecords() ([]BenchRecord, error) { return experiments.BenchRecords() }
 
+// FleetSweepRecord benchmarks the fleet placement-sweep harness: nodes
+// planned cold and serially (baseline) versus through one shared score
+// cache with the pooled streaming search, as the "sweep" bench row.
+func FleetSweepRecord(nodes int) (BenchRecord, error) {
+	return experiments.FleetSweepRecord(nodes)
+}
+
+// LongSimRecord benchmarks the long-horizon simulation harness: a
+// fault-injected multi-epoch run re-simulated in full every epoch
+// (baseline) versus the fault-signature delta cache, as the "longsim"
+// bench row.
+func LongSimRecord(epochs int) (BenchRecord, error) {
+	return experiments.LongSimRecord(epochs)
+}
+
 // CompareReport is a per-experiment diff of two benchmark record sets.
 type CompareReport = experiments.CompareReport
 
