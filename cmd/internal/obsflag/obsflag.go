@@ -1,8 +1,9 @@
 // Package obsflag wires the shared observability command-line flags
-// (-trace, -metrics, -listen) into the moment commands: it installs a
-// process-wide observer when any flag is set, optionally serves the live
-// registry over HTTP while the command runs, and flushes the collected
-// trace and metrics when the command finishes.
+// (-trace, -metrics, -listen, -flight) into the moment commands: it
+// installs a process-wide observer when any flag is set, optionally serves
+// the live registry over HTTP while the command runs, and flushes the
+// collected trace, metrics and flight-recorder dump when the command
+// finishes.
 package obsflag
 
 import (
@@ -21,6 +22,7 @@ type Flags struct {
 	metrics     bool
 	metricsJSON string
 	listenAddr  string
+	flightPath  string
 	obs         *moment.Observer
 }
 
@@ -36,6 +38,8 @@ func Register() *Flags {
 		"write collected metrics as JSON to this file on exit")
 	flag.StringVar(&f.listenAddr, "listen", "",
 		"serve live /metrics and /debug/trace on this address for the run's duration")
+	flag.StringVar(&f.flightPath, "flight", "",
+		"enable the flight recorder and write its JSON dump to this file on exit")
 	return f
 }
 
@@ -78,11 +82,15 @@ func (f *FaultFlag) Schedule() (*moment.FaultSchedule, error) {
 // across one-shot runs and the daemon) until the process exits — the escape
 // hatch for watching a long experiment from a dashboard.
 func (f *Flags) Enable() *moment.Observer {
-	if f.tracePath == "" && !f.metrics && f.metricsJSON == "" && f.listenAddr == "" {
+	if f.tracePath == "" && !f.metrics && f.metricsJSON == "" && f.listenAddr == "" &&
+		f.flightPath == "" {
 		return nil
 	}
 	f.obs = moment.NewObserver()
 	f.obs.SetLogOutput(os.Stderr)
+	if f.flightPath != "" {
+		f.obs.EnableFlight(0) // default ring size
+	}
 	moment.SetDefaultObserver(f.obs)
 	if f.listenAddr != "" {
 		ln, err := net.Listen("tcp", f.listenAddr)
@@ -140,6 +148,21 @@ func (f *Flags) Flush() error {
 		if err := w.Close(); err != nil {
 			return err
 		}
+	}
+	if f.flightPath != "" {
+		w, err := os.Create(f.flightPath)
+		if err != nil {
+			return err
+		}
+		if err := f.obs.Flight().WriteJSON(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flight dump written to %s (%d events, %d dropped)\n",
+			f.flightPath, f.obs.Flight().Len(), f.obs.Flight().Dropped())
 	}
 	return nil
 }

@@ -99,6 +99,16 @@ func main() {
 			}
 			recs = append(recs, rec)
 		}
+		// Observability hot-path row: refuse to even write a record set if
+		// the disabled flight-recorder or explain path allocates — that
+		// would tax every planner run that never asked for forensics.
+		obsRec := moment.ObsBenchRecord()
+		if d, e := *obsRec.ObsDisabledEventAllocs, *obsRec.ObsDisabledExplainAllocs; d != 0 || e != 0 {
+			fmt.Fprintf(os.Stderr,
+				"momentbench: disabled obs hot path allocates (event %d, explain %d allocs/op; want 0)\n", d, e)
+			os.Exit(1)
+		}
+		recs = append(recs, obsRec)
 		if *benchPath != "" {
 			if err := writeBench(*benchPath, recs); err != nil {
 				fmt.Fprintln(os.Stderr, "momentbench:", err)

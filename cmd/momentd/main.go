@@ -7,15 +7,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/plan     planning requests (JSON; see moment.PlanRequest)
-//	GET  /v1/stats    operational snapshot (JSON)
-//	GET  /metrics     Prometheus text exposition
-//	GET  /debug/trace Chrome trace-event JSON of recent spans
-//	GET  /healthz     200 ok, 503 while draining
+//	POST /v1/plan      planning requests (JSON; see moment.PlanRequest)
+//	POST /v1/explain   plan provenance: the full decision trail for one
+//	                   request, byte-deterministic for a fixed problem
+//	GET  /v1/stats     operational snapshot (JSON)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/trace  Chrome trace-event JSON of recent spans
+//	GET  /debug/flight flight-recorder ring as JSON (see -flight-events)
+//	GET  /debug/pprof/ runtime profiles
+//	GET  /healthz      200 ok, 503 while draining
+//
+// With -watchdog-dir, an anomaly watchdog checks the metrics registry on a
+// timer (shed storms, queue saturation, epoch-time regressions, warm-abort
+// storms) and on a trip snapshots the flight ring + metrics + profiles
+// into a timestamped diagnostics bundle under that directory.
 //
 // SIGINT/SIGTERM triggers a graceful drain: intake stops (new plans get
 // 503, /healthz flips so load balancers eject the instance), queued
-// flights finish, then the HTTP listener shuts down.
+// flights finish, the watchdog runs one final check, and the shared
+// observability flags (-trace, -flight, ...) flush their dumps before the
+// HTTP listener shuts down.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"time"
 
 	"moment"
+	"moment/cmd/internal/obsflag"
 )
 
 func main() {
@@ -44,6 +56,14 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on client deadlines (0 = 5m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long a SIGTERM drain may wait for queued runs")
+	flightEvents := flag.Int("flight-events", 4096,
+		"flight-recorder ring size (events kept for /debug/flight and watchdog bundles; 0 disables)")
+	watchdogDir := flag.String("watchdog-dir", "",
+		"enable the anomaly watchdog and write diagnostics bundles under this directory")
+	watchdogInterval := flag.Duration("watchdog-interval", 0, "watchdog check period (0 = 5s)")
+	watchdogCooldown := flag.Duration("watchdog-cooldown", 0,
+		"minimum gap between diagnostics bundles (0 = 1m)")
+	oflags := obsflag.Register()
 	flag.Parse()
 
 	srv := moment.NewPlanServer(moment.PlanServerConfig{
@@ -54,6 +74,11 @@ func main() {
 		ScoreCacheEntries: *scoreCache,
 		DefaultDeadline:   *deadline,
 		MaxDeadline:       *maxDeadline,
+		FlightEvents:      *flightEvents,
+		WatchdogDir:       *watchdogDir,
+		WatchdogInterval:  *watchdogInterval,
+		WatchdogCooldown:  *watchdogCooldown,
+		Observer:          oflags.Enable(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -78,6 +103,11 @@ func main() {
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "momentd: drain:", err)
+	}
+	// Final forensics flush: with -trace/-flight/-metrics set, the drained
+	// daemon leaves its trace and a last flight-recorder dump behind.
+	if err := oflags.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "momentd: flush:", err)
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "momentd: shutdown:", err)

@@ -7,6 +7,13 @@
 //	momentopt -machine B -dataset IG -model graphsage
 //	momentopt -spec server.spec -dataset UK -model gat -scores
 //	momentopt -machine B -dataset IG -trace trace.json -metrics
+//	momentopt -machine B -dataset PA -explain
+//
+// -explain prints the plan's provenance trail — every candidate the search
+// enumerated, pruned (and why), the bisector's effort per candidate, and
+// the final score and layout breakdown. The trail is byte-deterministic
+// for a fixed machine/workload (it forces a serial, uncached search), so
+// two runs of the same problem diff clean.
 package main
 
 import (
@@ -27,7 +34,9 @@ func main() {
 		model       = flag.String("model", "graphsage", "model: graphsage or gat")
 		gpus        = flag.Int("gpus", 0, "restrict GPU count (0 = machine default)")
 		scores      = flag.Bool("scores", false, "print every candidate's predicted time")
-		verifyPlan  = flag.Bool("verify", false, "self-check every solve: certify max-flows and audit placements")
+		explain     = flag.Bool("explain", false,
+			"print the plan provenance trail (deterministic; forces a serial search)")
+		verifyPlan = flag.Bool("verify", false, "self-check every solve: certify max-flows and audit placements")
 	)
 	oflags := obsflag.Register()
 	flag.Parse()
@@ -53,14 +62,24 @@ func main() {
 		kind = moment.GAT
 	}
 
-	plan, err := moment.OptimizeWith(m, moment.Workload{Dataset: ds, Model: kind},
-		moment.SearchOptions{KeepScores: *scores})
+	opts := moment.SearchOptions{KeepScores: *scores}
+	var ex *moment.Explain
+	if *explain {
+		ex = moment.NewExplain()
+		opts.Explain = ex
+		opts.Serial = true // parallel search interleaves; the trail must not
+	}
+	plan, err := moment.OptimizeWith(m, moment.Workload{Dataset: ds, Model: kind}, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(plan.Report())
 	if *scores {
 		fmt.Println("candidate predicted epoch IO times: (see plan report above)")
+	}
+	if ex != nil {
+		fmt.Println("--- explain ---")
+		fmt.Print(ex.Render())
 	}
 	if err := oflags.Flush(); err != nil {
 		fatal(err)

@@ -9,6 +9,7 @@
 //	momentsim -machine A -layout c -baseline mgids
 //	momentsim -machine B -layout moment -trace trace.json -metrics
 //	momentsim -machine A -layout c -dataset PA -faults "seed=7;kill:ssd2@2"
+//	momentsim -machine B -layout moment -flight flight.json
 package main
 
 import (

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"moment/internal/ddak"
+	"moment/internal/obs"
 	"moment/internal/scorecache"
 )
 
@@ -147,12 +148,17 @@ type Replanner struct {
 	// to fingerprint identically. Set it together with Cache, before the
 	// first cached place().
 	ScheduleKey string
+	// Explain, when non-nil, receives one provenance step per replanning
+	// decision: drift checks (tripped or not), forced rebins, and layout
+	// cache hits. Seq is the replanner's decision counter.
+	Explain *obs.Explain
 
 	itemBytes []float64
 	current   *ddak.ItemAssignment
 	planned   []float64 // hotness snapshot at last re-placement
 	replans   int
 	cacheHits int
+	decisions int // explain step counter (one per Maybe/Rebin)
 }
 
 // NewReplanner plans the initial layout from the offline hotness estimate.
@@ -185,6 +191,7 @@ func (r *Replanner) place(hot []float64) (*ddak.ItemAssignment, error) {
 		key = r.layoutKey(hot)
 		if a, ok := r.Cache.Get(key); ok {
 			r.cacheHits++
+			r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "layout-cache-hit"})
 			return cloneAssignment(a), nil
 		}
 	}
@@ -246,7 +253,9 @@ func (r *Replanner) Maybe(live []float64) (*Migration, error) {
 		return nil, err
 	}
 	mig := &Migration{Drift: drift, Assignment: r.current}
+	r.decisions++
 	if drift < r.Threshold {
+		r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "below-threshold", Value: drift})
 		return mig, nil
 	}
 	next, err := r.place(live)
@@ -264,6 +273,7 @@ func (r *Replanner) Maybe(live []float64) (*Migration, error) {
 	r.current = next
 	r.planned = append(r.planned[:0], live...)
 	r.replans++
+	r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "drift-replanned", Value: drift, Count: mig.MovedItems})
 	return mig, nil
 }
 
@@ -275,6 +285,7 @@ func (r *Replanner) Maybe(live []float64) (*Migration, error) {
 func (r *Replanner) Rebin(bins []ddak.Bin) (*Migration, error) {
 	old := r.current
 	r.Bins = bins
+	r.decisions++
 	next, err := r.place(r.planned)
 	if err != nil {
 		return nil, err
@@ -288,6 +299,7 @@ func (r *Replanner) Rebin(bins []ddak.Bin) (*Migration, error) {
 	}
 	r.current = next
 	r.replans++
+	r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "rebin", Count: mig.MovedItems, Value: mig.MovedBytes})
 	return mig, nil
 }
 

@@ -161,6 +161,14 @@ func CoOptimize(in Input) (*Plan, error) {
 		return nil, fmt.Errorf("core: chosen plan cannot run: %s", epoch.OOM)
 	}
 
+	if ex := in.Search.Explain; ex != nil {
+		ddak.ExplainAssignment(ex, epoch.BinAssign)
+		ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "plan",
+			Reason: "predicted-io-sec", Value: res.Time.Sec()})
+		ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "plan",
+			Reason: "epoch-sec", Value: epoch.EpochTime.Sec()})
+	}
+
 	plan := &Plan{
 		Profile:             prof,
 		Placement:           res.Best,

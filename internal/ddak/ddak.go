@@ -369,6 +369,22 @@ type ItemAssignment struct {
 	Pools  int
 }
 
+// ExplainAssignment records the per-bin score breakdown of an assignment on
+// an explain trail: for each bin, its filled GiB and the access mass it
+// absorbs. Steps carry SeqSummary so the breakdown renders with the run
+// summary, after per-candidate search steps. No-op on a nil trail.
+func ExplainAssignment(ex *obs.Explain, a *ItemAssignment) {
+	if ex == nil || a == nil {
+		return
+	}
+	for i, b := range a.Bins {
+		ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "ddak", Subject: b.Name,
+			Reason: "used-gib", Value: a.Used[i] / (1 << 30)})
+		ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "ddak", Subject: b.Name,
+			Reason: "access-frac", Value: a.Access[i]})
+	}
+}
+
 // PlaceItems runs DDAK over variable-size items: hot-first (by access
 // density), pooled poolN items per decision, minimum filling priority
 // within the highest eligible tier of the GPU > CPU > SSD hierarchy.

@@ -65,6 +65,15 @@ type BenchRecord struct {
 	SimCacheHits   int     `json:"sim_cache_hits,omitempty"`
 	SimBaselineMS  float64 `json:"sim_baseline_ms,omitempty"`
 	SimOptimizedMS float64 `json:"sim_optimized_ms,omitempty"`
+
+	// Observability hot-path cost, populated only by the obs row (layout
+	// "obs"): allocations per flight-recorder Record / explain Add call,
+	// measured with testing.AllocsPerRun. The disabled paths must be
+	// exactly zero — that is what makes always-on instrumentation free for
+	// callers that never enable it. Pointers so an explicit 0 serializes.
+	ObsDisabledEventAllocs   *int `json:"obs_disabled_event_allocs,omitempty"`
+	ObsDisabledExplainAllocs *int `json:"obs_disabled_explain_allocs,omitempty"`
+	ObsEnabledEventAllocs    *int `json:"obs_enabled_event_allocs,omitempty"`
 }
 
 func record(machine, dataset, layout string, model gnn.ModelKind, r *trainsim.Result) BenchRecord {

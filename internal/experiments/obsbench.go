@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"moment/internal/obs"
+)
+
+// ObsRecord measures the observability hot paths and reports them as a
+// benchmark row (layout "obs") that joins the committed BENCH_*.json set.
+// The row's EpochSec is 0 — there is no simulated epoch to gate — but the
+// allocation counts are committed next to the timing rows so a future
+// change that puts an allocation on the disabled Record/Add path shows up
+// in the diff (and momentbench refuses to even write the record).
+//
+// testing.AllocsPerRun is safe outside a test binary; it just runs the
+// closure under ReadMemStats bracketing.
+func ObsRecord() BenchRecord {
+	var nilRec *obs.FlightRecorder
+	disabledEvent := int(testing.AllocsPerRun(1000, func() {
+		nilRec.Record(obs.Event{Kind: obs.EvCache, Name: "probe",
+			Subject: "cand", Reason: "hit", V1: 1})
+	}))
+	var nilEx *obs.Explain
+	disabledExplain := int(testing.AllocsPerRun(1000, func() {
+		nilEx.Add(obs.ExplainStep{Stage: "score", Subject: "cand",
+			Reason: "solved", Value: 1})
+	}))
+	rec := obs.NewFlightRecorder(1024)
+	enabledEvent := int(testing.AllocsPerRun(1000, func() {
+		rec.Record(obs.Event{Kind: obs.EvCache, Name: "probe",
+			Subject: "cand", Reason: "hit", V1: 1})
+	}))
+	r := BenchRecord{
+		Machine: "-", Dataset: "-", Model: "-",
+		Layout: "obs", Policy: "-",
+	}
+	r.ObsDisabledEventAllocs = &disabledEvent
+	r.ObsDisabledExplainAllocs = &disabledExplain
+	r.ObsEnabledEventAllocs = &enabledEvent
+	return r
+}

@@ -505,6 +505,15 @@ func (n *Network) SolveTol(tol float64) (units.Duration, error) {
 	return units.Seconds(t), nil
 }
 
+// SolveCounters reports the bisection work of the most recent inline solve:
+// Probes and Iterations cover that solve alone (the bisector resets them per
+// MinTime), while WarmStarts and WarmAborts accumulate across the network's
+// lifetime. Pooled solves report the same counters on their ProbeResult
+// instead — the network stays unsolved on that path.
+func (n *Network) SolveCounters() (probes, iterations, warmStarts, warmAborts int) {
+	return n.bis.Probes, n.bis.Iterations, n.bis.WarmStarts, n.bis.WarmAborts
+}
+
 // Probe packages this network's bisection as a maxflow.ProbePool job.
 // The pool clones the graph and schedule onto a worker arena inside
 // Submit, so the network — including an arena scratch recycled through

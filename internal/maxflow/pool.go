@@ -39,6 +39,13 @@ type ProbeResult struct {
 	WallSeconds float64
 }
 
+// Canceled reports whether the probe was abandoned by context cancellation
+// rather than failing on the network itself — callers treat such results as
+// transient (never cached, not counted as candidate failures).
+func (r ProbeResult) Canceled() bool {
+	return errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
+}
+
 // PoolStats is a snapshot of a ProbePool's lifetime counters.
 type PoolStats struct {
 	Submitted   int64 // probes accepted by Submit

@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// LabelCap bounds the distinct values admitted into a label-like keyspace —
+// metric label values, flight-recorder subjects, explain-trail reasons.
+// Values beyond the cap map to the overflow bucket ("other") and, crucially,
+// do not grow the internal map either: the values are typically
+// caller-controlled (tenant names, error strings), so a hostile caller must
+// not be able to balloon the keyspace. The first Cap distinct values keep
+// their identity; everyone later aggregates.
+//
+// A nil *LabelCap passes values through uncapped (the disabled state).
+type LabelCap struct {
+	mu   sync.Mutex
+	cap  int
+	kept map[string]struct{}
+}
+
+// NewLabelCap returns a capper admitting up to max distinct values
+// (max <= 0 defaults to 32).
+func NewLabelCap(max int) *LabelCap {
+	if max <= 0 {
+		max = 32
+	}
+	return &LabelCap{cap: max, kept: make(map[string]struct{}, max)}
+}
+
+// Overflow is the bucket values beyond the cap collapse into.
+const Overflow = "other"
+
+// Put admits v, returning the label to use for it ("other" past the cap)
+// and whether v was newly admitted. Alloc-free once v is known (map read).
+func (c *LabelCap) Put(v string) (string, bool) {
+	if c == nil || v == "" {
+		return v, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.kept[v]; ok {
+		return v, false
+	}
+	if len(c.kept) >= c.cap {
+		return Overflow, false
+	}
+	c.kept[v] = struct{}{}
+	return v, true
+}
+
+// Get is Put without the admission report.
+func (c *LabelCap) Get(v string) string {
+	l, _ := c.Put(v)
+	return l
+}
+
+// Len reports the number of admitted distinct values.
+func (c *LabelCap) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.kept)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelCapAdmission(t *testing.T) {
+	c := NewLabelCap(2)
+	if l, fresh := c.Put("a"); l != "a" || !fresh {
+		t.Fatalf("Put(a) = %q,%v", l, fresh)
+	}
+	if l, fresh := c.Put("a"); l != "a" || fresh {
+		t.Fatalf("second Put(a) = %q,%v, want a,false", l, fresh)
+	}
+	if l, _ := c.Put("b"); l != "b" {
+		t.Fatalf("Put(b) = %q", l)
+	}
+	if l, fresh := c.Put("c"); l != Overflow || fresh {
+		t.Fatalf("Put(c) past cap = %q,%v, want %q,false", l, fresh, Overflow)
+	}
+	// Known values keep their identity even past the cap.
+	if got := c.Get("a"); got != "a" {
+		t.Fatalf("Get(a) = %q", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLabelCapEmptyAndNil(t *testing.T) {
+	c := NewLabelCap(1)
+	if l, fresh := c.Put(""); l != "" || fresh {
+		t.Fatalf("empty value should pass through: %q,%v", l, fresh)
+	}
+	var nilc *LabelCap
+	if l, fresh := nilc.Put("x"); l != "x" || fresh {
+		t.Fatalf("nil cap should pass through: %q,%v", l, fresh)
+	}
+	if nilc.Get("y") != "y" || nilc.Len() != 0 {
+		t.Fatal("nil cap Get/Len broken")
+	}
+}
+
+func TestLabelCapDefaultMax(t *testing.T) {
+	c := NewLabelCap(0)
+	for i := 0; i < 32; i++ {
+		if l := c.Get(fmt.Sprintf("v%d", i)); l == Overflow {
+			t.Fatalf("value %d overflowed below default cap", i)
+		}
+	}
+	if c.Get("v32") != Overflow {
+		t.Fatal("33rd value should overflow with default cap 32")
+	}
+}
+
+func TestLabelCapConcurrent(t *testing.T) {
+	c := NewLabelCap(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Get(fmt.Sprintf("g%d-v%d", g, i%5))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds cap 16", c.Len())
+	}
+}

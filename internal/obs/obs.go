@@ -29,13 +29,15 @@ import (
 	"sync/atomic"
 )
 
-// Observer bundles a tracer, a metrics registry and a logger. The zero
-// value and the nil pointer are both valid, fully disabled observers.
+// Observer bundles a tracer, a metrics registry, a logger and (optionally)
+// a flight recorder. The zero value and the nil pointer are both valid,
+// fully disabled observers.
 type Observer struct {
-	tracer  *Tracer
-	metrics *Registry
-	logger  *Logger
-	parent  *Span // non-nil for scoped observers created by In
+	tracer   *Tracer
+	metrics  *Registry
+	logger   *Logger
+	recorder *FlightRecorder // nil until EnableFlight
+	parent   *Span           // non-nil for scoped observers created by In
 }
 
 // New returns an enabled observer with a fresh tracer and registry and a
@@ -109,6 +111,45 @@ func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
 		return nil
 	}
 	return o.metrics.Histogram(name, labels...)
+}
+
+// EnableFlight attaches a flight recorder holding the most recent `size`
+// events (see NewFlightRecorder for defaults) and points the tracer at it so
+// span completions land on the ring too. Idempotent: a second call returns
+// the existing recorder. Call before sharing the observer across goroutines.
+func (o *Observer) EnableFlight(size int) *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	if o.recorder == nil {
+		o.recorder = NewFlightRecorder(size)
+		o.tracer.SetFlight(o.recorder)
+	}
+	return o.recorder
+}
+
+// Flight returns the attached flight recorder, or nil when disabled.
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.recorder
+}
+
+// FlightEnabled reports whether a flight recorder is attached. Call sites
+// that must build event strings (fmt.Sprintf) check this first so the
+// disabled path stays alloc-free.
+func (o *Observer) FlightEnabled() bool {
+	return o != nil && o.recorder != nil
+}
+
+// Event records ev on the flight recorder. No-op (and alloc-free: ev is a
+// value copy) when the observer or recorder is disabled.
+func (o *Observer) Event(ev Event) {
+	if o == nil {
+		return
+	}
+	o.recorder.Record(ev)
 }
 
 // Logf writes one formatted diagnostic line through the observer's logger.

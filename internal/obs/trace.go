@@ -18,9 +18,19 @@ import (
 type Tracer struct {
 	start   time.Time
 	nextTID atomic.Int64
+	flight  atomic.Pointer[FlightRecorder] // mirrors span completions
 
 	mu     sync.Mutex
 	events []spanEvent
+}
+
+// SetFlight mirrors every subsequent span completion onto r as an EvSpan
+// flight event (nil detaches). Nil-safe on a nil tracer.
+func (t *Tracer) SetFlight(r *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.flight.Store(r)
 }
 
 type spanEvent struct {
@@ -145,6 +155,9 @@ func (s *Span) End() {
 	s.tracer.mu.Lock()
 	s.tracer.events = append(s.tracer.events, ev)
 	s.tracer.mu.Unlock()
+	if r := s.tracer.flight.Load(); r != nil {
+		r.Record(Event{Kind: EvSpan, Name: s.name, V1: ev.dur.Seconds()})
+	}
 }
 
 // Len reports the number of completed spans.

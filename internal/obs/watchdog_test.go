@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogRuleMax(t *testing.T) {
+	o := New()
+	w := &Watchdog{Obs: o, Rules: []Rule{
+		{Name: "queue-depth", Series: "queue_depth", Kind: RuleMax, Max: 10},
+	}}
+	o.Gauge("queue_depth").Set(5)
+	if trip, err := w.Check(); err != nil || trip != nil {
+		t.Fatalf("below threshold tripped: %+v, %v", trip, err)
+	}
+	o.Gauge("queue_depth").Set(11)
+	trip, err := w.Check()
+	if err != nil || trip == nil {
+		t.Fatalf("above threshold did not trip: %v", err)
+	}
+	if trip.Rule != "queue-depth" || trip.Value != 11 || trip.Limit != 10 {
+		t.Fatalf("trip = %+v", trip)
+	}
+}
+
+func TestWatchdogRuleDeltaMax(t *testing.T) {
+	o := New()
+	w := &Watchdog{Obs: o, Cooldown: time.Nanosecond, Rules: []Rule{
+		{Name: "shed-storm", Series: "shed_total", Kind: RuleDeltaMax, Max: 3},
+	}}
+	// Labeled series sum into the rule's value.
+	o.Counter("shed_total", L("reason", "queue")).Add(2)
+	o.Counter("shed_total", L("reason", "mem")).Add(1)
+	if trip, _ := w.Check(); trip != nil {
+		t.Fatalf("delta 3 <= max 3 tripped: %+v", trip)
+	}
+	o.Counter("shed_total", L("reason", "queue")).Add(4)
+	trip, _ := w.Check()
+	if trip == nil || trip.Value != 4 {
+		t.Fatalf("delta 4 should trip with value 4: %+v", trip)
+	}
+	// Counter flat since last check: delta 0, no trip.
+	if trip, _ := w.Check(); trip != nil {
+		t.Fatalf("flat counter tripped: %+v", trip)
+	}
+}
+
+func TestWatchdogRuleRegress(t *testing.T) {
+	o := New()
+	w := &Watchdog{Obs: o, Cooldown: time.Nanosecond, Rules: []Rule{
+		{Name: "epoch-regress", Series: "epoch_sec", Kind: RuleRegress, Factor: 1.5, MinSamples: 3},
+	}}
+	// Warmup: a big value during warmup must not trip.
+	for _, v := range []float64{1.0, 1.1, 0.9} {
+		o.Gauge("epoch_sec").Set(v)
+		if trip, _ := w.Check(); trip != nil {
+			t.Fatalf("tripped during warmup at %v: %+v", v, trip)
+		}
+	}
+	o.Gauge("epoch_sec").Set(1.05)
+	if trip, _ := w.Check(); trip != nil {
+		t.Fatalf("normal sample tripped: %+v", trip)
+	}
+	o.Gauge("epoch_sec").Set(5)
+	trip, _ := w.Check()
+	if trip == nil {
+		t.Fatal("5x baseline did not trip")
+	}
+	// The tripping sample must not fold into the baseline: a second
+	// anomalous sample still trips.
+	o.Gauge("epoch_sec").Set(5)
+	if trip, _ := w.Check(); trip == nil {
+		t.Fatal("anomaly normalized itself into the baseline")
+	}
+}
+
+func TestWatchdogCooldownOneBundle(t *testing.T) {
+	dir := t.TempDir()
+	o := New()
+	o.EnableFlight(256)
+	o.Event(Event{Kind: EvAdmission, Name: "shed", Reason: "queue-full"})
+	var trips []Trip
+	w := &Watchdog{Obs: o, Dir: dir, Cooldown: time.Hour,
+		OnTrip: func(tr Trip) { trips = append(trips, tr) },
+		Rules: []Rule{
+			{Name: "shed-storm", Series: "shed_total", Kind: RuleMax, Max: 0},
+		}}
+	o.Counter("shed_total").Add(7)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Stop() // final check, still inside cooldown
+	if w.Trips() != 1 || len(trips) != 1 {
+		t.Fatalf("trips = %d (hook %d), want exactly 1", w.Trips(), len(trips))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("bundles = %d, want exactly 1", len(entries))
+	}
+	bundle := filepath.Join(dir, entries[0].Name())
+	if !strings.Contains(entries[0].Name(), "shed-storm") {
+		t.Fatalf("bundle name %q missing rule name", entries[0].Name())
+	}
+	for _, f := range []string{"trip.json", "flight.json", "metrics.prom", "goroutines.txt", "heap.txt"} {
+		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+	// flight.json must span the trigger: the pre-trip shed event AND the
+	// watchdog trip event itself.
+	raw, err := os.ReadFile(filepath.Join(bundle, "flight.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Events []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	var sawShed, sawTrip bool
+	for _, ev := range dump.Events {
+		if ev.Kind == "admission" && ev.Name == "shed" {
+			sawShed = true
+		}
+		if ev.Kind == "watchdog" && ev.Name == "trip" {
+			sawTrip = true
+		}
+	}
+	if !sawShed || !sawTrip {
+		t.Fatalf("flight.json must span the trigger: shed=%v trip=%v", sawShed, sawTrip)
+	}
+	// trip.json round-trips and names its bundle.
+	raw, _ = os.ReadFile(filepath.Join(bundle, "trip.json"))
+	var tr Trip
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rule != "shed-storm" || tr.Bundle != "" { // Bundle set after write
+		t.Fatalf("trip.json = %+v", tr)
+	}
+	// The trips counter is still visible in metrics even during cooldown.
+	snap := o.Metrics().Snapshot()
+	if got := seriesSum(snap, "watchdog_trips_total"); got != 5+1 { // 5 checks + final
+		t.Fatalf("watchdog_trips_total = %v, want 6", got)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	o := New()
+	w := &Watchdog{Obs: o, Interval: time.Millisecond, Cooldown: time.Hour, Rules: []Rule{
+		{Name: "g", Series: "g", Kind: RuleMax, Max: 0},
+	}}
+	w.Start()
+	o.Gauge("g").Set(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Trips() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	w.Stop() // idempotent
+	if w.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", w.Trips())
+	}
+}
+
+func TestWatchdogNilSafe(t *testing.T) {
+	var w *Watchdog
+	if trip, err := w.Check(); trip != nil || err != nil {
+		t.Fatal("nil watchdog Check should no-op")
+	}
+	w.Start()
+	w.Stop()
+	if w.Trips() != 0 {
+		t.Fatal("nil watchdog Trips != 0")
+	}
+	// Watchdog with no observer is also inert.
+	w2 := &Watchdog{}
+	if trip, err := w2.Check(); trip != nil || err != nil {
+		t.Fatal("observer-less watchdog Check should no-op")
+	}
+}
+
+func TestSeriesSum(t *testing.T) {
+	snap := map[string]float64{
+		"shed_total":                 1,
+		`shed_total{reason="queue"}`: 2,
+		`shed_total{reason="mem"}`:   3,
+		"shed_total_other":           100, // different metric, not summed
+	}
+	if got := seriesSum(snap, "shed_total"); got != 6 {
+		t.Fatalf("seriesSum = %v, want 6", got)
+	}
+}

@@ -41,6 +41,10 @@ type LocalSearchOptions struct {
 	// Observer receives spans and metrics (nil falls back to the process
 	// default observer).
 	Observer *obs.Observer
+	// Explain, when non-nil, receives the provenance trail: one step per
+	// restart and accepted move (Seq = restart index, Count = step) plus
+	// run-level summaries, deterministic for a fixed Seed.
+	Explain *obs.Explain
 }
 
 func (o LocalSearchOptions) defaults() LocalSearchOptions {
@@ -196,12 +200,15 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 	for restart := 0; restart < opt.Restarts; restart++ {
 		cur := randomPlacement()
 		if cur == nil {
+			opt.Explain.Add(obs.ExplainStep{Seq: restart, Stage: "restart", Reason: "no-feasible-start"})
 			continue
 		}
 		curT, ok := score(cur)
 		if !ok {
+			opt.Explain.Add(obs.ExplainStep{Seq: restart, Stage: "restart", Reason: "infeasible-start"})
 			continue
 		}
+		opt.Explain.Add(obs.ExplainStep{Seq: restart, Stage: "restart", Value: curT})
 		for step := 0; step < opt.MaxSteps; step++ {
 			improved := false
 			for _, nb := range neighbors(cur) {
@@ -210,6 +217,7 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 					cur, curT = nb, t
 					improved = true
 					o.Counter("placement_localsearch_moves_total").Inc()
+					opt.Explain.Add(obs.ExplainStep{Seq: restart, Stage: "move", Count: step + 1, Value: t})
 					break // first-improvement hill climbing
 				}
 			}
@@ -225,6 +233,9 @@ func LocalSearch(m *topology.Machine, d *flownet.Demand, opt LocalSearchOptions)
 		return nil, fmt.Errorf("placement: local search found no feasible placement on %s", m.Name)
 	}
 	best.Name = fmt.Sprintf("%s(moment-ls)", m.Name)
+	opt.Explain.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "localsearch", Reason: "evaluations", Count: evaluations})
+	opt.Explain.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "localsearch", Reason: "score-cache-hits", Count: cacheHits})
+	opt.Explain.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "result", Subject: best.Name, Value: bestT})
 	sp.SetInt("evaluations", evaluations)
 	sp.SetInt("cache_hits", cacheHits)
 	sp.SetFloat("best_seconds", bestT)

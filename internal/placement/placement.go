@@ -187,6 +187,13 @@ type Options struct {
 	// Observer receives spans and metrics for the search (nil falls back
 	// to the process default observer; both nil = no instrumentation).
 	Observer *obs.Observer
+	// Explain, when non-nil, receives a per-decision provenance trail:
+	// candidates pruned (with reasons), score-cache hits, per-candidate
+	// bisection work, and run-level summaries. Steps carry the candidate's
+	// enumeration index, so the rendered trail is deterministic for a fixed
+	// machine/demand even under the streaming pipeline. Nil (the default)
+	// costs nothing on the hot path.
+	Explain *obs.Explain
 	// Ctx, when non-nil, cancels an in-flight search: enumeration stops,
 	// scoring workers abandon their current bisection at the next probe
 	// (see maxflow.TimeBisector.Ctx), and Search returns the context's
@@ -282,7 +289,8 @@ type searchState struct {
 	opt    Options
 	o      *obs.Observer
 	sp     *obs.Span
-	prefix string // cache key prefix; "" when no cache
+	ex     *obs.Explain // nil when the caller asked for no provenance
+	prefix string       // cache key prefix; "" when no cache
 
 	enumerated atomic.Int64
 	pruned     atomic.Int64
@@ -368,7 +376,7 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 		return nil, fmt.Errorf("placement: no feasible candidates for machine %s", m.Name)
 	}
 
-	st := &searchState{m: m, d: d, opt: opt, o: o, sp: sp}
+	st := &searchState{m: m, d: d, opt: opt, o: o, sp: sp, ex: opt.Explain}
 	if opt.Cache != nil {
 		st.prefix = cachePrefix(m, d, opt.Tolerance, opt.FaultsKey)
 	}
@@ -403,6 +411,11 @@ func Search(m *topology.Machine, d *flownet.Demand, opt Options) (*Result, error
 	if res.Time > 0 {
 		res.Throughput = units.Bandwidth(d.TotalDemand() / res.Time.Sec())
 	}
+	st.ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "search", Reason: "enumerated", Count: enumerated})
+	st.ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "search", Reason: "pruned", Count: int(st.pruned.Load())})
+	st.ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "search", Reason: "evaluated", Count: col.count})
+	st.ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "search", Reason: "score-cache-hits", Count: col.hits})
+	st.ex.Add(obs.ExplainStep{Seq: obs.SeqSummary, Stage: "result", Subject: col.best.Placement.Name, Value: res.Time.Sec()})
 	if opt.KeepScores {
 		sort.Slice(col.scores, func(a, b int) bool {
 			sa, sb := col.scores[a], col.scores[b]
@@ -485,6 +498,7 @@ func searchSerial(st *searchState, gpuDists, ssdDists [][]int, col *collector) e
 			if !st.opt.SkipDedupe {
 				if _, dup := seen[c.key]; dup {
 					st.pruned.Add(1)
+					st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "prune", Subject: c.p.Name, Reason: "isomorphic-duplicate"})
 					return true
 				}
 				seen[c.key] = struct{}{}
@@ -594,6 +608,7 @@ func searchStream(st *searchState, gpuDists, ssdDists [][]int, total int, col *c
 				if !st.opt.SkipDedupe {
 					if _, dup := seen[key]; dup {
 						st.pruned.Add(1)
+						st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "prune", Subject: c.p.Name, Reason: "isomorphic-duplicate"})
 						continue
 					}
 					seen[key] = struct{}{}
@@ -707,6 +722,7 @@ func streamPoolScore(st *searchState, keyc <-chan cand, resc chan<- scoredSeq, d
 					sp.End()
 					st.o.Counter("placement_candidates_infeasible_total").Inc()
 					st.o.Logf("placement: candidate %s infeasible: %v", c.p.Name, err)
+					st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: c.p.Name, Reason: "infeasible-build"})
 					s := scoredSeq{Scored: Scored{Placement: c.p, Err: err}, seq: c.seq}
 					cachePut(st, c, s.Scored)
 					select {
@@ -738,14 +754,21 @@ func streamPoolScore(st *searchState, keyc <-chan cand, resc chan<- scoredSeq, d
 			if err != nil {
 				sp.SetStr("error", err.Error())
 				s.Err = err
-				if !isCanceled(err) {
+				if r.Canceled() {
+					st.o.Event(obs.Event{Kind: obs.EvProbeAbort, Name: "probe-abort",
+						Subject: c.p.Name, V1: float64(r.Probes)})
+				} else {
 					st.o.Counter("placement_candidates_infeasible_total").Inc()
 					st.o.Logf("placement: candidate %s unsolvable: %v", c.p.Name, err)
+					st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: c.p.Name, Reason: "unsolvable"})
 				}
 			} else {
 				sp.SetFloat("predicted_seconds", t.Sec())
 				s.Time = t
 				st.o.Counter("placement_candidates_scored_total").Inc()
+				st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: c.p.Name, Reason: "solved", Value: t.Sec()})
+				st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "bisect", Subject: c.p.Name, Reason: "probes", Count: r.Probes})
+				st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "bisect", Subject: c.p.Name, Reason: "iterations", Count: r.Iterations})
 			}
 			sp.End()
 			cachePut(st, c, s.Scored)
@@ -795,9 +818,11 @@ func cacheGet(st *searchState, c cand) (scoredSeq, bool) {
 	if s.Infeasible {
 		out.Err = errors.New(s.Err)
 		st.o.Counter("placement_candidates_infeasible_total").Inc()
+		st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: c.p.Name, Reason: "cache-hit-infeasible"})
 	} else {
 		out.Time = units.Seconds(s.Seconds)
 		st.o.Counter("placement_candidates_scored_total").Inc()
+		st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: c.p.Name, Reason: "cache-hit", Value: s.Seconds})
 	}
 	return out, true
 }
@@ -823,7 +848,7 @@ func scoreCached(st *searchState, c cand, scratch *flownet.Network) (scoredSeq, 
 		return out, scratch
 	}
 	var s Scored
-	s, scratch = score(st.opt.Ctx, st.m, c.p, st.d, st.opt.Tolerance, st.o, st.sp, scratch)
+	s, scratch = score(st, c, scratch)
 	cachePut(st, c, s)
 	return scoredSeq{Scored: s, seq: c.seq}, scratch
 }
@@ -839,30 +864,36 @@ func isCanceled(err error) bool {
 // the worker's scratch network (flownet.BuildReuse) to keep the hot loop
 // out of the allocator. It returns the network used so the caller can
 // thread it into the next evaluation.
-func score(ctx context.Context, m *topology.Machine, candP *topology.Placement, d *flownet.Demand, tol float64,
-	o *obs.Observer, parent *obs.Span, scratch *flownet.Network) (Scored, *flownet.Network) {
-	sp := parent.Fork("maxflow-score")
+func score(st *searchState, c cand, scratch *flownet.Network) (Scored, *flownet.Network) {
+	candP, o := c.p, st.o
+	sp := st.sp.Fork("maxflow-score")
 	sp.SetStr("candidate", candP.Name)
 	defer sp.End()
-	n, err := flownet.BuildReuse(m, candP, d, scratch)
+	n, err := flownet.BuildReuse(st.m, candP, st.d, scratch)
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		o.Counter("placement_candidates_infeasible_total").Inc()
 		o.Logf("placement: candidate %s infeasible: %v", candP.Name, err)
+		st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: candP.Name, Reason: "infeasible-build"})
 		return Scored{Placement: candP, Err: err}, scratch
 	}
 	n.SetObserver(o)
-	n.SetContext(ctx)
-	t, err := n.SolveTol(tol)
+	n.SetContext(st.opt.Ctx)
+	t, err := n.SolveTol(st.opt.Tolerance)
+	probes, iters, _, _ := n.SolveCounters()
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		if !isCanceled(err) {
 			o.Counter("placement_candidates_infeasible_total").Inc()
 			o.Logf("placement: candidate %s unsolvable: %v", candP.Name, err)
+			st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: candP.Name, Reason: "unsolvable"})
 		}
 		return Scored{Placement: candP, Err: err}, n
 	}
 	sp.SetFloat("predicted_seconds", t.Sec())
 	o.Counter("placement_candidates_scored_total").Inc()
+	st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "score", Subject: candP.Name, Reason: "solved", Value: t.Sec()})
+	st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "bisect", Subject: candP.Name, Reason: "probes", Count: probes})
+	st.ex.Add(obs.ExplainStep{Seq: c.seq, Stage: "bisect", Subject: candP.Name, Reason: "iterations", Count: iters})
 	return Scored{Placement: candP, Time: t}, n
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"moment/internal/obs"
 )
@@ -35,13 +36,40 @@ func TraceHandler(o *obs.Observer) http.Handler {
 	})
 }
 
-// ObsMux bundles the observability endpoints (/metrics, /debug/trace, and
-// a trivial /healthz) for processes that want exposition without the
-// planning service itself.
+// FlightHandler serves the observer's flight-recorder ring as JSON. A
+// disabled recorder serves the empty dump ({"dropped":0,"events":[]})
+// rather than 404ing, so forensics tooling can probe unconditionally.
+func FlightHandler(o *obs.Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.Active(o).Flight().WriteJSON(w); err != nil {
+			http.Error(w, fmt.Sprintf("write flight: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// PprofHandler serves the runtime profiling endpoints under /debug/pprof/
+// on a private mux (never the package-global http.DefaultServeMux, which a
+// library must not mutate).
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ObsMux bundles the observability endpoints (/metrics, /debug/trace,
+// /debug/flight, /debug/pprof/, and a trivial /healthz) for processes that
+// want exposition without the planning service itself.
 func ObsMux(o *obs.Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(o))
 	mux.Handle("/debug/trace", TraceHandler(o))
+	mux.Handle("/debug/flight", FlightHandler(o))
+	mux.Handle("/debug/pprof/", PprofHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

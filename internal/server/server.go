@@ -71,10 +71,44 @@ type Config struct {
 	// labels; tenants beyond the cap aggregate under "other" so a tenant
 	// flood cannot blow up the exposition (default 32).
 	TenantLabelCap int
+	// FlightEvents, when > 0, attaches a flight recorder of that many
+	// events to the observer: admission decisions, plan-cache hits, sheds,
+	// drains and span completions land on the ring and are dumpable at
+	// /debug/flight. 0 leaves flight recording to the caller (obsflag
+	// -flight also enables it); recording is zero-alloc when disabled.
+	FlightEvents int
+	// WatchdogDir, when non-empty, starts the anomaly watchdog: on a rule
+	// trip it writes a diagnostics bundle (trip + flight dump + metrics +
+	// goroutine/heap profiles) under this directory. Empty disables the
+	// watchdog unless WatchdogRules is set (rules without a dir trip
+	// metrics and OnTrip only).
+	WatchdogDir string
+	// WatchdogRules overrides DefaultWatchdogRules(cfg); nil with a
+	// WatchdogDir uses the defaults.
+	WatchdogRules []obs.Rule
+	// WatchdogInterval is the check period (default 5s); WatchdogCooldown
+	// suppresses repeat bundles after a trip (default 1m).
+	WatchdogInterval time.Duration
+	WatchdogCooldown time.Duration
 	// Observer receives the server's metrics and traces and is threaded
 	// into every planner run. Nil gets a fresh enabled observer (the
 	// server always meters itself — /metrics must work).
 	Observer *obs.Observer
+}
+
+// DefaultWatchdogRules is the rule set a WatchdogDir-configured server runs
+// with: a shed storm (sheds per check interval), queue saturation, an
+// epoch-time regression against the learned baseline, and a warm-abort
+// storm in the bisector.
+func DefaultWatchdogRules(cfg Config) []obs.Rule {
+	return []obs.Rule{
+		{Name: "shed-storm", Series: "momentd_shed_total", Kind: obs.RuleDeltaMax, Max: 50},
+		{Name: "queue-saturated", Series: "momentd_queue_depth", Kind: obs.RuleMax,
+			Max: 0.9 * float64(cfg.QueueDepth)},
+		{Name: "epoch-regress", Series: "trainsim_epoch_seconds", Kind: obs.RuleRegress,
+			Factor: 2, MinSamples: 5},
+		{Name: "warm-abort-storm", Series: "maxflow_warm_aborts_total", Kind: obs.RuleDeltaMax, Max: 1000},
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -135,10 +169,13 @@ type Server struct {
 	// coalescing/shedding deterministic without paying for real solves.
 	plan func(ctx context.Context, cr *canonReq) (*planResult, error)
 
+	watchdog   *obs.Watchdog
+	explainSem chan struct{} // bounds concurrent /v1/explain planner runs
+
 	mu       sync.Mutex
 	inflight map[string]*flight
-	tenants  map[string]int    // outstanding requests per tenant
-	labels   map[string]string // tenant -> metric label (capped)
+	tenants  map[string]int // outstanding requests per tenant
+	labels   *obs.LabelCap  // tenant -> metric label (capped)
 	queued   int
 	draining bool
 	queue    chan *flight
@@ -156,29 +193,53 @@ func New(cfg Config) *Server {
 	if o == nil {
 		o = obs.New()
 	}
+	if cfg.FlightEvents > 0 {
+		o.EnableFlight(cfg.FlightEvents)
+	}
 	s := &Server{
-		cfg:      cfg,
-		obs:      o,
-		scores:   scorecache.NewScores(cfg.ScoreCacheEntries),
-		plans:    scorecache.New[string, *planResult](cfg.PlanCacheEntries),
-		inflight: map[string]*flight{},
-		tenants:  map[string]int{},
-		labels:   map[string]string{},
-		queue:    make(chan *flight, cfg.QueueDepth),
+		cfg:        cfg,
+		obs:        o,
+		scores:     scorecache.NewScores(cfg.ScoreCacheEntries),
+		plans:      scorecache.New[string, *planResult](cfg.PlanCacheEntries),
+		inflight:   map[string]*flight{},
+		tenants:    map[string]int{},
+		labels:     obs.NewLabelCap(cfg.TenantLabelCap),
+		queue:      make(chan *flight, cfg.QueueDepth),
+		explainSem: make(chan struct{}, cfg.Workers),
 	}
 	s.plan = s.planReal
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", MetricsHandler(o))
 	s.mux.Handle("/debug/trace", TraceHandler(o))
+	s.mux.Handle("/debug/flight", FlightHandler(o))
+	s.mux.Handle("/debug/pprof/", PprofHandler())
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	if cfg.WatchdogDir != "" || cfg.WatchdogRules != nil {
+		rules := cfg.WatchdogRules
+		if rules == nil {
+			rules = DefaultWatchdogRules(cfg)
+		}
+		s.watchdog = &obs.Watchdog{
+			Obs:      o,
+			Rules:    rules,
+			Interval: cfg.WatchdogInterval,
+			Dir:      cfg.WatchdogDir,
+			Cooldown: cfg.WatchdogCooldown,
+		}
+		s.watchdog.Start()
+	}
 	return s
 }
+
+// Watchdog returns the server's anomaly watchdog, or nil when disabled.
+func (s *Server) Watchdog() *obs.Watchdog { return s.watchdog }
 
 // Observer returns the observer the server meters itself with.
 func (s *Server) Observer() *obs.Observer { return s.obs }
@@ -193,15 +254,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // drain does not complete in time (workers keep finishing regardless).
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
+	began := false
 	if !s.draining {
 		s.draining = true
+		began = true
 		close(s.queue) // enqueue checks draining under mu, so no racing send
 	}
 	s.mu.Unlock()
+	if began {
+		s.obs.Event(obs.Event{Kind: obs.EvDrain, Name: "drain-begin", V1: float64(s.plans.Len())})
+	}
 	s.obs.Gauge("momentd_draining").Set(1)
 	done := make(chan struct{})
 	go func() {
 		s.workerWG.Wait()
+		// One final watchdog check before the process can exit: a shed
+		// storm racing the drain still produces its bundle.
+		s.watchdog.Stop()
+		s.obs.Event(obs.Event{Kind: obs.EvDrain, Name: "drain-end"})
 		close(done)
 	}()
 	select {
@@ -230,20 +300,15 @@ func tenantOf(r *http.Request, body *PlanRequest) string {
 	return "default"
 }
 
-// tenantLabel maps a tenant to its metric label, aggregating tenants past
-// the cap under "other" to bound series cardinality.
+// tenantLabel maps a tenant to its metric label through the shared
+// obs.LabelCap (tenants past the cap aggregate under obs.Overflow — the
+// same mechanism bounding flight-recorder subjects and explain reasons).
 func (s *Server) tenantLabel(tenant string) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l, ok := s.labels[tenant]; ok {
-		return l
+	label, fresh := s.labels.Put(tenant)
+	if fresh {
+		s.obs.Gauge("momentd_tenants").Set(float64(s.labels.Len()))
 	}
-	if len(s.labels) >= s.cfg.TenantLabelCap {
-		return "other" // don't grow the map either: tenants are caller-controlled
-	}
-	s.labels[tenant] = tenant
-	s.obs.Gauge("momentd_tenants").Set(float64(len(s.labels)))
-	return tenant
+	return label
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -281,16 +346,20 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// and holds no worker.
 	if res, ok := s.plans.Get(cr.key); ok {
 		s.obs.Counter("momentd_plan_cache_hits_total", obs.L("tenant", label)).Inc()
+		s.obs.Event(obs.Event{Kind: obs.EvCache, Name: "plan", Subject: label, Reason: "hit"})
 		s.reply(w, http.StatusOK, res.response(tenant, cr.topK, false, true))
 		return
 	}
 	s.obs.Counter("momentd_plan_cache_misses_total").Inc()
+	s.obs.Event(obs.Event{Kind: obs.EvCache, Name: "plan", Subject: label, Reason: "miss"})
 
 	fl, coalesced, err := s.admit(cr, tenant)
 	if err != nil {
 		var shed *shedError
 		if errors.As(err, &shed) {
 			s.obs.Counter("momentd_shed_total", obs.L("reason", shed.reason)).Inc()
+			s.obs.Event(obs.Event{Kind: obs.EvAdmission, Name: "shed",
+				Subject: label, Reason: shed.reason, V1: float64(shed.retryAfterSec)})
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", shed.retryAfterSec))
 			s.replyError(w, http.StatusTooManyRequests, "%v", err)
 			return
@@ -300,6 +369,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	if coalesced {
 		s.obs.Counter("momentd_coalesced_total", obs.L("tenant", label)).Inc()
+		s.obs.Event(obs.Event{Kind: obs.EvAdmission, Name: "coalesced", Subject: label})
+	} else {
+		s.obs.Event(obs.Event{Kind: obs.EvAdmission, Name: "admitted", Subject: label})
 	}
 	defer s.release(fl, tenant)
 

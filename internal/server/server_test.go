@@ -186,27 +186,24 @@ func TestShedQueueFull(t *testing.T) {
 	defer ts.Close()
 	before := runtime.NumGoroutine()
 
+	// Occupy the worker, then the queue slot — strictly in that order. The
+	// worker frees the queue slot before marking itself inflight, so waiting
+	// for inflight==1 guarantees the second request queues instead of racing
+	// the first into the single slot and shedding (which would leave the
+	// "overflow" request below to be admitted and deadlock against release).
 	var wg sync.WaitGroup
 	codes := make([]int, 2)
-	for i := 0; i < 2; i++ { // occupy the worker, then the queue slot
+	occupy := func(i int) {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			codes[i], _, _ = postPlan(t, ts, planBody(t, 1000+i), nil)
-		}(i)
+		}()
 	}
-	waitCounter(t, s.obs.Counter("momentd_planner_runs_total"), 0) // no-op; keep ordering explicit
-	// Wait until one run started and one flight queued.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		s.mu.Lock()
-		queued := s.queued
-		s.mu.Unlock()
-		if queued >= 1 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	occupy(0)
+	waitCounter(t, s.obs.Gauge("momentd_inflight_runs"), 1)
+	occupy(1)
+	waitCounter(t, s.obs.Gauge("momentd_queue_depth"), 1)
 
 	code, _, hdr := postPlan(t, ts, planBody(t, 9999), nil)
 	if code != http.StatusTooManyRequests {
@@ -775,10 +772,7 @@ func TestTenantLabelCap(t *testing.T) {
 			t.Fatalf("over-cap tenant label = %q, want other", got)
 		}
 	}
-	s.mu.Lock()
-	n := len(s.labels)
-	s.mu.Unlock()
-	if n != 2 {
+	if n := s.labels.Len(); n != 2 {
 		t.Errorf("label map grew to %d entries under flood, want 2", n)
 	}
 	if got := s.tenantLabel("a"); got != "a" {

@@ -633,6 +633,22 @@ func SimulateEpoch(cfg Config) (*Result, error) {
 		if err := inj.CheckTargets(m.NumSSDs, nGPU); err != nil {
 			return nil, err
 		}
+		// Flight-record every scheduled fault transition so a post-hoc dump
+		// shows what was injected when. The FlightEnabled guard keeps the
+		// disabled path free of the Sprintf allocations below.
+		if scoped.FlightEnabled() {
+			for _, fe := range inj.Events() {
+				subject := fe.Link
+				switch {
+				case fe.GPU >= 0:
+					subject = fmt.Sprintf("gpu%d", fe.GPU)
+				case fe.SSD >= 0:
+					subject = fmt.Sprintf("ssd%d", fe.SSD)
+				}
+				scoped.Event(obs.Event{Kind: obs.EvFault, Name: fe.Kind.String(),
+					Subject: subject, V1: fe.At, V2: fe.Factor})
+			}
+		}
 		degSp := epochSp.Child("degrade")
 		nominalEpoch := epoch
 		degIO, rep, err := simulateDegradedIO(degradeInput{

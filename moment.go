@@ -236,6 +236,12 @@ func LongSimRecord(epochs int) (BenchRecord, error) {
 	return experiments.LongSimRecord(epochs)
 }
 
+// ObsBenchRecord measures the observability hot paths (flight-recorder
+// Record, explain Add) with testing.AllocsPerRun and reports them as the
+// "obs" bench row. The disabled paths must measure exactly zero
+// allocations per call.
+func ObsBenchRecord() BenchRecord { return experiments.ObsRecord() }
+
 // CompareReport is a per-experiment diff of two benchmark record sets.
 type CompareReport = experiments.CompareReport
 

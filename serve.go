@@ -28,6 +28,10 @@ type (
 	SearchSpec   = server.SearchSpec
 	// PlanServerStats is the /v1/stats document.
 	PlanServerStats = server.Stats
+	// ExplainResponse is the JSON schema of POST /v1/explain: the plan
+	// provenance trail for one request, byte-deterministic for a fixed
+	// problem.
+	ExplainResponse = server.ExplainResponse
 
 	// LoadTestConfig / LoadTestRecord drive and report the synthetic
 	// multi-tenant load harness.
@@ -49,7 +53,23 @@ func MetricsHandler(o *Observer) http.Handler { return server.MetricsHandler(o) 
 // TraceHandler serves an observer's span log as Chrome trace JSON.
 func TraceHandler(o *Observer) http.Handler { return server.TraceHandler(o) }
 
-// ObsMux bundles /metrics, /debug/trace and /healthz for processes that
-// want exposition without the planning service (obsflag -listen uses it,
-// so one-shot CLI runs and momentd share one exposition code path).
+// FlightHandler serves an observer's flight-recorder ring as JSON (the
+// empty dump when recording is disabled).
+func FlightHandler(o *Observer) http.Handler { return server.FlightHandler(o) }
+
+// PprofHandler serves the runtime profiling endpoints under /debug/pprof/
+// on a private mux.
+func PprofHandler() http.Handler { return server.PprofHandler() }
+
+// DefaultWatchdogRules is the anomaly rule set a WatchdogDir-configured
+// PlanServer runs with (shed storm, queue saturation, epoch-time
+// regression, warm-abort storm).
+func DefaultWatchdogRules(cfg PlanServerConfig) []WatchdogRule {
+	return server.DefaultWatchdogRules(cfg)
+}
+
+// ObsMux bundles /metrics, /debug/trace, /debug/flight, /debug/pprof/ and
+// /healthz for processes that want exposition without the planning service
+// (obsflag -listen uses it, so one-shot CLI runs and momentd share one
+// exposition code path).
 func ObsMux(o *Observer) *http.ServeMux { return server.ObsMux(o) }
