@@ -44,6 +44,8 @@ func main() {
 		"fleet size for the placement-sweep bench row with -bench/-compare (0 = skip the row)")
 	simEpochs := flag.Int("sim-epochs", 10000,
 		"horizon for the long-horizon simulation bench row with -bench/-compare (0 = skip the row)")
+	driftEpochs := flag.Int("drift-epochs", 1000,
+		"horizon for the traffic-drift adaptive-vs-oracle bench row with -bench/-compare (0 = skip the row)")
 	oflags := obsflag.Register()
 	flag.Parse()
 	oflags.Enable()
@@ -95,6 +97,17 @@ func main() {
 			rec, err := moment.LongSimRecord(*simEpochs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "momentbench: longsim:", err)
+				os.Exit(1)
+			}
+			recs = append(recs, rec)
+		}
+		if *driftEpochs > 0 {
+			// The record constructor re-checks the acceptance differential
+			// (adaptive within 5% of the oracle on under half its migrated
+			// bytes), so a drifted loop fails here, not just at -compare.
+			rec, err := moment.DriftBenchRecord(*driftEpochs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench: drift:", err)
 				os.Exit(1)
 			}
 			recs = append(recs, rec)

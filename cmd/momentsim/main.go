@@ -10,6 +10,8 @@
 //	momentsim -machine B -layout moment -trace trace.json -metrics
 //	momentsim -machine A -layout c -dataset PA -faults "seed=7;kill:ssd2@2"
 //	momentsim -machine B -layout moment -flight flight.json
+//	momentsim -machine B -layout c -drift "every=100;kind=shuffle;mag=0.2;seed=7" -epochs 300
+//	momentsim -machine B -layout c -drift "every=100;kind=flip;mag=0.2" -drift-oracle
 package main
 
 import (
@@ -32,6 +34,11 @@ func main() {
 		policy      = flag.String("policy", "ddak", "data placement: ddak or hash")
 		baseline    = flag.String("baseline", "", "simulate a baseline instead: mgids, mhyperion or distdgl")
 		timeline    = flag.Bool("timeline", false, "render the per-iteration pipeline schedule")
+		drift       = flag.String("drift", "",
+			`drift schedule for a multi-epoch adaptive run, e.g. "every=100;kind=shuffle;mag=0.2;seed=7" (kinds: rotate, flip, oscillate, shuffle)`)
+		driftEpochs = flag.Int("epochs", 300, "horizon for -drift runs")
+		driftOracle = flag.Bool("drift-oracle", false,
+			"replace the adaptive loop with from-scratch replanning at every drift event")
 	)
 	oflags := obsflag.Register()
 	fflag := obsflag.RegisterFaults()
@@ -94,6 +101,42 @@ func main() {
 	}
 	if schedule != nil && *baseline != "" {
 		fatal(fmt.Errorf("-faults only applies to the plain simulation, not baseline %q", *baseline))
+	}
+
+	if *drift != "" {
+		if *baseline != "" {
+			fatal(fmt.Errorf("-drift only applies to the plain simulation, not baseline %q", *baseline))
+		}
+		if schedule != nil {
+			fatal(fmt.Errorf("-drift and -faults cannot be combined"))
+		}
+		sched, err := moment.ParseDriftSpec(*drift)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := moment.SimConfig{Machine: m, Placement: p, Workload: w, Cache: moment.CachePartitioned}
+		rep, err := moment.SimulateDrift(cfg, moment.DriftOptions{
+			Epochs:   *driftEpochs,
+			Schedule: sched,
+			Oracle:   *driftOracle,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mode := "adaptive"
+		if rep.Oracle {
+			mode = "oracle"
+		}
+		fmt.Printf("placement %s\n", p)
+		fmt.Printf("drift %s: %s over %d epochs, %d events\n",
+			mode, moment.FormatDriftSpec(sched), rep.Epochs, rep.DriftEvents)
+		fmt.Printf("epoch mean %.3fs, total %v (%d fabric sims, %d memo hits)\n",
+			rep.MeanEpoch, rep.Total, rep.Resims, rep.CacheHits)
+		fmt.Printf("loop: %d trips, %d replans (%d delta, %d full, %d payback-skipped)\n",
+			rep.Trips, rep.Replans, rep.DeltaSolves, rep.FullSolves, rep.Skipped)
+		fmt.Printf("migration: %.1f GiB moved, stall %.2fs; final fast-tier hit %.1f%%\n",
+			rep.MovedBytes/(1<<30), rep.StallSeconds, rep.FinalHitFast*100)
+		return
 	}
 
 	var r *moment.EpochResult

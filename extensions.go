@@ -39,6 +39,10 @@ type (
 	Migration = adaptive.Migration
 	// StorageBin is a DDAK placement target (capacity + traffic budget).
 	StorageBin = ddak.Bin
+	// PlacedItem is one DDAK placement unit (hotness + size).
+	PlacedItem = ddak.Item
+	// ItemAssignment is a DDAK layout over items and bins.
+	ItemAssignment = ddak.ItemAssignment
 )
 
 // Storage tiers for StorageBin.
@@ -67,6 +71,72 @@ func DriftTV(a, b []float64) (float64, error) { return adaptive.TV(a, b) }
 func LayoutHitRate(a *ddak.ItemAssignment, hot []float64) (float64, error) {
 	return adaptive.HitRate(a, hot)
 }
+
+// Drift detection and incremental re-placement (the closed adaptive loop:
+// monitor → detector → delta DDAK re-solve, with a from-scratch oracle for
+// differential evaluation).
+type (
+	// DriftDetector trips on sustained distribution drift (total-variation
+	// plus top-k rank displacement, with hysteresis and cooldown).
+	DriftDetector = adaptive.DriftDetector
+	// DriftSignal is one detector reading.
+	DriftSignal = adaptive.DriftSignal
+	// DeltaOptions bounds an incremental DDAK re-solve.
+	DeltaOptions = ddak.DeltaOptions
+	// DeltaResult is an incremental re-solve with its migration bill.
+	DeltaResult = ddak.DeltaResult
+	// DriftSchedule is a seeded workload-drift process for simulation.
+	DriftSchedule = trainsim.DriftSchedule
+	// DriftKind selects the perturbation a DriftSchedule applies.
+	DriftKind = trainsim.DriftKind
+	// DriftOptions configures a long-horizon drift simulation.
+	DriftOptions = trainsim.DriftOptions
+	// DriftReport summarizes one adaptive or oracle drift run.
+	DriftReport = trainsim.DriftReport
+)
+
+// Drift perturbation kinds for DriftSchedule.
+const (
+	DriftNone      = trainsim.DriftNone
+	DriftRotate    = trainsim.DriftRotate
+	DriftFlip      = trainsim.DriftFlip
+	DriftOscillate = trainsim.DriftOscillate
+	DriftShuffle   = trainsim.DriftShuffle
+)
+
+// PlaceItems runs the full DDAK traffic-capped pooled greedy over items
+// and bins — the from-scratch solve that seeds an adaptive loop before
+// PlaceItemsDelta takes over.
+func PlaceItems(items []PlacedItem, bins []StorageBin, poolN int, trafficScale float64) (*ItemAssignment, error) {
+	return ddak.PlaceItems(items, bins, poolN, trafficScale)
+}
+
+// PlaceItemsDelta re-solves a DDAK layout incrementally from a previous
+// assignment: unchanged items keep their bins, evictions are repaired and
+// profitable promotions applied under opt.MaxMoveFrac, falling back to a
+// full solve when the budget cannot absorb the drift.
+func PlaceItemsDelta(prevItems []PlacedItem, prev *ItemAssignment, items []PlacedItem, bins []StorageBin, poolN int, trafficScale float64, opt DeltaOptions) (*DeltaResult, error) {
+	return ddak.PlaceItemsDelta(prevItems, prev, items, bins, poolN, trafficScale, opt)
+}
+
+// LayoutTiers flattens an item assignment to a per-item storage tier
+// (0 = GPU, 1 = CPU, 2 = SSD) — the form Sampler locality biasing and
+// tier-aware schedulers consume.
+func LayoutTiers(a *ItemAssignment) ([]uint8, error) { return adaptive.TierOf(a) }
+
+// SimulateDrift runs a long-horizon training simulation whose hotness
+// distribution drifts on a seeded schedule, chased either by the closed
+// adaptive loop or (opt.Oracle) by from-scratch re-planning at every event.
+func SimulateDrift(cfg SimConfig, opt DriftOptions) (*DriftReport, error) {
+	return trainsim.SimulateDriftEpochs(cfg, opt)
+}
+
+// ParseDriftSpec parses the CLI drift grammar
+// "every=100;kind=shuffle;mag=0.2;seed=7" into a schedule.
+func ParseDriftSpec(s string) (DriftSchedule, error) { return trainsim.ParseDriftSpec(s) }
+
+// FormatDriftSpec renders a schedule back into the CLI grammar.
+func FormatDriftSpec(s DriftSchedule) string { return trainsim.FormatDriftSpec(s) }
 
 // Pipeline introspection.
 type (

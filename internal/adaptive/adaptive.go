@@ -27,6 +27,7 @@ type Monitor struct {
 	counts []float64
 	factor float64 // per-tick decay multiplier
 	total  float64
+	gen    uint64 // bumped whenever an observation lands
 }
 
 // NewMonitor tracks n items with the given half-life (in ticks; a tick is
@@ -54,8 +55,37 @@ func (m *Monitor) Observe(item int32, weight float64) error {
 	}
 	m.counts[item] += weight
 	m.total += weight
+	m.gen++
 	return nil
 }
+
+// ObserveWeights credits every item its per-index weight in one call (an
+// epoch's expected access masses, or a histogram of a batch). The slice
+// must cover every item.
+func (m *Monitor) ObserveWeights(weights []float64) error {
+	if len(weights) != len(m.counts) {
+		return fmt.Errorf("adaptive: %d weights for %d items", len(weights), len(m.counts))
+	}
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("adaptive: bad weight %v", w)
+		}
+	}
+	for i, w := range weights {
+		m.counts[i] += w
+		m.total += w
+	}
+	m.gen++
+	return nil
+}
+
+// Gen returns the observation generation: it changes exactly when an
+// observation lands (Observe/ObserveBatch/ObserveWeights) and NOT on
+// Tick — decay multiplies every count and the total by the same factor,
+// so the normalized Hotness distribution is unchanged by Tick alone.
+// Callers that act on Hotness (drift checks, replanning) can therefore
+// skip all work while Gen is stable.
+func (m *Monitor) Gen() uint64 { return m.gen }
 
 // ObserveBatch credits one access per listed item (one mini-batch's
 // fetches) and then advances the decay clock by one tick.
@@ -80,14 +110,26 @@ func (m *Monitor) Tick() {
 // Hotness returns the normalized access distribution estimate (sums to 1;
 // all-zero if nothing was observed).
 func (m *Monitor) Hotness() []float64 {
-	out := make([]float64, len(m.counts))
+	return m.HotnessInto(nil)
+}
+
+// HotnessInto is Hotness writing into dst (grown if needed) so steady
+// callers do not allocate. Returns the filled slice.
+func (m *Monitor) HotnessInto(dst []float64) []float64 {
+	if cap(dst) < len(m.counts) {
+		dst = make([]float64, len(m.counts))
+	}
+	dst = dst[:len(m.counts)]
 	if m.total <= 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, c := range m.counts {
-		out[i] = c / m.total
+		dst[i] = c / m.total
 	}
-	return out
+	return dst
 }
 
 // TV computes the total-variation distance ½·Σ|a−b| between two
@@ -113,6 +155,19 @@ type Migration struct {
 	MovedItems int
 	// MovedBytes is the embedding volume that must cross the fabric.
 	MovedBytes float64
+	// Incremental reports the layout came from ddak.PlaceItemsDelta
+	// (only boundary-crossers moved) rather than a full re-solve.
+	Incremental bool
+	// FellBack reports an attempted incremental re-solve that exceeded
+	// DeltaBudget and completed as a full PlaceItems instead.
+	FellBack bool
+	// Skipped reports a replan whose migration bill exceeded its
+	// projected payback (PaybackEpochs), so the old layout was kept.
+	Skipped bool
+	// ProjectedSavedBytes is the payback estimate the billing compared
+	// MovedBytes against: (new hit − current hit) · TrafficScale ·
+	// PaybackEpochs. Zero when payback billing is disabled.
+	ProjectedSavedBytes float64
 	// Assignment is the layout in force after the call.
 	Assignment *ddak.ItemAssignment
 }
@@ -152,13 +207,36 @@ type Replanner struct {
 	// decision: drift checks (tripped or not), forced rebins, and layout
 	// cache hits. Seq is the replanner's decision counter.
 	Explain *obs.Explain
+	// DeltaBudget, when positive, routes drift replans through
+	// ddak.PlaceItemsDelta: only items whose hotness rank crossed a bin
+	// boundary move, and the delta falls back to a full re-solve when it
+	// would migrate more than this fraction of total item bytes. Zero
+	// keeps the full-re-solve behavior.
+	DeltaBudget float64
+	// PaybackEpochs, when positive, bills every drift replan against its
+	// projected savings the way Rebin bills fault migrations: moving
+	// MovedBytes is only worth it if the layout's fast-tier improvement
+	// times TrafficScale (bytes saved per epoch) repays it within this
+	// many epochs. Replans that don't pay for themselves are skipped
+	// (Migration.Skipped).
+	PaybackEpochs float64
+	// Observer receives adaptive_* counters and EvDrift flight events.
+	Observer *obs.Observer
 
 	itemBytes []float64
 	current   *ddak.ItemAssignment
-	planned   []float64 // hotness snapshot at last re-placement
+	curItems  []ddak.Item // items that produced current (delta's prev)
+	planned   []float64   // hotness snapshot at last re-placement
 	replans   int
 	cacheHits int
 	decisions int // explain step counter (one per Maybe/Rebin)
+
+	// Steady-state memo for MaybeMonitor: while the monitor's generation
+	// is unchanged no hotness is recomputed, no TV taken, no key hashed.
+	lastGen uint64
+	haveGen bool
+	lastMig Migration
+	liveBuf []float64
 }
 
 // NewReplanner plans the initial layout from the offline hotness estimate.
@@ -181,8 +259,18 @@ func NewReplanner(hot, itemBytes []float64, bins []ddak.Bin, poolN int, trafficS
 		return nil, err
 	}
 	r.current = a
+	r.curItems = r.buildItems(hot)
 	r.planned = append([]float64(nil), hot...)
 	return r, nil
+}
+
+// buildItems materializes the ddak item slice for a hotness vector.
+func (r *Replanner) buildItems(hot []float64) []ddak.Item {
+	items := make([]ddak.Item, len(hot))
+	for i := range items {
+		items[i] = ddak.Item{Hot: hot[i], Bytes: r.itemBytes[i]}
+	}
+	return items
 }
 
 func (r *Replanner) place(hot []float64) (*ddak.ItemAssignment, error) {
@@ -252,28 +340,126 @@ func (r *Replanner) Maybe(live []float64) (*Migration, error) {
 	if err != nil {
 		return nil, err
 	}
-	mig := &Migration{Drift: drift, Assignment: r.current}
-	r.decisions++
 	if drift < r.Threshold {
+		r.decisions++
+		mig := &Migration{Drift: drift, Assignment: r.current}
 		r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "below-threshold", Value: drift})
 		return mig, nil
 	}
-	next, err := r.place(live)
+	return r.Replan(live)
+}
+
+// MaybeMonitor is Maybe fed straight from a Monitor, with a generation
+// dirty check: while the monitor has observed nothing since the last
+// call, the previous decision is returned as-is — no hotness vector is
+// materialized, no TV distance computed, no layout key hashed, nothing
+// allocated. Tick-only epochs qualify (decay rescales counts and total
+// together, leaving the normalized distribution untouched), so a
+// no-drift steady state is completely free.
+func (r *Replanner) MaybeMonitor(m *Monitor) (*Migration, error) {
+	if m == nil {
+		return nil, fmt.Errorf("adaptive: nil monitor")
+	}
+	if r.haveGen && m.Gen() == r.lastGen {
+		return &r.lastMig, nil
+	}
+	r.liveBuf = m.HotnessInto(r.liveBuf)
+	mig, err := r.Maybe(r.liveBuf)
 	if err != nil {
 		return nil, err
 	}
-	for i := range next.Of {
-		if next.Of[i] != r.current.Of[i] {
-			mig.MovedItems++
-			mig.MovedBytes += r.itemBytes[i]
+	r.lastGen = m.Gen()
+	r.haveGen = true
+	r.lastMig = *mig
+	return mig, nil
+}
+
+// Replan forces a re-placement onto the live distribution regardless of
+// drift. With DeltaBudget set it runs the incremental DDAK re-solve
+// (only rank-boundary crossers move, full-solve fallback over budget);
+// with PaybackEpochs set the migration is billed against its projected
+// per-epoch savings and skipped when it cannot pay for itself within
+// the window — the same billing discipline Rebin applies to fault
+// migrations, applied to traffic drift.
+func (r *Replanner) Replan(live []float64) (*Migration, error) {
+	drift, err := TV(r.planned, live)
+	if err != nil {
+		return nil, err
+	}
+	r.decisions++
+	mig := &Migration{Drift: drift, Assignment: r.current}
+	items := r.buildItems(live)
+	var next *ddak.ItemAssignment
+	if r.DeltaBudget > 0 {
+		// Delta results depend on the previous layout, so they bypass
+		// the fingerprint-keyed layout cache entirely.
+		res, err := ddak.PlaceItemsDelta(r.curItems, r.current, items, r.Bins, r.PoolN, r.TrafficScale,
+			ddak.DeltaOptions{MaxMoveFrac: r.DeltaBudget, Observer: r.Observer})
+		if err != nil {
+			return nil, err
+		}
+		next = res.Assignment
+		mig.Incremental = !res.FellBack
+		mig.FellBack = res.FellBack
+		mig.MovedItems = res.MovedItems
+		mig.MovedBytes = res.MovedBytes
+	} else {
+		next, err = r.place(live)
+		if err != nil {
+			return nil, err
+		}
+		for i := range next.Of {
+			if next.Of[i] != r.current.Of[i] {
+				mig.MovedItems++
+				mig.MovedBytes += r.itemBytes[i]
+			}
+		}
+	}
+	if r.PaybackEpochs > 0 && r.TrafficScale > 0 && mig.MovedItems > 0 {
+		curHit, err := HitRate(r.current, live)
+		if err != nil {
+			return nil, err
+		}
+		nextHit, err := HitRate(next, live)
+		if err != nil {
+			return nil, err
+		}
+		// Every point of fast-tier hit rate is TrafficScale bytes per
+		// epoch that no longer come off SSD; the migration must repay
+		// its one-time bill within PaybackEpochs of those savings.
+		mig.ProjectedSavedBytes = (nextHit - curHit) * r.TrafficScale * r.PaybackEpochs
+		if mig.MovedBytes > mig.ProjectedSavedBytes {
+			mig.Skipped = true
+			mig.MovedItems = 0
+			mig.MovedBytes = 0
+			mig.Incremental = false
+			mig.FellBack = false
+			mig.Assignment = r.current
+			r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "payback-skip", Value: mig.ProjectedSavedBytes})
+			if o := r.Observer; o != nil {
+				o.Counter("adaptive_replans_skipped_total").Add(1)
+			}
+			return mig, nil
 		}
 	}
 	mig.Triggered = true
 	mig.Assignment = next
 	r.current = next
+	r.curItems = items
 	r.planned = append(r.planned[:0], live...)
 	r.replans++
 	r.Explain.Add(obs.ExplainStep{Seq: r.decisions, Stage: "replan", Reason: "drift-replanned", Value: drift, Count: mig.MovedItems})
+	if o := r.Observer; o != nil {
+		mode := "full"
+		if mig.Incremental {
+			mode = "delta"
+		}
+		o.Counter("adaptive_drift_replans_total", obs.L("mode", mode)).Add(1)
+		if o.FlightEnabled() {
+			o.Event(obs.Event{Kind: obs.EvDrift, Name: "replan", Reason: mode,
+				V1: drift, V2: mig.MovedBytes})
+		}
+	}
 	return mig, nil
 }
 

@@ -1,0 +1,236 @@
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"moment/internal/ddak"
+	"moment/internal/obs"
+)
+
+// DriftSignal is one drift check's verdict.
+type DriftSignal struct {
+	// TV is the total-variation distance between reference and live.
+	TV float64
+	// RankChurn is the fraction of the live top-K items absent from the
+	// reference top-K (0 when rank tracking is disabled).
+	RankChurn float64
+	// Over reports this single check exceeded a trip threshold.
+	Over bool
+	// Tripped reports the hysteresis is satisfied: TripAfter consecutive
+	// over-threshold checks outside the cooldown window. Act on this,
+	// not on Over — isolated noisy batches stay below it.
+	Tripped bool
+}
+
+// DriftDetector decides when live sampler traffic has drifted far enough
+// from the distribution a layout was planned for to be worth replanning.
+// It trips on either signal:
+//
+//   - total-variation distance (mass moved anywhere in the distribution);
+//   - top-K rank displacement (the identity of the hottest items changed,
+//     which crosses bin boundaries even when TV is modest — a handful of
+//     swapped cache-resident vertices barely moves TV but invalidates the
+//     cache contents).
+//
+// Hysteresis (TripAfter consecutive over-threshold checks) filters
+// single-batch noise, and Cooldown suppresses re-trips while a fresh
+// replan's EWMA estimate is still converging. The zero value is usable:
+// TV threshold 0.1, rank tracking off, trip on the first over check, no
+// cooldown.
+type DriftDetector struct {
+	// TVTrip is the TV distance considered drifted (<=0 means 0.1).
+	TVTrip float64
+	// RankTopK enables rank-displacement tracking over the hottest K
+	// items (0 disables).
+	RankTopK int
+	// RankTrip is the churn fraction considered drifted when rank
+	// tracking is on (<=0 means 0.5).
+	RankTrip float64
+	// TripAfter is how many consecutive over-threshold checks arm a trip
+	// (<=0 means 1 — trip immediately).
+	TripAfter int
+	// Cooldown is how many checks after a trip are ignored (<=0 none).
+	Cooldown int
+	// Observer receives adaptive_drift_* counters and EvDrift events.
+	Observer *obs.Observer
+
+	over   int // consecutive over-threshold checks
+	cool   int // remaining cooldown checks
+	checks int
+	trips  int
+
+	refTop, liveTop []int32 // top-K scratch, reused across checks
+}
+
+// Check compares the live distribution against the reference the current
+// layout was planned for. ref and live must have equal length.
+func (d *DriftDetector) Check(ref, live []float64) (DriftSignal, error) {
+	tv, err := TV(ref, live)
+	if err != nil {
+		return DriftSignal{}, err
+	}
+	sig := DriftSignal{TV: tv}
+	tvTrip := d.TVTrip
+	if tvTrip <= 0 {
+		tvTrip = 0.1
+	}
+	sig.Over = tv >= tvTrip
+	if d.RankTopK > 0 {
+		rankTrip := d.RankTrip
+		if rankTrip <= 0 {
+			rankTrip = 0.5
+		}
+		d.refTop = topK(ref, d.RankTopK, d.refTop)
+		d.liveTop = topK(live, d.RankTopK, d.liveTop)
+		sig.RankChurn = churn(d.refTop, d.liveTop)
+		if sig.RankChurn >= rankTrip {
+			sig.Over = true
+		}
+	}
+	d.checks++
+	if d.cool > 0 {
+		d.cool--
+		d.over = 0
+		sig.Tripped = false
+	} else {
+		if sig.Over {
+			d.over++
+		} else {
+			d.over = 0
+		}
+		tripAfter := d.TripAfter
+		if tripAfter <= 0 {
+			tripAfter = 1
+		}
+		sig.Tripped = d.over >= tripAfter
+	}
+	if sig.Tripped {
+		d.trips++
+	}
+	if o := d.Observer; o != nil {
+		o.Counter("adaptive_drift_checks_total").Add(1)
+		if sig.Tripped {
+			o.Counter("adaptive_drift_trips_total").Add(1)
+			if o.FlightEnabled() {
+				o.Event(obs.Event{Kind: obs.EvDrift, Name: "trip",
+					V1: sig.TV, V2: sig.RankChurn})
+			}
+		}
+	}
+	return sig, nil
+}
+
+// Reset clears the hysteresis and starts the cooldown window; call it
+// after acting on a trip (i.e. after replanning).
+func (d *DriftDetector) Reset() {
+	d.over = 0
+	d.cool = d.Cooldown
+}
+
+// Checks counts Check calls; Trips counts checks that tripped.
+func (d *DriftDetector) Checks() int { return d.checks }
+
+// Trips counts checks whose hysteresis fired.
+func (d *DriftDetector) Trips() int { return d.trips }
+
+// topK writes the indices of the k largest values of v (ties broken by
+// lower index) into scratch and returns it sorted by index for cheap
+// intersection.
+func topK(v []float64, k int, scratch []int32) []int32 {
+	if k > len(v) {
+		k = len(v)
+	}
+	scratch = scratch[:0]
+	// Selection via a small min-heap laid out in scratch: O(n log k),
+	// no allocation once scratch has capacity k.
+	less := func(a, b int32) bool {
+		// Min-heap order: smaller value first; among equal values the
+		// higher index is "smaller" so ties resolve to lower indices.
+		if v[a] != v[b] {
+			return v[a] < v[b]
+		}
+		return a > b
+	}
+	push := func(x int32) {
+		scratch = append(scratch, x)
+		i := len(scratch) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(scratch[i], scratch[p]) {
+				break
+			}
+			scratch[i], scratch[p] = scratch[p], scratch[i]
+			i = p
+		}
+	}
+	replaceMin := func(x int32) {
+		scratch[0] = x
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(scratch) && less(scratch[l], scratch[min]) {
+				min = l
+			}
+			if r < len(scratch) && less(scratch[r], scratch[min]) {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			scratch[i], scratch[min] = scratch[min], scratch[i]
+			i = min
+		}
+	}
+	for i := range v {
+		x := int32(i)
+		if len(scratch) < k {
+			push(x)
+		} else if k > 0 && less(scratch[0], x) {
+			replaceMin(x)
+		}
+	}
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	return scratch
+}
+
+// churn is the fraction of live entries absent from ref; both must be
+// sorted ascending.
+func churn(ref, live []int32) float64 {
+	if len(live) == 0 {
+		return 0
+	}
+	common := 0
+	i, j := 0, 0
+	for i < len(ref) && j < len(live) {
+		switch {
+		case ref[i] == live[j]:
+			common++
+			i++
+			j++
+		case ref[i] < live[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 1 - float64(common)/float64(len(live))
+}
+
+// TierOf maps every item of a layout to its storage tier rank (0 = GPU,
+// 1 = CPU, 2 = SSD) — the form sample.Sampler.SetLocality consumes, kept
+// as raw uint8 so the sample package needs no ddak dependency.
+func TierOf(a *ddak.ItemAssignment) ([]uint8, error) {
+	if a == nil {
+		return nil, fmt.Errorf("adaptive: nil assignment")
+	}
+	out := make([]uint8, len(a.Of))
+	for i, b := range a.Of {
+		if b < 0 || int(b) >= len(a.Bins) {
+			return nil, fmt.Errorf("adaptive: item %d in bin %d out of range", i, b)
+		}
+		out[i] = uint8(a.Bins[b].Tier)
+	}
+	return out, nil
+}

@@ -66,6 +66,19 @@ type BenchRecord struct {
 	SimBaselineMS  float64 `json:"sim_baseline_ms,omitempty"`
 	SimOptimizedMS float64 `json:"sim_optimized_ms,omitempty"`
 
+	// Adaptive drift-loop accounting, populated only by the traffic-drift
+	// row (layout "drift"). EpochSec is the adaptive run's deterministic
+	// mean simulated epoch over the drifting horizon — the compare gate's
+	// quantity — with the from-scratch oracle's mean and both sides'
+	// migration bills recorded for the differential.
+	DriftEpochs         int     `json:"drift_epochs,omitempty"`
+	DriftEvents         int     `json:"drift_events,omitempty"`
+	DriftTrips          int     `json:"drift_trips,omitempty"`
+	DriftReplans        int     `json:"drift_replans,omitempty"`
+	DriftMovedGiB       float64 `json:"drift_moved_gib,omitempty"`
+	DriftOracleGiB      float64 `json:"drift_oracle_moved_gib,omitempty"`
+	DriftOracleEpochSec float64 `json:"drift_oracle_epoch_sec,omitempty"`
+
 	// Observability hot-path cost, populated only by the obs row (layout
 	// "obs"): allocations per flight-recorder Record / explain Add call,
 	// measured with testing.AllocsPerRun. The disabled paths must be

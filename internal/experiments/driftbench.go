@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moment/internal/gnn"
+	"moment/internal/topology"
+	"moment/internal/trainsim"
+)
+
+// DriftRecord benchmarks the closed adaptive loop against the from-scratch
+// oracle over a long drifting horizon: the hotness distribution is
+// reshuffled every 100 epochs and both modes chase it — the adaptive loop
+// through the drift detector, incremental DDAK re-solve and payback
+// billing, the oracle by re-planning from scratch on the true post-event
+// distribution. EpochSec is the adaptive run's deterministic mean simulated
+// epoch (the -compare gate holds it steady); the oracle's mean and both
+// migration bills ride along. Producing the record also re-checks the
+// acceptance differential — adaptive within 5% of the oracle's epoch time
+// on under half its migrated bytes — so a regression fails the bench run
+// even before the compare gate sees it.
+func DriftRecord(epochs int) (BenchRecord, error) {
+	if epochs < 200 {
+		epochs = 200
+	}
+	m := topology.MachineB()
+	p, err := topology.ClassicPlacement(m, topology.LayoutC)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	cfg := trainsim.Config{
+		Machine:         m,
+		Placement:       p,
+		Workload:        wl("IG", gnn.KindSAGE),
+		Cache:           trainsim.CachePartitioned,
+		VirtualVertices: 2000,
+	}
+	opt := trainsim.DriftOptions{
+		Epochs:   epochs,
+		Schedule: trainsim.DriftSchedule{Every: 100, Kind: trainsim.DriftShuffle, Mag: 0.2, Seed: 42},
+	}
+	ad, err := trainsim.SimulateDriftEpochs(cfg, opt)
+	if err != nil {
+		return BenchRecord{}, fmt.Errorf("experiments: drift adaptive: %w", err)
+	}
+	opt.Oracle = true
+	or, err := trainsim.SimulateDriftEpochs(cfg, opt)
+	if err != nil {
+		return BenchRecord{}, fmt.Errorf("experiments: drift oracle: %w", err)
+	}
+	if ratio := ad.MeanEpoch / or.MeanEpoch; ratio > 1.05 {
+		return BenchRecord{}, fmt.Errorf(
+			"experiments: drift adaptive epoch %.4fs is %.1f%% over oracle %.4fs (acceptance: <=5%%)",
+			ad.MeanEpoch, (ratio-1)*100, or.MeanEpoch)
+	}
+	if or.MovedBytes > 0 && ad.MovedBytes >= 0.5*or.MovedBytes {
+		return BenchRecord{}, fmt.Errorf(
+			"experiments: drift adaptive migrated %.3g bytes, acceptance requires < half of oracle's %.3g",
+			ad.MovedBytes, or.MovedBytes)
+	}
+	return BenchRecord{
+		Machine:             m.Name,
+		Dataset:             "IG",
+		Model:               gnn.KindSAGE.String(),
+		Layout:              "drift",
+		Policy:              "adaptive",
+		EpochSec:            ad.MeanEpoch,
+		DriftEpochs:         epochs,
+		DriftEvents:         ad.DriftEvents,
+		DriftTrips:          ad.Trips,
+		DriftReplans:        ad.Replans,
+		DriftMovedGiB:       ad.MovedBytes / (1 << 30),
+		DriftOracleGiB:      or.MovedBytes / (1 << 30),
+		DriftOracleEpochSec: or.MeanEpoch,
+	}, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestDriftRecord(t *testing.T) {
+	rec, err := DriftRecord(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Layout != "drift" || rec.Policy != "adaptive" {
+		t.Errorf("row identity %s/%s, want drift/adaptive", rec.Layout, rec.Policy)
+	}
+	if rec.DriftEpochs != 200 || rec.DriftEvents != 1 {
+		t.Errorf("epochs=%d events=%d, want 200 and 1", rec.DriftEpochs, rec.DriftEvents)
+	}
+	if rec.EpochSec <= 0 || rec.DriftOracleEpochSec <= 0 {
+		t.Errorf("non-positive epoch times: adaptive %v oracle %v", rec.EpochSec, rec.DriftOracleEpochSec)
+	}
+	// The constructor enforces the migration differential; the record must
+	// carry the evidence.
+	if rec.DriftOracleGiB <= 0 || rec.DriftMovedGiB >= 0.5*rec.DriftOracleGiB {
+		t.Errorf("migration bills: adaptive %.3g GiB vs oracle %.3g GiB", rec.DriftMovedGiB, rec.DriftOracleGiB)
+	}
+	// Determinism: the seeded schedule must reproduce the row exactly.
+	again, err := DriftRecord(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rec {
+		t.Errorf("drift record not deterministic:\n%+v\n%+v", rec, again)
+	}
+}

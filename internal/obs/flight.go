@@ -36,6 +36,9 @@ const (
 	EvWatchdog
 	// EvDrain is a lifecycle transition (drain begin/end, flush).
 	EvDrain
+	// EvDrift is a workload-drift event: a detector trip, an incremental
+	// re-solve, or a scheduled hotness shift entering a simulation.
+	EvDrift
 )
 
 var eventKindNames = [...]string{
@@ -46,6 +49,7 @@ var eventKindNames = [...]string{
 	EvProbeAbort: "probe_abort",
 	EvWatchdog:   "watchdog",
 	EvDrain:      "drain",
+	EvDrift:      "drift",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,57 @@
+package sample
+
+import "fmt"
+
+// Locality-aware sampling (the adaptive loop's demand-side lever): when the
+// layout already holds part of the graph on fast tiers, biasing random
+// neighbor selection toward currently-resident vertices converts sampler
+// randomness into cache hits without changing the sampled subgraph's shape.
+// Only the with-replacement draw path is biased — neighborhoods at or below
+// the fanout are always taken whole, so small-degree statistics and the
+// message-passing structure are untouched, and because every biased draw
+// starts from a uniform candidate, full support is preserved: any neighbor
+// can still be sampled at any bias.
+
+// SetLocality installs a tier map and a bias for locality-aware neighbor
+// draws. tierOf maps each vertex to its storage-tier rank (0 = fastest;
+// adaptive.TierOf produces this from a DDAK layout) and must cover every
+// vertex of the graph. bias in [0,1] is the probability a draw is a
+// best-of-two tier comparison instead of a single uniform pick: bias 0
+// restores exact uniform sampling, bias 1 makes every over-fanout draw
+// prefer the faster-tier of two uniform candidates. Pass (nil, 0) to
+// disable. The map is retained, not copied — callers re-planning a layout
+// update tiers in place or call SetLocality again.
+func (s *Sampler) SetLocality(tierOf []uint8, bias float64) error {
+	if bias < 0 || bias > 1 {
+		return fmt.Errorf("sample: locality bias %v out of [0,1]", bias)
+	}
+	if bias > 0 {
+		if tierOf == nil {
+			return fmt.Errorf("sample: locality bias %v with nil tier map", bias)
+		}
+		if len(tierOf) != s.G.N() {
+			return fmt.Errorf("sample: tier map covers %d vertices, graph has %d",
+				len(tierOf), s.G.N())
+		}
+	}
+	s.tierOf = tierOf
+	s.locBias = bias
+	return nil
+}
+
+// draw picks one neighbor for a with-replacement sample. Unbiased draws are
+// a single uniform pick; biased draws (probability locBias) compare two
+// uniform candidates and keep the one on the faster tier, which doubles the
+// selection pressure toward resident vertices while keeping every neighbor
+// reachable.
+func (s *Sampler) draw(nbrs []int32) int32 {
+	u := nbrs[s.rng.Intn(len(nbrs))]
+	if s.locBias <= 0 || s.rng.Float64() >= s.locBias {
+		return u
+	}
+	v := nbrs[s.rng.Intn(len(nbrs))]
+	if s.tierOf[v] < s.tierOf[u] {
+		return v
+	}
+	return u
+}

@@ -1,0 +1,210 @@
+package sample
+
+import (
+	"testing"
+
+	"moment/internal/graph"
+)
+
+// fastFrac runs batches through a sampler and reports what fraction of
+// sampled subgraph vertices sit on tier 0.
+func fastFrac(t *testing.T, s *Sampler, tierOf []uint8, batches int) float64 {
+	t.Helper()
+	fast, total := 0, 0
+	for i := 0; i < batches; i++ {
+		seeds := []int32{int32(i % s.G.N()), int32((i * 7) % s.G.N())}
+		b, err := s.Sample(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range b.Unique {
+			total++
+			if tierOf[v] == 0 {
+				fast++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no vertices sampled")
+	}
+	return float64(fast) / float64(total)
+}
+
+// hotTiers places the lowest-numbered 10% of vertices on tier 0, the next
+// 20% on tier 1, the rest on tier 2 — a stand-in for a DDAK layout.
+func hotTiers(n int) []uint8 {
+	tiers := make([]uint8, n)
+	for v := range tiers {
+		switch {
+		case v < n/10:
+			tiers[v] = 0
+		case v < 3*n/10:
+			tiers[v] = 1
+		default:
+			tiers[v] = 2
+		}
+	}
+	return tiers
+}
+
+func TestSetLocalityValidation(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewSampler(g, []int{4, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLocality(hotTiers(g.N()), -0.1); err == nil {
+		t.Error("negative bias accepted")
+	}
+	if err := s.SetLocality(hotTiers(g.N()), 1.1); err == nil {
+		t.Error("bias > 1 accepted")
+	}
+	if err := s.SetLocality(nil, 0.5); err == nil {
+		t.Error("nil tier map with positive bias accepted")
+	}
+	if err := s.SetLocality(make([]uint8, g.N()-1), 0.5); err == nil {
+		t.Error("short tier map accepted")
+	}
+	if err := s.SetLocality(nil, 0); err != nil {
+		t.Errorf("disable rejected: %v", err)
+	}
+	if err := s.SetLocality(hotTiers(g.N()), 0.5); err != nil {
+		t.Errorf("valid install rejected: %v", err)
+	}
+}
+
+func TestZeroBiasIsExactlyUniform(t *testing.T) {
+	g := testGraph(t)
+	plain, err := NewSampler(g, []int{6, 4}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := NewSampler(g, []int{6, 4}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := biased.SetLocality(hotTiers(g.N()), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Zero bias must not even consume extra randomness: the two samplers'
+	// draw sequences stay identical batch after batch.
+	for i := 0; i < 20; i++ {
+		seeds := []int32{int32(i), int32(i + 100)}
+		a, err := plain.Sample(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := biased.Sample(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Unique) != len(b.Unique) {
+			t.Fatalf("batch %d: %d vs %d unique vertices", i, len(a.Unique), len(b.Unique))
+		}
+		for j := range a.Unique {
+			if a.Unique[j] != b.Unique[j] {
+				t.Fatalf("batch %d diverges at vertex %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLocalityBiasShiftsMassToFastTiers(t *testing.T) {
+	g := testGraph(t)
+	tiers := hotTiers(g.N())
+	frac := make([]float64, 0, 3)
+	for _, bias := range []float64{0, 0.5, 1} {
+		s, err := NewSampler(g, []int{10, 5}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetLocality(tiers, bias); err != nil {
+			t.Fatal(err)
+		}
+		frac = append(frac, fastFrac(t, s, tiers, 200))
+	}
+	if !(frac[0] < frac[1] && frac[1] < frac[2]) {
+		t.Errorf("tier-0 fraction not increasing with bias: %v", frac)
+	}
+	// The shift must be material, not a rounding artifact.
+	if frac[2] < frac[0]*1.1 {
+		t.Errorf("full bias lifts tier-0 fraction only %.4f -> %.4f", frac[0], frac[2])
+	}
+}
+
+func TestLocalityPreservesFullSupport(t *testing.T) {
+	// A star graph: vertex 0 has 40 neighbors, fanout 8 forces the
+	// with-replacement path. Even at bias 1 every neighbor must remain
+	// reachable — biased draws start from uniform candidates.
+	const deg = 40
+	edges := make([][2]int32, 0, deg)
+	for v := int32(1); v <= deg; v++ {
+		edges = append(edges, [2]int32{v, 0}) // in-neighbor orientation
+	}
+	g, err := graph.FromEdges(deg+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := make([]uint8, deg+1)
+	for v := range tiers {
+		if v%2 == 0 {
+			tiers[v] = 2 // half the leaves are on the slow tier
+		}
+	}
+	s, err := NewSampler(g, []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLocality(tiers, 1); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for i := 0; i < 2000; i++ {
+		b, err := s.Sample([]int32{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hop := range b.Hops {
+			for _, src := range hop.Src {
+				seen[b.Unique[src]] = true
+			}
+		}
+	}
+	for v := int32(1); v <= deg; v++ {
+		if !seen[v] {
+			t.Errorf("neighbor %d never sampled at bias 1 — support lost", v)
+		}
+	}
+}
+
+func TestLocalityKeepsSmallNeighborhoodsWhole(t *testing.T) {
+	// Neighborhoods at or below the fanout are taken whole regardless of
+	// bias: locality must not drop structural edges.
+	const deg = 5
+	edges := make([][2]int32, 0, deg)
+	for v := int32(1); v <= deg; v++ {
+		edges = append(edges, [2]int32{v, 0}) // in-neighbor orientation
+	}
+	g, err := graph.FromEdges(deg+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := make([]uint8, deg+1)
+	for v := 1; v < len(tiers); v++ {
+		tiers[v] = 2
+	}
+	s, err := NewSampler(g, []int{deg + 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLocality(tiers, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sample([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Hops[0].Src); got != deg {
+		t.Errorf("small neighborhood sampled %d of %d edges", got, deg)
+	}
+}

@@ -46,6 +46,10 @@ type Sampler struct {
 	G       *graph.Graph
 	Fanouts []int
 	rng     *rand.Rand
+
+	// Locality-aware draw state, installed by SetLocality (locality.go).
+	tierOf  []uint8
+	locBias float64
 }
 
 // NewSampler builds a sampler with the given fan-outs (nil = DefaultFanouts).
@@ -113,7 +117,7 @@ func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
 				continue
 			}
 			for k := 0; k < fanout; k++ {
-				u := nbrs[s.rng.Intn(len(nbrs))]
+				u := s.draw(nbrs)
 				hop.Dst = append(hop.Dst, dstIdx)
 				hop.Src = append(hop.Src, intern(u))
 				if !seenNext[u] {

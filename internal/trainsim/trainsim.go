@@ -377,17 +377,20 @@ func buildPlan(cfg Config) (*plan, *Result, error) {
 // multi-epoch sweep (SimulateEpochs) builds it once and replays fabric
 // runs against it instead of re-planning every epoch.
 type epochSetup struct {
-	cfg        Config
-	pl         *plan
-	predicted  units.Duration
-	bins       []ddak.Bin
-	ssdBin0    int
-	placeItems []ddak.Item
-	assign     *ddak.ItemAssignment
-	served     []float64
-	specs      []flowSpec
-	hitGPU     float64
-	hitCPU     float64
+	cfg         Config
+	pl          *plan
+	predicted   units.Duration
+	bins        []ddak.Bin
+	gpuBin      []int
+	dramBin     map[string]int
+	ssdBin0     int
+	fabricScale float64
+	placeItems  []ddak.Item
+	assign      *ddak.ItemAssignment
+	served      []float64
+	specs       []flowSpec
+	hitGPU      float64
+	hitCPU      float64
 
 	computeTime float64
 	sampleTime  float64
@@ -551,7 +554,10 @@ func placeAndSpecs(cfg Config, o *obs.Observer, epochSp *obs.Span) (*epochSetup,
 		pl:          pl,
 		predicted:   predicted,
 		bins:        bins,
+		gpuBin:      gpuBin,
+		dramBin:     dramBin,
 		ssdBin0:     ssdBin0,
+		fabricScale: fabricScale,
 		placeItems:  placeItems,
 		assign:      assign,
 		served:      served,

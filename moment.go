@@ -236,6 +236,15 @@ func LongSimRecord(epochs int) (BenchRecord, error) {
 	return experiments.LongSimRecord(epochs)
 }
 
+// DriftBenchRecord benchmarks the closed adaptive loop over a long
+// drifting horizon against the from-scratch replanning oracle, as the
+// "drift" bench row. It errors if the acceptance differential fails:
+// adaptive mean epoch within 5% of the oracle's on under half its
+// migrated bytes.
+func DriftBenchRecord(epochs int) (BenchRecord, error) {
+	return experiments.DriftRecord(epochs)
+}
+
 // ObsBenchRecord measures the observability hot paths (flight-recorder
 // Record, explain Add) with testing.AllocsPerRun and reports them as the
 // "obs" bench row. The disabled paths must measure exactly zero

@@ -30,6 +30,14 @@ type TrainConfig struct {
 	TrainFrac  float64 // default 0.3
 	Fanouts    []int   // default [8, 4]
 	LR         float32 // default 0.01 (Adam)
+
+	// LocalityTiers and LocalityBias install tier-aware neighbor sampling:
+	// when a neighborhood is over-fanout, each draw prefers (with
+	// probability LocalityBias) the faster-tier of two uniform candidates.
+	// LocalityTiers is a per-vertex storage tier (see LayoutTiers); zero
+	// bias leaves sampling exactly uniform.
+	LocalityTiers []uint8
+	LocalityBias  float64
 }
 
 // TrainResult reports per-epoch training statistics.
@@ -116,6 +124,11 @@ func TrainScaled(cfg TrainConfig) (*TrainResult, error) {
 	smp, err := sample.NewSampler(g, cfg.Fanouts, cfg.Seed+3)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.LocalityBias > 0 || cfg.LocalityTiers != nil {
+		if err := smp.SetLocality(cfg.LocalityTiers, cfg.LocalityBias); err != nil {
+			return nil, err
+		}
 	}
 	it, err := sample.NewBatchIterator(g, cfg.TrainFrac, cfg.BatchSize, cfg.Seed+4)
 	if err != nil {
