@@ -46,6 +46,8 @@ func main() {
 		"horizon for the long-horizon simulation bench row with -bench/-compare (0 = skip the row)")
 	driftEpochs := flag.Int("drift-epochs", 1000,
 		"horizon for the traffic-drift adaptive-vs-oracle bench row with -bench/-compare (0 = skip the row)")
+	clusterNodes := flag.Int("cluster-nodes", 4,
+		"node count for the multi-node flow-vs-DistDGL bench row with -bench/-compare (0 = skip the row)")
 	oflags := obsflag.Register()
 	flag.Parse()
 	oflags.Enable()
@@ -108,6 +110,18 @@ func main() {
 			rec, err := moment.DriftBenchRecord(*driftEpochs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "momentbench: drift:", err)
+				os.Exit(1)
+			}
+			recs = append(recs, rec)
+		}
+		if *clusterNodes > 0 {
+			// The record constructor re-checks the multi-node acceptance
+			// differential (flow beats DistDGL, flow agrees with analytical
+			// on a non-blocking core), so a drifted planner fails here, not
+			// just at -compare.
+			rec, err := moment.ClusterBenchRecord(*clusterNodes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momentbench: cluster:", err)
 				os.Exit(1)
 			}
 			recs = append(recs, rec)

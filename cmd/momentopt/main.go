@@ -8,6 +8,12 @@
 //	momentopt -spec server.spec -dataset UK -model gat -scores
 //	momentopt -machine B -dataset IG -trace trace.json -metrics
 //	momentopt -machine B -dataset PA -explain
+//	momentopt -spec deploy.spec -dataset PA -replication 0.25
+//
+// When the -spec file carries a `cluster ...` line (node count, NICs,
+// leaf/spine shape), the single-node plan is followed by a multi-node flow
+// plan: the planned placement replicated across the cluster and priced by
+// one whole-cluster max-flow solve.
 //
 // -explain prints the plan's provenance trail — every candidate the search
 // enumerated, pruned (and why), the bisector's effort per candidate, and
@@ -37,6 +43,8 @@ func main() {
 		explain     = flag.Bool("explain", false,
 			"print the plan provenance trail (deterministic; forces a serial search)")
 		verifyPlan = flag.Bool("verify", false, "self-check every solve: certify max-flows and audit placements")
+		repl       = flag.Float64("replication", 0,
+			"replication factor r in [0,1] for the multi-node plan of a cluster -spec")
 	)
 	oflags := obsflag.Register()
 	flag.Parse()
@@ -46,7 +54,7 @@ func main() {
 		moment.EnableSelfChecks()
 	}
 
-	m, err := loadMachine(*machineName, *specPath)
+	m, cspec, err := loadMachine(*machineName, *specPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,29 +89,56 @@ func main() {
 		fmt.Println("--- explain ---")
 		fmt.Print(ex.Render())
 	}
+	if cspec != nil {
+		r, err := moment.SimulateCluster(moment.ClusterConfig{
+			Node:        m,
+			Nodes:       cspec.Nodes,
+			NICBW:       cspec.NICBW,
+			Workload:    moment.Workload{Dataset: ds, Model: kind},
+			Placement:   plan.Placement,
+			Flow:        true,
+			Cluster:     cspec,
+			Replication: *repl,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- multi-node plan ---")
+		if r.OOM != "" {
+			fmt.Printf("cluster(%d): OOM (%s)\n", cspec.Nodes, r.OOM)
+		} else {
+			fmt.Printf("cluster %d nodes, %d NIC(s)/node @ %.0f GiB/s, %d leaf(s): epoch %v (flow)\n",
+				cspec.Nodes, max(cspec.NICsPerNode, 1), cspec.NICBW.GiBpsf(), max(cspec.Leaves, 1), r.EpochTime)
+			fmt.Printf("  local io %v, nic stage %v, joint horizon %v\n", r.LocalIO, r.NICTime, r.FlowTime)
+			fmt.Printf("  remote %.1f GiB/node/epoch at r=%.2f; throughput %.0f vertices/s\n",
+				r.RemoteBytes/(1<<30), *repl, r.Throughput)
+		}
+	} else if *repl != 0 {
+		fatal(fmt.Errorf("-replication needs a -spec file with a cluster line"))
+	}
 	if err := oflags.Flush(); err != nil {
 		fatal(err)
 	}
 }
 
-func loadMachine(name, spec string) (*moment.Machine, error) {
+func loadMachine(name, spec string) (*moment.Machine, *moment.ClusterSpec, error) {
 	if spec != "" {
 		f, err := os.Open(spec)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
-		return moment.ParseMachine(f)
+		return moment.ParseDeployment(f)
 	}
 	switch strings.ToUpper(name) {
 	case "A":
-		return moment.MachineA(), nil
+		return moment.MachineA(), nil, nil
 	case "B":
-		return moment.MachineB(), nil
+		return moment.MachineB(), nil, nil
 	case "C":
-		return moment.MachineC(), nil
+		return moment.MachineC(), nil, nil
 	}
-	return nil, fmt.Errorf("unknown machine %q (want A, B, C or -spec)", name)
+	return nil, nil, fmt.Errorf("unknown machine %q (want A, B, C or -spec)", name)
 }
 
 func fatal(err error) {

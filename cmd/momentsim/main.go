@@ -12,6 +12,9 @@
 //	momentsim -machine B -layout moment -flight flight.json
 //	momentsim -machine B -layout c -drift "every=100;kind=shuffle;mag=0.2;seed=7" -epochs 300
 //	momentsim -machine B -layout c -drift "every=100;kind=flip;mag=0.2" -drift-oracle
+//	momentsim -machine B -layout moment -dataset PA -cluster 4 -replication 0.25
+//	momentsim -machine B -layout c -cluster 4 -cluster-flow -leaves 2 -leaf-uplink 150
+//	momentsim -machine B -layout c -cluster 4 -cluster-flow -partition 1.5d:2 -nic-on-gpu-socket
 package main
 
 import (
@@ -39,6 +42,21 @@ func main() {
 		driftEpochs = flag.Int("epochs", 300, "horizon for -drift runs")
 		driftOracle = flag.Bool("drift-oracle", false,
 			"replace the adaptive loop with from-scratch replanning at every drift event")
+		clusterN = flag.Int("cluster", 0,
+			"simulate the job data-parallel across this many nodes (0 = single machine)")
+		clusterFlow = flag.Bool("cluster-flow", false,
+			"price the whole cluster with one max-flow solve instead of the analytical network stage")
+		nicGbps = flag.Float64("nicbw", 100, "per-node NIC bandwidth in Gb/s for -cluster")
+		repl    = flag.Float64("replication", 0,
+			"replication factor r in [0,1]: fraction of the SSD tier whose hot head is pinned into every node")
+		partSpec = flag.String("partition", "",
+			`CAGNET cold-tail layout for -cluster: "1d", "1.5d:2" or "2d", optionally "/hash" (scored on a scaled dataset instance)`)
+		leaves = flag.Int("leaves", 0,
+			"leaf switch count for -cluster (0 = one non-blocking core switch)")
+		leafUplink = flag.Float64("leaf-uplink", 0,
+			"per-leaf spine uplink bandwidth in Gb/s for -cluster (0 = non-blocking)")
+		nicOnSocket = flag.Bool("nic-on-gpu-socket", false,
+			"attach each NIC to the PCIe fabric so exports contend with local traffic (needs -cluster-flow)")
 	)
 	oflags := obsflag.Register()
 	fflag := obsflag.RegisterFaults()
@@ -93,6 +111,28 @@ func main() {
 	p, err := pickPlacement(m, *layout, w)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *clusterN > 0 {
+		if *baseline != "" {
+			fatal(fmt.Errorf("-cluster only applies to the plain simulation, not baseline %q", *baseline))
+		}
+		if err := runCluster(m, p, w, ds, clusterFlags{
+			nodes:       *clusterN,
+			flow:        *clusterFlow,
+			nicGbps:     *nicGbps,
+			replication: *repl,
+			partition:   *partSpec,
+			leaves:      *leaves,
+			leafUplink:  *leafUplink,
+			nicOnSocket: *nicOnSocket,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *clusterFlow || *nicOnSocket || *partSpec != "" {
+		fatal(fmt.Errorf("-cluster-flow, -nic-on-gpu-socket and -partition require -cluster N"))
 	}
 
 	schedule, err := fflag.Schedule()
@@ -201,6 +241,85 @@ func pickPlacement(m *moment.Machine, layout string, w moment.Workload) (*moment
 		return plan.Placement, nil
 	}
 	return nil, fmt.Errorf("unknown layout %q", layout)
+}
+
+type clusterFlags struct {
+	nodes       int
+	flow        bool
+	nicGbps     float64
+	replication float64
+	partition   string
+	leaves      int
+	leafUplink  float64
+	nicOnSocket bool
+}
+
+// runCluster simulates the job data-parallel across f.nodes copies of m,
+// printing the planned epoch and its network stage.
+func runCluster(m *moment.Machine, p *moment.Placement, w moment.Workload, ds moment.Dataset, f clusterFlags) error {
+	cfg := moment.ClusterConfig{
+		Node:           m,
+		Nodes:          f.nodes,
+		NICBW:          moment.Gbps(f.nicGbps),
+		Workload:       w,
+		Placement:      p,
+		Flow:           f.flow,
+		Replication:    f.replication,
+		NICOnGPUSocket: f.nicOnSocket,
+	}
+	if f.leaves > 0 || f.leafUplink > 0 {
+		spec := moment.ClusterSpec{
+			Nodes:        f.nodes,
+			NICBW:        cfg.NICBW,
+			Leaves:       f.leaves,
+			LeafUplinkBW: moment.Gbps(f.leafUplink),
+		}
+		cfg.Cluster = &spec
+	}
+	if f.partition != "" {
+		spec, err := moment.ParsePartitionSpec(f.partition, f.nodes)
+		if err != nil {
+			return err
+		}
+		// Score the layout on a deterministic scaled instance of the
+		// dataset — the same skewed generator the dataset catalog uses.
+		g, err := ds.Scaled(200_000, 1)
+		if err != nil {
+			return err
+		}
+		vol, err := moment.ScorePartition(g, spec)
+		if err != nil {
+			return err
+		}
+		cfg.Partition = &spec
+		cfg.PartitionGraph = g
+		fmt.Printf("partition %s: mirror %.0f, reduce %.0f rows/epoch (remote frac %.3f)\n",
+			spec, vol.Mirror, vol.Reduce, vol.RemoteFrac())
+	}
+	r, err := moment.SimulateCluster(cfg)
+	if err != nil {
+		return err
+	}
+	if r.OOM != "" {
+		fmt.Printf("cluster(%d): OOM (%s)\n", f.nodes, r.OOM)
+		return nil
+	}
+	fmt.Printf("placement %s\n", p)
+	fmt.Printf("cluster %d nodes @ %g Gb/s (%s planner): epoch %v\n",
+		f.nodes, f.nicGbps, r.Mode, r.EpochTime)
+	fmt.Printf("  local io %v, nic stage %v, compute %v, sample %v\n",
+		r.LocalIO, r.NICTime, r.ComputeTime, r.SampleTime)
+	if r.Mode == "flow" {
+		fmt.Printf("  joint flow horizon %v\n", r.FlowTime)
+	}
+	fmt.Printf("  remote %.1f GiB/node/epoch (%.1f%% of fetches cross the network)\n",
+		r.RemoteBytes/(1<<30), r.RemoteFraction*100)
+	if plan := r.Replication; plan != nil {
+		fmt.Printf("  replication r=%.2f: head %.1f GiB pinned per node, tail %.1f GiB partitioned\n",
+			f.replication, plan.HeadBytes/(1<<30), plan.TailBytes/(1<<30))
+	}
+	fmt.Printf("  throughput %.0f vertices/s cluster-wide\n", r.Throughput)
+	return nil
 }
 
 func fatal(err error) {

@@ -4,9 +4,16 @@ package moment
 // adaptive placement for dynamic workloads (adaptive).
 
 import (
+	"io"
+
 	"moment/internal/adaptive"
 	"moment/internal/cluster"
 	"moment/internal/ddak"
+	"moment/internal/experiments"
+	"moment/internal/flownet"
+	"moment/internal/graph"
+	"moment/internal/partition"
+	"moment/internal/topology"
 	"moment/internal/trainsim"
 	"moment/internal/units"
 )
@@ -17,7 +24,85 @@ type (
 	ClusterConfig = cluster.Config
 	// ClusterResult is one simulated cluster epoch.
 	ClusterResult = cluster.Result
+	// ClusterSpec describes the inter-server fabric: node count, NICs per
+	// node, NIC bandwidth, leaf/spine shape and oversubscription.
+	ClusterSpec = topology.ClusterSpec
+	// ClusterDemand is the per-node flow demand plus import/export volumes.
+	ClusterDemand = flownet.ClusterDemand
+	// ClusterNetwork is the solved whole-cluster flow network.
+	ClusterNetwork = flownet.ClusterNetwork
+	// ClusterBuildOptions tunes cluster flow-graph construction (e.g. the
+	// NIC-on-GPU-socket knob).
+	ClusterBuildOptions = flownet.ClusterOptions
 )
+
+// BuildClusterNetwork constructs the hierarchical flow network pricing
+// intra-PCIe and cross-node traffic in one max-flow solve: per-node
+// replicas of the single-machine fabric joined through NIC → leaf →
+// spine units.
+func BuildClusterNetwork(m *Machine, p *Placement, spec ClusterSpec, d *ClusterDemand, opts ClusterBuildOptions) (*ClusterNetwork, error) {
+	return flownet.BuildCluster(m, p, spec, d, opts)
+}
+
+// ParseDeployment reads a machine spec file that also carries a `cluster`
+// line, returning the per-node machine and the inter-server fabric.
+func ParseDeployment(r io.Reader) (*Machine, *ClusterSpec, error) {
+	return topology.ParseClusterFile(r)
+}
+
+// Cross-node partition scoring (CAGNET layouts) for the cold tail.
+type (
+	// PartitionSpec selects a CAGNET layout (1D, 1.5D, 2D) over N nodes.
+	PartitionSpec = partition.Spec
+	// PartitionLayout is the CAGNET layout family.
+	PartitionLayout = partition.Layout
+	// PartitionVolume is the scored per-epoch communication volume.
+	PartitionVolume = partition.Volume
+)
+
+// CAGNET layout families for PartitionSpec.
+const (
+	Partition1D  = partition.Layout1D
+	Partition15D = partition.Layout15D
+	Partition2D  = partition.Layout2D
+)
+
+// ParsePartitionSpec parses the CLI partition grammar ("1d", "1.5d:2",
+// "2d", each optionally suffixed "/hash") against a node count.
+func ParsePartitionSpec(text string, nodes int) (PartitionSpec, error) {
+	return partition.ParseSpec(text, nodes)
+}
+
+// ScorePartition computes the exact per-epoch mirror/reduce communication
+// volume of a CAGNET layout over a graph.
+func ScorePartition(g *graph.Graph, spec PartitionSpec) (PartitionVolume, error) {
+	return partition.Score(g, spec)
+}
+
+// PartitionRemoteFraction is the fraction of neighbor-feature reads that
+// cross the network under a partition — the cluster planner's crossFrac.
+func PartitionRemoteFraction(g *graph.Graph, spec PartitionSpec) (float64, error) {
+	return partition.RemoteFraction(g, spec)
+}
+
+// ReplicationPlan is the replication-axis split of the cold tail: hot head
+// pinned into every node, remainder partitioned.
+type ReplicationPlan = ddak.ReplicationPlan
+
+// PlanReplication splits items at replication factor r across nodes with
+// the given cross-node read fraction for the partitioned tail.
+func PlanReplication(items []PlacedItem, r float64, nodes int, crossFrac float64) (ReplicationPlan, error) {
+	return ddak.PlanReplication(items, r, nodes, crossFrac)
+}
+
+// ClusterBenchRecord benchmarks the multi-node reference (flow-planned
+// cluster vs the analytical composition vs DistDGL on 4× Machine B, PA) as
+// the "cluster" bench row. It errors if the acceptance differential fails:
+// the flow planner must beat DistDGL and agree with the analytical model
+// on the non-blocking core.
+func ClusterBenchRecord(nodes int) (BenchRecord, error) {
+	return experiments.ClusterBenchRecord(nodes)
+}
 
 // SimulateCluster runs one epoch of a data-parallel job across a cluster
 // of Moment machines: hot data replicated per node, cold data partitioned,

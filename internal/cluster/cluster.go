@@ -2,17 +2,27 @@
 // sketches in §5 ("Generalization to Multi-node"): NICs join the hardware
 // units of the topology graph, network links between NICs become edges,
 // and Moment's optimization extends across machines by (1) replicating the
-// hot head of the access distribution into every node's caches —
+// hot head of the access distribution into every node's caches and SSDs —
 // "prioritizing local SSD/memory access" — and (2) partitioning the cold
 // remainder across the nodes' SSD fleets, so only the partitioned tail
 // crosses the network.
 //
-// Each node's intra-machine behaviour reuses the single-machine pipeline
-// (placement search, DDAK, fabric simulation); the cross-node stage models
-// each NIC as a full-duplex link into a non-blocking core switch. NIC↔PCIe
-// contention inside a node is not modeled (the NIC hangs off the socket
-// opposite the GPUs on the evaluated machines), which this package notes as
-// its main simplification.
+// Two planners share one workload model. The analytical mode composes the
+// single-machine simulation with a closed-form network stage (remote bytes
+// over NIC bandwidth, non-blocking core switch). The flow mode (Config.Flow)
+// promotes the whole cluster to the flow network: flownet.BuildCluster
+// instantiates every node's PCIe tree and the hierarchical NIC→leaf→spine
+// fabric in one graph, so a single time-bisection prices intra-PCIe and
+// cross-node traffic together — and prices what the analytical mode cannot:
+// oversubscribed leaf/spine cores and NIC↔PCIe contention
+// (Config.NICOnGPUSocket). On a non-blocking core with a detached NIC the
+// two modes agree (the differential tests pin this).
+//
+// Cross-node volume comes from the replication axis (Config.Replication):
+// the hot head of the SSD tier is pinned into every node and billed against
+// per-node capacity, while tail accesses cross the network with a
+// probability that is either the uniform (Nodes-1)/Nodes or a CAGNET
+// partition layout's scored mirror fraction (Config.Partition).
 package cluster
 
 import (
@@ -20,6 +30,10 @@ import (
 	"math"
 
 	"moment/internal/core"
+	"moment/internal/ddak"
+	"moment/internal/flownet"
+	"moment/internal/graph"
+	"moment/internal/partition"
 	"moment/internal/topology"
 	"moment/internal/trainsim"
 	"moment/internal/units"
@@ -47,17 +61,53 @@ type Config struct {
 	ReplicateHot *bool
 	// Sim forwards per-node simulation knobs.
 	Sim trainsim.Config
+
+	// Flow selects the flow-based planner: one max-flow solve over the
+	// whole cluster graph instead of the analytical network stage.
+	Flow bool
+	// Cluster optionally describes the full hierarchical network (NIC
+	// count, leaves, spine uplinks, NIC attach point). Nil derives a
+	// single non-blocking core switch from Nodes/NICBW. Its Nodes and
+	// NICBW must agree with the fields above when set.
+	Cluster *topology.ClusterSpec
+	// Replication is the cross-node data-placement axis: the fraction
+	// r ∈ [0,1] of SSD-tier bytes whose hot head is replicated into every
+	// node (billed against per-node SSD capacity via the shard fraction
+	// r + (1-r)/Nodes). 0 is plain 1/Nodes partitioning. Requires
+	// ReplicateHot (the default).
+	Replication float64
+	// Partition optionally scores the cold tail's cross-node layout: the
+	// CAGNET-style spec's mirror fraction on PartitionGraph replaces the
+	// uniform (Nodes-1)/Nodes cross-node probability.
+	Partition *partition.Spec
+	// PartitionGraph is the graph Partition is scored on (required when
+	// Partition is set).
+	PartitionGraph *graph.Graph
+	// NICOnGPUSocket (flow mode only) attaches each node's NIC to the
+	// PCIe fabric at the cluster spec's attach point instead of the
+	// contention-free detached model, so export traffic fights local
+	// traffic on shared links.
+	NICOnGPUSocket bool
 }
 
 // Result is one simulated cluster epoch.
 type Result struct {
 	OOM string
 
+	// Mode names the planner that produced the result: "analytical" or
+	// "flow".
+	Mode string
+
 	EpochTime units.Duration
 	// LocalIO is the per-node intra-machine I/O critical path.
 	LocalIO units.Duration
-	// NICTime is the per-node network stage (ingress-bound, full duplex).
+	// NICTime is the per-node network stage. Analytical: remote bytes over
+	// NIC bandwidth. Flow: the busiest inter-server link's solved time
+	// (reflects leaf/spine oversubscription).
 	NICTime units.Duration
+	// FlowTime (flow mode only) is the joint horizon of the whole-cluster
+	// solve: local fabric and network demand priced together.
+	FlowTime units.Duration
 	// ComputeTime and SampleTime are per-node per-epoch stage totals.
 	ComputeTime units.Duration
 	SampleTime  units.Duration
@@ -65,10 +115,15 @@ type Result struct {
 	// RemoteFraction is the share of fetched bytes that crossed the
 	// network.
 	RemoteFraction float64
+	// RemoteBytes is the per-node per-epoch wire volume (each direction).
+	RemoteBytes float64
 	// PerNodeFetch is the feature bytes each node consumed.
 	PerNodeFetch float64
 	// Throughput is cluster-wide training vertices per second.
 	Throughput float64
+	// Replication describes the replication-axis split used (nil when the
+	// naive no-replication extension ran).
+	Replication *ddak.ReplicationPlan
 	// Placement is the per-node hardware placement used.
 	Placement *topology.Placement
 	// Node is the per-node epoch detail.
@@ -90,6 +145,34 @@ func Simulate(cfg Config) (*Result, error) {
 	if cfg.ReplicateHot != nil {
 		replicateHot = *cfg.ReplicateHot
 	}
+	if cfg.Replication < 0 || cfg.Replication > 1 || math.IsNaN(cfg.Replication) {
+		return nil, fmt.Errorf("cluster: replication factor %v outside [0,1]", cfg.Replication)
+	}
+	if cfg.Replication > 0 && !replicateHot {
+		return nil, fmt.Errorf("cluster: Replication needs ReplicateHot (the naive extension partitions everything)")
+	}
+	spec, err := clusterSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cross-node probability for a partitioned-tail access: uniform, or a
+	// scored CAGNET layout's mirror fraction.
+	crossFrac := float64(cfg.Nodes-1) / float64(cfg.Nodes)
+	if cfg.Partition != nil {
+		if cfg.PartitionGraph == nil {
+			return nil, fmt.Errorf("cluster: Partition set without PartitionGraph")
+		}
+		if cfg.Partition.Nodes != cfg.Nodes {
+			return nil, fmt.Errorf("cluster: partition spec for %d nodes, cluster has %d",
+				cfg.Partition.Nodes, cfg.Nodes)
+		}
+		crossFrac, err = partition.RemoteFraction(cfg.PartitionGraph, *cfg.Partition)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	w := cfg.Workload.Defaults()
 	w.NumGPUs = cfg.Node.NumGPUs
 
@@ -97,15 +180,18 @@ func Simulate(cfg Config) (*Result, error) {
 	totalBatches := int(math.Ceil(float64(w.Dataset.TrainVertices()) / float64(w.BatchSize)))
 	w.EpochBatches = (totalBatches + cfg.Nodes - 1) / cfg.Nodes
 
-	// Storage feasibility: each node's SSDs hold its 1/Nodes shard of the
-	// cold features plus (with replication) nothing extra — the hot head
-	// lives in caches, not on disk twice.
-	shardBytes := float64(w.Dataset.FeatureStorage.Int64()) / float64(cfg.Nodes)
+	// Per-node storage bill along the replication axis: the replicated
+	// head in full plus a 1/Nodes shard of the tail.
+	shardFrac := 1 / float64(cfg.Nodes)
+	if replicateHot {
+		shardFrac = cfg.Replication + (1-cfg.Replication)/float64(cfg.Nodes)
+	}
+	shardBytes := float64(w.Dataset.FeatureStorage.Int64()) * shardFrac
 	nodeSSD := float64(cfg.Node.SSDCapacity.Int64()) * float64(cfg.Node.NumSSDs)
 	if shardBytes > nodeSSD {
 		return &Result{OOM: fmt.Sprintf(
-			"ssd capacity: %.1f TiB shard exceeds %.1f TiB per node",
-			shardBytes/(1<<40), nodeSSD/(1<<40))}, nil
+			"ssd capacity: %.1f TiB shard (r=%.2f) exceeds %.1f TiB per node",
+			shardBytes/(1<<40), cfg.Replication, nodeSSD/(1<<40))}, nil
 	}
 
 	// Hardware placement: search once, replicate (homogeneous nodes).
@@ -126,7 +212,7 @@ func Simulate(cfg Config) (*Result, error) {
 	simCfg.Machine = cfg.Node
 	simCfg.Placement = placement
 	simCfg.Workload = w
-	simCfg.StorageShardFrac = 1 / float64(cfg.Nodes)
+	simCfg.StorageShardFrac = shardFrac
 	node, err := trainsim.SimulateEpoch(simCfg)
 	if err != nil {
 		return nil, err
@@ -135,28 +221,84 @@ func Simulate(cfg Config) (*Result, error) {
 		return &Result{OOM: node.OOM}, nil
 	}
 
-	// Network stage: of the SSD-tier bytes a node fetches, (Nodes-1)/Nodes
-	// live on remote shards. With ReplicateHot, the cached head (GPU+CPU
-	// hits) never leaves the node; without it, cache contents are
-	// partitioned too and remote peers' requests for them also cross the
-	// wire.
-	remoteBase := 1 - node.HitGPU - node.HitCPU // SSD-tier share of fetches
-	if remoteBase < 0 {
-		remoteBase = 0
+	// Network volume: the SSD-tier tail of the access distribution,
+	// minus the replicated head, times the cross-node probability.
+	remoteFrac, replPlan, err := remoteTraffic(node, cfg.Replication, cfg.Nodes, crossFrac, replicateHot)
+	if err != nil {
+		return nil, err
 	}
-	if !replicateHot {
-		remoteBase = 1 - node.HitGPU/float64(cfg.Nodes) - node.HitCPU/float64(cfg.Nodes)
-	}
-	remoteFrac := remoteBase * float64(cfg.Nodes-1) / float64(cfg.Nodes)
 	remoteBytes := node.FetchEpoch * remoteFrac
-	nicTime := 0.0
-	if cfg.Nodes > 1 {
-		nicTime = remoteBytes / float64(cfg.NICBW)
+	if cfg.Nodes == 1 {
+		remoteBytes = 0
 	}
 
-	// Pipelined cluster epoch per node: the network stage overlaps the
-	// local pipeline like any other stage.
-	stages := []float64{node.IOTime.Sec(), nicTime, node.ComputeTime.Sec(), node.SampleTime.Sec()}
+	res := &Result{
+		Mode:           "analytical",
+		LocalIO:        node.IOTime,
+		ComputeTime:    node.ComputeTime,
+		SampleTime:     node.SampleTime,
+		RemoteFraction: remoteFrac,
+		RemoteBytes:    remoteBytes,
+		PerNodeFetch:   node.FetchEpoch,
+		Replication:    replPlan,
+		Placement:      placement,
+		Node:           node,
+	}
+
+	iters := math.Max(1, math.Ceil(float64(w.EpochBatches)/float64(cfg.Node.NumGPUs)))
+	var epoch float64
+	if cfg.Flow {
+		res.Mode = "flow"
+		netTime, horizon, err := solveFlow(cfg, spec, placement, simCfg, remoteBytes)
+		if err != nil {
+			return nil, err
+		}
+		res.NICTime = units.Seconds(netTime)
+		res.FlowTime = units.Seconds(horizon)
+		// The network overlaps the local pipeline like any other stage;
+		// the joint solve bounds the epoch from below when shared links
+		// make local I/O and network traffic non-separable.
+		pipe1 := pipeline([]float64{node.IOTime.Sec(), netTime, node.ComputeTime.Sec(), node.SampleTime.Sec()}, iters)
+		pipe2 := pipeline([]float64{horizon, node.ComputeTime.Sec(), node.SampleTime.Sec()}, iters)
+		epoch = math.Max(pipe1, pipe2)
+	} else {
+		nicTime := 0.0
+		if cfg.Nodes > 1 {
+			nicTime = remoteBytes / float64(cfg.NICBW)
+		}
+		res.NICTime = units.Seconds(nicTime)
+		epoch = pipeline([]float64{node.IOTime.Sec(), nicTime, node.ComputeTime.Sec(), node.SampleTime.Sec()}, iters)
+	}
+
+	res.EpochTime = units.Seconds(epoch)
+	if epoch > 0 {
+		res.Throughput = float64(w.Dataset.TrainVertices()) / epoch
+	}
+	return res, nil
+}
+
+// clusterSpec resolves the hierarchical network description, deriving a
+// non-blocking single-switch core when none is given.
+func clusterSpec(cfg Config) (topology.ClusterSpec, error) {
+	if cfg.Cluster == nil {
+		return topology.ClusterSpec{Nodes: cfg.Nodes, NICBW: cfg.NICBW}, nil
+	}
+	spec := cfg.Cluster.Defaults()
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	if spec.Nodes != cfg.Nodes {
+		return spec, fmt.Errorf("cluster: spec for %d nodes, config has %d", spec.Nodes, cfg.Nodes)
+	}
+	if cfg.NICBW > 0 && spec.NICBW != cfg.NICBW {
+		return spec, fmt.Errorf("cluster: spec NIC %v disagrees with config NIC %v", spec.NICBW, cfg.NICBW)
+	}
+	return spec, nil
+}
+
+// pipeline is the per-node stage-overlap model shared with trainsim: the
+// longest stage hides the others except on the fill/drain iterations.
+func pipeline(stages []float64, iters float64) float64 {
 	stageMax, stageSum := 0.0, 0.0
 	for _, s := range stages {
 		stageSum += s
@@ -164,24 +306,115 @@ func Simulate(cfg Config) (*Result, error) {
 			stageMax = s
 		}
 	}
-	iters := math.Max(1, math.Ceil(float64(w.EpochBatches)/float64(cfg.Node.NumGPUs)))
-	epoch := stageMax + (stageSum-stageMax)/iters
+	return stageMax + (stageSum-stageMax)/iters
+}
 
-	res := &Result{
-		EpochTime:      units.Seconds(epoch),
-		LocalIO:        node.IOTime,
-		NICTime:        units.Seconds(nicTime),
-		ComputeTime:    node.ComputeTime,
-		SampleTime:     node.SampleTime,
-		RemoteFraction: remoteFrac,
-		PerNodeFetch:   node.FetchEpoch,
-		Placement:      placement,
-		Node:           node,
+// remoteTraffic derives the fraction of fetched bytes that cross the
+// network. With ReplicateHot, the cached head (GPU+CPU hits) never leaves
+// the node, and the replication axis pins a further hot head of the SSD
+// tier into every node; only the remaining tail rolls crossFrac. Without
+// it, cache contents are partitioned too and remote peers' requests for
+// them also cross the wire (the legacy naive extension).
+func remoteTraffic(node *trainsim.Result, r float64, nodes int, crossFrac float64, replicateHot bool) (float64, *ddak.ReplicationPlan, error) {
+	if !replicateHot {
+		frac := (1 - node.HitGPU/float64(nodes) - node.HitCPU/float64(nodes)) * float64(nodes-1) / float64(nodes)
+		return frac, nil, nil
 	}
-	if epoch > 0 {
-		res.Throughput = float64(w.Dataset.TrainVertices()) / epoch
+	plan, err := ddak.PlanReplication(tailItems(node), r, nodes, crossFrac)
+	if err != nil {
+		return 0, nil, err
 	}
-	return res, nil
+	return plan.RemoteMass, &plan, nil
+}
+
+// tailItems extracts the SSD-tier remainder of the virtual access
+// distribution: the cached mass (GPU + CPU hits) is skipped hot-first with
+// a fractional boundary bucket, so the tail's total mass is exactly
+// 1 - HitGPU - HitCPU and PlanReplication's r=0 endpoint reproduces the
+// analytical remote base.
+func tailItems(node *trainsim.Result) []ddak.Item {
+	cached := node.HitGPU + node.HitCPU
+	if node.Stats == nil {
+		return nil
+	}
+	var items []ddak.Item
+	acc := 0.0
+	for i, h := range node.Stats.VirtualHot {
+		b := node.Stats.VirtualBytes[i]
+		switch {
+		case acc+h <= cached:
+			acc += h
+		case acc < cached:
+			// Boundary bucket: hotness density is uniform inside a
+			// virtual bucket, so split bytes with the mass.
+			keep := 1 - (cached-acc)/h
+			items = append(items, ddak.Item{Hot: h * keep, Bytes: b * keep})
+			acc = cached
+		default:
+			items = append(items, ddak.Item{Hot: h, Bytes: b})
+		}
+	}
+	return items
+}
+
+// solveFlow builds and solves the whole-cluster flow network for the
+// symmetric data-parallel epoch: every node re-imports its remote bytes
+// through its NIC and serves the same volume to its peers. It returns the
+// busiest network link's standalone time and the joint solve horizon.
+func solveFlow(cfg Config, spec topology.ClusterSpec, placement *topology.Placement, simCfg trainsim.Config, remoteBytes float64) (netTime, horizon float64, err error) {
+	demand, _, err := trainsim.PlanDemand(simCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if cfg.NICOnGPUSocket && remoteBytes > 0 {
+		// The fabric-attached NIC delivers imports through the portal
+		// (uncharged on the ingress fabric) and drains exports from the
+		// local SSD tier, so the node's own demand drops by the imported
+		// volume and its storage budget by the exported one — totals stay
+		// physical while every export byte fights local traffic on the
+		// shared links it crosses.
+		adj := *demand
+		adj.PerGPU = append([]float64(nil), demand.PerGPU...)
+		perGPU := remoteBytes / float64(len(adj.PerGPU))
+		for i := range adj.PerGPU {
+			adj.PerGPU[i] = math.Max(0, adj.PerGPU[i]-perGPU)
+		}
+		if adj.SSDPer != nil {
+			adj.SSDPer = append([]float64(nil), demand.SSDPer...)
+			left := remoteBytes
+			for i := range adj.SSDPer {
+				take := math.Min(adj.SSDPer[i], left/float64(len(adj.SSDPer)-i))
+				adj.SSDPer[i] -= take
+				left -= take
+			}
+		} else {
+			adj.SSDTotal = math.Max(0, demand.SSDTotal-remoteBytes)
+		}
+		demand = &adj
+	}
+	cd := &flownet.ClusterDemand{
+		Node:   make([]*flownet.Demand, spec.Nodes),
+		Import: make([]float64, spec.Nodes),
+		Export: make([]float64, spec.Nodes),
+	}
+	for j := 0; j < spec.Nodes; j++ {
+		cd.Node[j] = demand
+		cd.Import[j] = remoteBytes
+		cd.Export[j] = remoteBytes
+	}
+	cn, err := flownet.BuildCluster(cfg.Node, placement, spec, cd, flownet.ClusterOptions{NICOnGPUSocket: cfg.NICOnGPUSocket})
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := cn.Solve()
+	if err != nil {
+		return 0, 0, err
+	}
+	nt, err := cn.NetworkTime()
+	if err != nil {
+		return 0, 0, err
+	}
+	return nt.Sec(), h.Sec(), nil
 }
 
 // Sweep simulates the cluster at every size in nodes and returns the
@@ -191,6 +424,11 @@ func Sweep(cfg Config, nodes []int) ([]*Result, error) {
 	for _, n := range nodes {
 		c := cfg
 		c.Nodes = n
+		if c.Cluster != nil && c.Cluster.Nodes != n {
+			// Re-derive the core for each size; a pinned spec only fits
+			// its own node count.
+			c.Cluster = nil
+		}
 		r, err := Simulate(c)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %d nodes: %w", n, err)

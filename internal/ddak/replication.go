@@ -1,0 +1,101 @@
+package ddak
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReplicationPlan prices one point on the cross-node replication axis of
+// the §5 multi-node generalization: a fraction r of the SSD-tier bytes —
+// the hot head of the (non-cached) access distribution — is pinned into
+// every node, billed against per-node capacity, while the cold tail is
+// partitioned across the cluster and only its accesses can cross the
+// network.
+type ReplicationPlan struct {
+	// R is the requested replicated byte fraction, clamped to [0, 1].
+	R float64
+	// Nodes is the cluster size.
+	Nodes int
+
+	// HeadMass/HeadBytes describe the replicated hot head; the boundary
+	// item is split fractionally, so both are continuous in R.
+	HeadMass  float64
+	HeadBytes float64
+	// TailMass/TailBytes describe the partitioned cold tail.
+	TailMass  float64
+	TailBytes float64
+
+	// ShardFrac is the fraction of the tier's bytes each node stores:
+	// r + (1-r)/Nodes (replicated head in full, a 1/Nodes tail shard).
+	ShardFrac float64
+	// PerNodeBytes is the per-node capacity bill: HeadBytes + TailBytes/Nodes.
+	PerNodeBytes float64
+	// RemoteMass is the access mass that crosses the network per epoch:
+	// TailMass x crossFrac, in the same unit as the items' Hot masses
+	// (multiply by the epoch's fetched bytes to get wire bytes).
+	RemoteMass float64
+}
+
+// PlanReplication splits items — the SSD-tier virtual buckets, hot first —
+// into a replicated head of r x total bytes and a partitioned tail, for a
+// cluster of nodes machines whose tail accesses cross the network with
+// probability crossFrac (uniform partitioning gives (nodes-1)/nodes; a
+// scored partition layout gives its mirror fraction).
+//
+// The plan is exact at the endpoints (r=0: no head, every tail access
+// rolls crossFrac; r=1: everything replicated, nothing remote) and
+// monotone in between: raising r never increases RemoteMass and never
+// decreases PerNodeBytes — the properties the cluster planner's axis sweep
+// relies on.
+func PlanReplication(items []Item, r float64, nodes int, crossFrac float64) (ReplicationPlan, error) {
+	if nodes <= 0 {
+		return ReplicationPlan{}, fmt.Errorf("ddak: replication across %d nodes", nodes)
+	}
+	if math.IsNaN(r) {
+		return ReplicationPlan{}, fmt.Errorf("ddak: NaN replication factor")
+	}
+	if crossFrac < 0 || crossFrac > 1 || math.IsNaN(crossFrac) {
+		return ReplicationPlan{}, fmt.Errorf("ddak: cross fraction %v outside [0,1]", crossFrac)
+	}
+	r = math.Min(1, math.Max(0, r))
+
+	totalMass, totalBytes := 0.0, 0.0
+	for _, it := range items {
+		if it.Hot < 0 || it.Bytes < 0 {
+			return ReplicationPlan{}, fmt.Errorf("ddak: negative item mass or size")
+		}
+		totalMass += it.Hot
+		totalBytes += it.Bytes
+	}
+
+	p := ReplicationPlan{
+		R:         r,
+		Nodes:     nodes,
+		ShardFrac: r + (1-r)/float64(nodes),
+	}
+	target := r * totalBytes
+	if r > 0 {
+		acc := 0.0
+		for _, it := range items {
+			if acc+it.Bytes <= target {
+				acc += it.Bytes
+				p.HeadMass += it.Hot
+				continue
+			}
+			// Boundary bucket: replicate the fraction that fits the
+			// budget (virtual buckets subdivide freely).
+			if it.Bytes > 0 && target > acc {
+				frac := (target - acc) / it.Bytes
+				p.HeadMass += it.Hot * frac
+				acc = target
+			}
+			break
+		}
+		p.HeadBytes = math.Min(acc, target)
+	}
+	p.TailMass = math.Max(0, totalMass-p.HeadMass)
+	p.TailBytes = math.Max(0, totalBytes-p.HeadBytes)
+	p.PerNodeBytes = p.HeadBytes + p.TailBytes/float64(nodes)
+	p.RemoteMass = p.TailMass * crossFrac
+	return p, nil
+}

@@ -1,0 +1,129 @@
+package ddak
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func replZipfItems(t *testing.T, n int, seed int64) []Item {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	mass := 0.0
+	for i := range items {
+		items[i] = Item{
+			Hot:   1 / math.Pow(float64(i+1), 1.2),
+			Bytes: float64(1 + r.Intn(8)),
+		}
+		mass += items[i].Hot
+	}
+	for i := range items {
+		items[i].Hot /= mass // hot-first by construction, normalized
+	}
+	return items
+}
+
+// TestReplicationEndpoints pins the exact r=0 and r=full identities: no
+// replication leaves every tail access rolling crossFrac and bills only the
+// 1/N shard; full replication sends nothing remote and bills everything.
+func TestReplicationEndpoints(t *testing.T) {
+	items := replZipfItems(t, 200, 1)
+	totalBytes := 0.0
+	for _, it := range items {
+		totalBytes += it.Bytes
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		crossFrac := float64(nodes-1) / float64(nodes)
+		p0, err := PlanReplication(items, 0, nodes, crossFrac)
+		if err != nil {
+			t.Fatalf("r=0: %v", err)
+		}
+		if p0.HeadMass != 0 || p0.HeadBytes != 0 {
+			t.Errorf("nodes=%d r=0: nonzero head %+v", nodes, p0)
+		}
+		if want := 1 * crossFrac; math.Abs(p0.RemoteMass-want) > 1e-12 {
+			t.Errorf("nodes=%d r=0: RemoteMass=%v want %v", nodes, p0.RemoteMass, want)
+		}
+		if want := totalBytes / float64(nodes); math.Abs(p0.PerNodeBytes-want) > 1e-9 {
+			t.Errorf("nodes=%d r=0: PerNodeBytes=%v want %v", nodes, p0.PerNodeBytes, want)
+		}
+		p1, err := PlanReplication(items, 1, nodes, crossFrac)
+		if err != nil {
+			t.Fatalf("r=1: %v", err)
+		}
+		if p1.RemoteMass != 0 {
+			t.Errorf("nodes=%d r=1: RemoteMass=%v, want 0", nodes, p1.RemoteMass)
+		}
+		if math.Abs(p1.TailMass) > 1e-12 || math.Abs(p1.PerNodeBytes-totalBytes) > 1e-9 {
+			t.Errorf("nodes=%d r=1: tail survived full replication: %+v", nodes, p1)
+		}
+		if p1.ShardFrac != 1 {
+			t.Errorf("nodes=%d r=1: ShardFrac=%v", nodes, p1.ShardFrac)
+		}
+	}
+}
+
+// TestReplicationMonotone is the replication-axis property: more
+// replication never increases cross-node traffic and never decreases the
+// per-node capacity bill, over random item sets and cluster sizes.
+func TestReplicationMonotone(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		items := replZipfItems(t, 50+int(seed)*40, seed)
+		for _, nodes := range []int{2, 3, 8} {
+			crossFrac := float64(nodes-1) / float64(nodes)
+			prevRemote := math.Inf(1)
+			prevPerNode := -1.0
+			prevHeadMass := -1.0
+			for r := 0.0; r <= 1.0001; r += 1.0 / 16 {
+				p, err := PlanReplication(items, math.Min(r, 1), nodes, crossFrac)
+				if err != nil {
+					t.Fatalf("r=%v: %v", r, err)
+				}
+				if p.RemoteMass > prevRemote+1e-12 {
+					t.Errorf("seed=%d nodes=%d r=%.3f: RemoteMass rose %v -> %v", seed, nodes, r, prevRemote, p.RemoteMass)
+				}
+				if p.PerNodeBytes < prevPerNode-1e-9 {
+					t.Errorf("seed=%d nodes=%d r=%.3f: PerNodeBytes fell %v -> %v", seed, nodes, r, prevPerNode, p.PerNodeBytes)
+				}
+				if p.HeadMass < prevHeadMass-1e-12 {
+					t.Errorf("seed=%d nodes=%d r=%.3f: HeadMass fell", seed, nodes, r)
+				}
+				if p.ShardFrac < 1/float64(nodes)-1e-12 || p.ShardFrac > 1+1e-12 {
+					t.Errorf("ShardFrac %v outside [1/N, 1]", p.ShardFrac)
+				}
+				// Mass and byte conservation at every point on the axis.
+				if math.Abs(p.HeadMass+p.TailMass-1) > 1e-9 {
+					t.Errorf("mass leak: head %v + tail %v != 1", p.HeadMass, p.TailMass)
+				}
+				prevRemote, prevPerNode, prevHeadMass = p.RemoteMass, p.PerNodeBytes, p.HeadMass
+			}
+		}
+	}
+}
+
+func TestReplicationValidation(t *testing.T) {
+	items := replZipfItems(t, 10, 1)
+	if _, err := PlanReplication(items, 0.5, 0, 0.5); err == nil {
+		t.Error("accepted 0 nodes")
+	}
+	if _, err := PlanReplication(items, 0.5, 4, -0.1); err == nil {
+		t.Error("accepted negative crossFrac")
+	}
+	if _, err := PlanReplication(items, math.NaN(), 4, 0.5); err == nil {
+		t.Error("accepted NaN r")
+	}
+	if _, err := PlanReplication([]Item{{Hot: -1, Bytes: 1}}, 0.5, 4, 0.5); err == nil {
+		t.Error("accepted negative mass")
+	}
+	// Out-of-range r clamps rather than errors (axis sweeps overshoot).
+	p, err := PlanReplication(items, 1.5, 4, 0.5)
+	if err != nil || p.R != 1 {
+		t.Errorf("r=1.5: %+v, %v", p, err)
+	}
+	// Empty tier: a zero plan, not an error.
+	p, err = PlanReplication(nil, 0.5, 4, 0.75)
+	if err != nil || p.RemoteMass != 0 || p.PerNodeBytes != 0 {
+		t.Errorf("empty items: %+v, %v", p, err)
+	}
+}

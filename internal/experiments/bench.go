@@ -79,6 +79,20 @@ type BenchRecord struct {
 	DriftOracleGiB      float64 `json:"drift_oracle_moved_gib,omitempty"`
 	DriftOracleEpochSec float64 `json:"drift_oracle_epoch_sec,omitempty"`
 
+	// Multi-node cluster accounting, populated only by the flow-planned
+	// cluster row (layout "cluster"). EpochSec is the flow planner's
+	// deterministic epoch on the reference configuration — the compare
+	// gate's quantity — with the analytical composition's epoch and the
+	// DistDGL baseline's epoch recorded alongside for the differential.
+	ClusterNodes       int     `json:"cluster_nodes,omitempty"`
+	ClusterNICGbps     float64 `json:"cluster_nic_gbps,omitempty"`
+	ClusterReplication float64 `json:"cluster_replication,omitempty"`
+	ClusterRemoteGiB   float64 `json:"cluster_remote_gib,omitempty"`
+	ClusterNICSec      float64 `json:"cluster_nic_sec,omitempty"`
+	ClusterFlowSec     float64 `json:"cluster_flow_sec,omitempty"`
+	ClusterAnalyticSec float64 `json:"cluster_analytic_sec,omitempty"`
+	ClusterDistDGLSec  float64 `json:"cluster_distdgl_sec,omitempty"`
+
 	// Observability hot-path cost, populated only by the obs row (layout
 	// "obs"): allocations per flight-recorder Record / explain Add call,
 	// measured with testing.AllocsPerRun. The disabled paths must be

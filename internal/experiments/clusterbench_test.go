@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClusterBenchRecord pins the acceptance differential the row
+// constructor enforces: the flow-planned 4-node reference beats DistDGL
+// and agrees with the analytical composition, and the record carries the
+// cluster field group the compare gate and dashboards consume.
+func TestClusterBenchRecord(t *testing.T) {
+	rec, err := ClusterBenchRecord(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Layout != "cluster" || rec.Dataset != clusterBenchDataset {
+		t.Fatalf("record identity %s/%s, want cluster/%s", rec.Layout, rec.Dataset, clusterBenchDataset)
+	}
+	if rec.ClusterNodes != 4 {
+		t.Errorf("ClusterNodes = %d, want 4", rec.ClusterNodes)
+	}
+	if rec.ClusterNICGbps != 100 {
+		t.Errorf("ClusterNICGbps = %g, want 100", rec.ClusterNICGbps)
+	}
+	if rec.EpochSec <= 0 || rec.ClusterDistDGLSec <= 0 {
+		t.Fatalf("non-positive epochs: flow %g, distdgl %g", rec.EpochSec, rec.ClusterDistDGLSec)
+	}
+	if rec.ClusterDistDGLSec <= rec.EpochSec {
+		t.Errorf("flow epoch %.3fs does not beat DistDGL %.3fs", rec.EpochSec, rec.ClusterDistDGLSec)
+	}
+	if rel := math.Abs(rec.EpochSec-rec.ClusterAnalyticSec) / rec.ClusterAnalyticSec; rel > 0.02 {
+		t.Errorf("flow %.3fs vs analytical %.3fs: rel %.4f > 0.02", rec.EpochSec, rec.ClusterAnalyticSec, rel)
+	}
+	if rec.ClusterRemoteGiB <= 0 {
+		t.Errorf("ClusterRemoteGiB = %g, want > 0 at r=%g", rec.ClusterRemoteGiB, clusterBenchReplication)
+	}
+
+	if _, err := ClusterBenchRecord(0); err == nil {
+		t.Error("ClusterBenchRecord(0) succeeded, want error")
+	}
+}
+
+// TestClusterBenchDeterministic: the compare gate holds epoch_sec steady
+// across runs, so two fresh records must agree bit-for-bit.
+func TestClusterBenchDeterministic(t *testing.T) {
+	a, err := ClusterBenchRecord(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterBenchRecord(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("records differ across runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestClusterVsDistDGLTable(t *testing.T) {
+	tbl, err := ClusterVsDistDGL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("table has %d rows, want 3 (2/4/8 nodes)", len(tbl.Rows))
+	}
+	var prev float64 = math.Inf(1)
+	for _, r := range tbl.Rows {
+		if len(r.Cells) != len(tbl.Columns) {
+			t.Fatalf("row %q has %d cells, want %d", r.Label, len(r.Cells), len(tbl.Columns))
+		}
+		flow := r.Cells[0].Value
+		if flow <= 0 || flow >= prev {
+			t.Errorf("row %q: flow epoch %.3fs not positive and decreasing with nodes (prev %.3fs)",
+				r.Label, flow, prev)
+		}
+		prev = flow
+		if dgl := r.Cells[4]; !dgl.OOM && dgl.Value <= flow {
+			t.Errorf("row %q: distdgl %.3fs not slower than flow %.3fs", r.Label, dgl.Value, flow)
+		}
+	}
+}

@@ -428,7 +428,7 @@ func TestAllRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 27 {
-		t.Errorf("All produced %d tables, want 27", len(tables))
+	if len(tables) != 28 {
+		t.Errorf("All produced %d tables, want 28", len(tables))
 	}
 }

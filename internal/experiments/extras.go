@@ -186,6 +186,7 @@ func All() ([]*Table, error) {
 		{"ablation-pooling", AblationPooling},
 		{"generalization", Generalization},
 		{"adaptive-drift", AdaptiveDrift},
+		{"cluster", ClusterVsDistDGL},
 	}
 	var out []*Table
 	for _, g := range gens {

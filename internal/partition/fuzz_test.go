@@ -1,0 +1,56 @@
+package partition
+
+import (
+	"testing"
+
+	"moment/internal/graph"
+)
+
+// FuzzPartitionVolume throws arbitrary small graphs and specs at Score and
+// cross-checks every layout against the brute-force per-edge count, plus
+// the range invariants that hold for any input. The committed corpus under
+// testdata/fuzz seeds the CI smoke run.
+func FuzzPartitionVolume(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 2, 3, 0, 1, 1, 2})
+	f.Add([]byte{9, 3, 0, 8, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 7})
+	f.Add([]byte{16, 7, 0, 15, 3, 9, 2, 11, 5, 1, 14, 6, 10, 4, 12, 8, 13, 7, 0, 15})
+	f.Add([]byte{2, 1, 0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0])%16 + 1
+		pick := int(data[1])
+		edges := make([][2]int32, 0, (len(data)-2)/2)
+		for i := 2; i+1 < len(data); i += 2 {
+			edges = append(edges, [2]int32{int32(int(data[i]) % n), int32(int(data[i+1]) % n)})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("FromEdges: %v", err)
+		}
+		nodes := []int{1, 2, 3, 4, 6, 9, 16}[pick%7]
+		for _, spec := range allSpecs(nodes) {
+			got, err := Score(g, spec)
+			if err != nil {
+				t.Fatalf("Score(%v): %v", spec, err)
+			}
+			want := bruteScore(t, g, spec)
+			if !eqVol(got, want) {
+				t.Fatalf("spec=%v: Score=%+v brute=%+v", spec, got, want)
+			}
+			if got.Mirror < 0 || got.Reduce < 0 || got.Local < 0 {
+				t.Fatalf("spec=%v: negative volume %+v", spec, got)
+			}
+			if rf := got.RemoteFrac(); rf < 0 || rf > 1 {
+				t.Fatalf("spec=%v: RemoteFrac %v out of [0,1]", spec, rf)
+			}
+			if got.PerNodeMax > got.Mirror+got.Reduce {
+				t.Fatalf("spec=%v: PerNodeMax %v exceeds total rows", spec, got.PerNodeMax)
+			}
+			if spec.Nodes == 1 && got.Rows() != 0 {
+				t.Fatalf("spec=%v: single node moved %v rows", spec, got.Rows())
+			}
+		}
+	})
+}

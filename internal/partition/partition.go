@@ -1,0 +1,418 @@
+// Package partition scores cross-node data partitions of a graph's feature
+// matrix by mirror/communication volume, in the style of CAGNET's
+// communication-avoiding 1D/1.5D/2D layouts (Tripathy et al.) and MG-GCN.
+//
+// The unit of account is the *feature row*: one vertex's embedding crossing
+// one inter-node boundary once. Volumes are deduplicated per (vertex,
+// destination) — a destination that needs a row for many of its edges still
+// receives it once per epoch — which is exactly the broadcast/reduce volume
+// the CAGNET algorithms realize. All counts are brute-force checkable by a
+// per-edge scan, which the property and fuzz tests exploit.
+//
+// Layouts (P cluster nodes, aggregation at u reads the features of its
+// in-neighbors g.Neighbors(u)):
+//
+//   - 1D: vertices are split into P blocks; node owner(u) computes row u and
+//     holds the features of its own block. A row w is mirrored to every
+//     other node that owns at least one out-neighbor of w.
+//   - 1.5D: P = G×c; vertices split into G groups, each replicated on c
+//     nodes. Replica k of group g holds the feature rows of group g and
+//     processes only the edges whose *source* vertex falls in column slice
+//     k, so a remote row travels to exactly one replica of each needing
+//     group (mirror volume shrinks as c grows). The per-replica partial
+//     results are then combined inside the group (reduce volume grows with
+//     c): each active replica ships its partial row to the group's
+//     designated root replica for that row.
+//   - 2D: P = q×q grid; processor (i,j) owns the edges from source block j
+//     to destination block i, and row v lives on the diagonal (b(v), b(v)).
+//     Rows broadcast down their source column (mirror) and partials reduce
+//     across the destination row (reduce); per-vertex traffic is capped at
+//     2(q-1) rows versus 1D's (P-1).
+//
+// Hashed assignment (round-robin instead of contiguous range blocks) is the
+// quality baseline: range blocks exploit locality in the vertex order,
+// hashing destroys it.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"moment/internal/graph"
+)
+
+// Layout selects a CAGNET-style distribution of the feature matrix.
+type Layout int
+
+const (
+	// Layout1D is the row-block distribution: P blocks, one per node.
+	Layout1D Layout = iota
+	// Layout15D replicates each of P/c vertex groups on c nodes.
+	Layout15D
+	// Layout2D arranges the P = q×q nodes as a processor grid.
+	Layout2D
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Layout15D:
+		return "1.5d"
+	case Layout2D:
+		return "2d"
+	}
+	return "1d"
+}
+
+// Spec is one concrete cross-node partition of the feature matrix.
+type Spec struct {
+	Layout Layout
+	// Nodes is the cluster size P.
+	Nodes int
+	// Repl is the replication width c of the 1.5D layout (ignored
+	// otherwise). 0 defaults to 1, which degenerates to 1D.
+	Repl int
+	// Hashed assigns vertices round-robin instead of by contiguous range
+	// block — the locality-destroying baseline.
+	Hashed bool
+}
+
+// Validate rejects malformed specs (non-positive sizes, a 1.5D replication
+// width that does not divide the node count, a non-square 2D grid).
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("partition: non-positive node count %d", s.Nodes)
+	}
+	switch s.Layout {
+	case Layout1D:
+	case Layout15D:
+		c := s.replWidth()
+		if c <= 0 || s.Nodes%c != 0 {
+			return fmt.Errorf("partition: 1.5d replication width %d does not divide %d nodes", c, s.Nodes)
+		}
+	case Layout2D:
+		q := s.grid()
+		if q*q != s.Nodes {
+			return fmt.Errorf("partition: 2d layout needs a square node count, got %d", s.Nodes)
+		}
+	default:
+		return fmt.Errorf("partition: unknown layout %d", s.Layout)
+	}
+	return nil
+}
+
+func (s Spec) replWidth() int {
+	if s.Repl <= 0 {
+		return 1
+	}
+	return s.Repl
+}
+
+func (s Spec) grid() int {
+	return int(math.Round(math.Sqrt(float64(s.Nodes))))
+}
+
+// String renders the spec in the grammar ParseSpec reads.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Layout.String())
+	if s.Layout == Layout15D {
+		fmt.Fprintf(&b, ":%d", s.replWidth())
+	}
+	if s.Hashed {
+		b.WriteString("/hash")
+	}
+	return b.String()
+}
+
+// ParseSpec parses "1d", "1.5d:2", "2d", each optionally suffixed "/hash"
+// (round-robin assignment), into a spec over the given node count.
+func ParseSpec(text string, nodes int) (Spec, error) {
+	s := Spec{Nodes: nodes}
+	t := strings.ToLower(strings.TrimSpace(text))
+	if rest, ok := strings.CutSuffix(t, "/hash"); ok {
+		s.Hashed = true
+		t = rest
+	}
+	if rest, ok := strings.CutPrefix(t, "1.5d"); ok {
+		s.Layout = Layout15D
+		s.Repl = 1
+		if c, ok := strings.CutPrefix(rest, ":"); ok {
+			v, err := strconv.Atoi(c)
+			if err != nil {
+				return Spec{}, fmt.Errorf("partition: bad replication width %q", c)
+			}
+			s.Repl = v
+		} else if rest != "" {
+			return Spec{}, fmt.Errorf("partition: unknown spec %q", text)
+		}
+	} else {
+		switch t {
+		case "1d":
+			s.Layout = Layout1D
+		case "2d":
+			s.Layout = Layout2D
+		default:
+			return Spec{}, fmt.Errorf("partition: unknown spec %q", text)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// blockOf assigns vertex v to one of parts contiguous range blocks.
+func blockOf(v int32, n, parts int) int {
+	return int(int64(v) * int64(parts) / int64(n))
+}
+
+// assign maps vertex v to its block under the spec's assignment mode.
+func assign(v int32, n, parts int, hashed bool) int {
+	if parts <= 1 {
+		return 0
+	}
+	if hashed {
+		return int(v) % parts
+	}
+	return blockOf(v, n, parts)
+}
+
+// Owner returns the node that holds vertex v's feature row. For 1.5D the
+// row is replicated across the whole group; Owner reports the group's
+// first replica.
+func (s Spec) Owner(v int32, n int) int {
+	switch s.Layout {
+	case Layout15D:
+		c := s.replWidth()
+		return assign(v, n, s.Nodes/c, s.Hashed) * c
+	case Layout2D:
+		q := s.grid()
+		b := assign(v, n, q, s.Hashed)
+		return b*q + b
+	default:
+		return assign(v, n, s.Nodes, s.Hashed)
+	}
+}
+
+// Volume is the deduplicated per-epoch communication bill of one partition.
+type Volume struct {
+	// Mirror is the feature rows delivered across node boundaries during
+	// the broadcast stage.
+	Mirror float64
+	// Reduce is the partial-result rows combined across node boundaries
+	// (2D row reduction, 1.5D replica sync; zero for 1D).
+	Reduce float64
+	// Local is the feature rows served without leaving their owner node.
+	Local float64
+	// PerNodeMax is the rows received by the busiest node (mirror plus
+	// reduce) — the network bottleneck under uniform link speeds.
+	PerNodeMax float64
+}
+
+// Rows is the total cross-node rows (mirror + reduce).
+func (v Volume) Rows() float64 { return v.Mirror + v.Reduce }
+
+// RemoteFrac is the fraction of broadcast-stage feature-row needs that
+// cross nodes: Mirror / (Mirror + Local). Zero when the graph has no edges.
+func (v Volume) RemoteFrac() float64 {
+	if v.Mirror+v.Local == 0 {
+		return 0
+	}
+	return v.Mirror / (v.Mirror + v.Local)
+}
+
+// Score computes the communication volume of spec over g. The fast path
+// dedups (vertex, destination) pairs with per-vertex bitsets when the
+// destination index space fits 64 bits, falling back to hash sets on wider
+// clusters; either way the result matches a brute-force per-edge count.
+func Score(g *graph.Graph, spec Spec) (Volume, error) {
+	if err := spec.Validate(); err != nil {
+		return Volume{}, err
+	}
+	if g == nil || g.N() == 0 {
+		return Volume{}, nil
+	}
+	switch spec.Layout {
+	case Layout15D:
+		return score15D(g, spec)
+	case Layout2D:
+		return score2D(g, spec)
+	default:
+		return score1D(g, spec)
+	}
+}
+
+// RemoteFraction is Score reduced to the cross-node share of feature
+// fetches — the crossFrac input of the cluster planner's replication axis.
+func RemoteFraction(g *graph.Graph, spec Spec) (float64, error) {
+	vol, err := Score(g, spec)
+	if err != nil {
+		return 0, err
+	}
+	return vol.RemoteFrac(), nil
+}
+
+// destSet dedups destination indices per vertex: a bitset when the index
+// space fits in one word, a hash set beyond that.
+type destSet struct {
+	bits  []uint64
+	wide  []map[int]struct{}
+	width int
+}
+
+func newDestSet(n, width int) *destSet {
+	d := &destSet{width: width}
+	if width <= 64 {
+		d.bits = make([]uint64, n)
+	} else {
+		d.wide = make([]map[int]struct{}, n)
+	}
+	return d
+}
+
+// add marks destination k for vertex v, reporting whether it was new.
+func (d *destSet) add(v int32, k int) bool {
+	if d.bits != nil {
+		m := uint64(1) << uint(k)
+		if d.bits[v]&m != 0 {
+			return false
+		}
+		d.bits[v] |= m
+		return true
+	}
+	s := d.wide[v]
+	if s == nil {
+		s = make(map[int]struct{}, 4)
+		d.wide[v] = s
+	}
+	if _, ok := s[k]; ok {
+		return false
+	}
+	s[k] = struct{}{}
+	return true
+}
+
+func score1D(g *graph.Graph, spec Spec) (Volume, error) {
+	n, p := g.N(), spec.Nodes
+	seen := newDestSet(n, p)
+	perNode := make([]float64, p)
+	var vol Volume
+	for u := int32(0); u < int32(n); u++ {
+		dest := assign(u, n, p, spec.Hashed)
+		for _, w := range g.Neighbors(u) {
+			if !seen.add(w, dest) {
+				continue
+			}
+			if assign(w, n, p, spec.Hashed) == dest {
+				vol.Local++
+			} else {
+				vol.Mirror++
+				perNode[dest]++
+			}
+		}
+	}
+	vol.PerNodeMax = maxOf(perNode)
+	return vol, nil
+}
+
+func score15D(g *graph.Graph, spec Spec) (Volume, error) {
+	n := g.N()
+	c := spec.replWidth()
+	groups := spec.Nodes / c
+	// Broadcast: dedup (source vertex, destination group); the row lands
+	// on the one replica whose column slice holds the source.
+	seenMirror := newDestSet(n, groups)
+	// Reduce: dedup (destination vertex, active replica slice).
+	seenActive := newDestSet(n, c)
+	active := make([]int, n)   // replicas holding a partial of row u
+	rootHit := make([]bool, n) // does u's root replica hold a partial?
+	perNode := make([]float64, spec.Nodes)
+	var vol Volume
+	for u := int32(0); u < int32(n); u++ {
+		destGroup := assign(u, n, groups, spec.Hashed)
+		rootSlice := assign(u, n, c, spec.Hashed)
+		for _, w := range g.Neighbors(u) {
+			slice := assign(w, n, c, spec.Hashed)
+			if seenActive.add(u, slice) {
+				active[u]++
+				if slice == rootSlice {
+					rootHit[u] = true
+				}
+			}
+			if !seenMirror.add(w, destGroup) {
+				continue
+			}
+			if assign(w, n, groups, spec.Hashed) == destGroup {
+				vol.Local++
+			} else {
+				vol.Mirror++
+				perNode[destGroup*c+slice]++
+			}
+		}
+	}
+	// Replica sync: every active replica except the root ships its partial
+	// row to the root replica of u's group.
+	for u := 0; u < n; u++ {
+		if active[u] == 0 {
+			continue
+		}
+		senders := active[u]
+		if rootHit[u] {
+			senders--
+		}
+		if senders > 0 && c > 1 {
+			vol.Reduce += float64(senders)
+			destGroup := assign(int32(u), n, groups, spec.Hashed)
+			rootSlice := assign(int32(u), n, c, spec.Hashed)
+			perNode[destGroup*c+rootSlice] += float64(senders)
+		}
+	}
+	vol.PerNodeMax = maxOf(perNode)
+	return vol, nil
+}
+
+func score2D(g *graph.Graph, spec Spec) (Volume, error) {
+	n := g.N()
+	q := spec.grid()
+	// Broadcast: dedup (source vertex, destination row block) — the row
+	// travels from its diagonal owner (j,j) down column j to (i,j).
+	seenMirror := newDestSet(n, q)
+	// Reduce: dedup (destination vertex, source column block) — partials
+	// at (i,j) reduce across row i to the diagonal (i,i).
+	seenReduce := newDestSet(n, q)
+	perNode := make([]float64, spec.Nodes)
+	var vol Volume
+	for u := int32(0); u < int32(n); u++ {
+		i := assign(u, n, q, spec.Hashed)
+		for _, w := range g.Neighbors(u) {
+			j := assign(w, n, q, spec.Hashed)
+			if seenMirror.add(w, i) {
+				if i == j {
+					vol.Local++
+				} else {
+					vol.Mirror++
+					perNode[i*q+j]++
+				}
+			}
+			if seenReduce.add(u, j) && j != i {
+				vol.Reduce++
+				perNode[i*q+i]++
+			}
+		}
+	}
+	vol.PerNodeMax = maxOf(perNode)
+	return vol, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

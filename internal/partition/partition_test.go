@@ -1,0 +1,311 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"moment/internal/graph"
+)
+
+// bruteScore recomputes the communication volume of spec over g straight
+// from the package-comment definitions with per-edge scans and hash-set
+// dedup — deliberately sharing no code with Score.
+func bruteScore(t *testing.T, g *graph.Graph, spec Spec) Volume {
+	t.Helper()
+	n := g.N()
+	var vol Volume
+	type pair struct {
+		v int32
+		k int
+	}
+	perNode := map[int]float64{}
+	switch spec.Layout {
+	case Layout1D:
+		seen := map[pair]bool{}
+		for u := int32(0); u < int32(n); u++ {
+			dest := assign(u, n, spec.Nodes, spec.Hashed)
+			for _, w := range g.Neighbors(u) {
+				if seen[pair{w, dest}] {
+					continue
+				}
+				seen[pair{w, dest}] = true
+				if assign(w, n, spec.Nodes, spec.Hashed) == dest {
+					vol.Local++
+				} else {
+					vol.Mirror++
+					perNode[dest]++
+				}
+			}
+		}
+	case Layout15D:
+		c := spec.replWidth()
+		groups := spec.Nodes / c
+		mirror := map[pair]bool{}
+		activeSlices := make([]map[int]bool, n)
+		for u := int32(0); u < int32(n); u++ {
+			destGroup := assign(u, n, groups, spec.Hashed)
+			for _, w := range g.Neighbors(u) {
+				slice := assign(w, n, c, spec.Hashed)
+				if activeSlices[u] == nil {
+					activeSlices[u] = map[int]bool{}
+				}
+				activeSlices[u][slice] = true
+				if mirror[pair{w, destGroup}] {
+					continue
+				}
+				mirror[pair{w, destGroup}] = true
+				if assign(w, n, groups, spec.Hashed) == destGroup {
+					vol.Local++
+				} else {
+					vol.Mirror++
+					perNode[destGroup*c+slice]++
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			if len(activeSlices[u]) == 0 {
+				continue
+			}
+			destGroup := assign(int32(u), n, groups, spec.Hashed)
+			rootSlice := assign(int32(u), n, c, spec.Hashed)
+			senders := len(activeSlices[u])
+			if activeSlices[u][rootSlice] {
+				senders--
+			}
+			if senders > 0 {
+				vol.Reduce += float64(senders)
+				perNode[destGroup*c+rootSlice] += float64(senders)
+			}
+		}
+	case Layout2D:
+		q := spec.grid()
+		mirror := map[pair]bool{}
+		reduce := map[pair]bool{}
+		for u := int32(0); u < int32(n); u++ {
+			i := assign(u, n, q, spec.Hashed)
+			for _, w := range g.Neighbors(u) {
+				j := assign(w, n, q, spec.Hashed)
+				if !mirror[pair{w, i}] {
+					mirror[pair{w, i}] = true
+					if i == j {
+						vol.Local++
+					} else {
+						vol.Mirror++
+						perNode[i*q+j]++
+					}
+				}
+				if !reduce[pair{u, j}] && j != i {
+					reduce[pair{u, j}] = true
+					vol.Reduce++
+					perNode[i*q+i]++
+				}
+			}
+		}
+	}
+	for _, v := range perNode {
+		if v > vol.PerNodeMax {
+			vol.PerNodeMax = v
+		}
+	}
+	return vol
+}
+
+func eqVol(a, b Volume) bool {
+	return a.Mirror == b.Mirror && a.Reduce == b.Reduce &&
+		a.Local == b.Local && a.PerNodeMax == b.PerNodeMax
+}
+
+func randomGraph(t *testing.T, n, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	es := make([][2]int32, edges)
+	for i := range es {
+		es[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+	}
+	g, err := graph.FromEdges(n, es)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func allSpecs(nodes int) []Spec {
+	specs := []Spec{{Layout: Layout1D, Nodes: nodes}}
+	for c := 1; c <= nodes; c++ {
+		if nodes%c == 0 {
+			specs = append(specs, Spec{Layout: Layout15D, Nodes: nodes, Repl: c})
+		}
+	}
+	if q := (Spec{Nodes: nodes}).grid(); q*q == nodes {
+		specs = append(specs, Spec{Layout: Layout2D, Nodes: nodes})
+	}
+	base := specs
+	for _, s := range base {
+		s.Hashed = true
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestScoreMatchesBruteForce is the acceptance property: every CAGNET
+// layout's scored communication volume equals an independent brute-force
+// per-edge count, across a grid of random graphs, node counts, replication
+// widths, and both assignment modes.
+func TestScoreMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 40} {
+		for _, nodes := range []int{1, 2, 3, 4, 6, 9, 16} {
+			for seed := int64(0); seed < 3; seed++ {
+				g := randomGraph(t, n, 4*n, seed)
+				for _, spec := range allSpecs(nodes) {
+					got, err := Score(g, spec)
+					if err != nil {
+						t.Fatalf("Score(n=%d, %v): %v", n, spec, err)
+					}
+					want := bruteScore(t, g, spec)
+					if !eqVol(got, want) {
+						t.Errorf("n=%d seed=%d spec=%v: Score=%+v brute=%+v", n, seed, spec, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreWideCluster pins the map fallback (destination space > 64) to
+// the brute force too.
+func TestScoreWideCluster(t *testing.T) {
+	g := randomGraph(t, 300, 900, 11)
+	for _, spec := range []Spec{
+		{Layout: Layout1D, Nodes: 100},
+		{Layout: Layout15D, Nodes: 100, Repl: 1}, // 100 groups > 64
+		{Layout: Layout1D, Nodes: 100, Hashed: true},
+	} {
+		got, err := Score(g, spec)
+		if err != nil {
+			t.Fatalf("Score: %v", err)
+		}
+		if want := bruteScore(t, g, spec); !eqVol(got, want) {
+			t.Errorf("spec=%v: Score=%+v brute=%+v", spec, got, want)
+		}
+	}
+}
+
+// TestLayoutInvariants checks structural identities: a single node moves
+// nothing, 1.5D at c=1 degenerates to 1D, and 2D per-vertex traffic stays
+// within the 2(q-1) CAGNET cap.
+func TestLayoutInvariants(t *testing.T) {
+	g := randomGraph(t, 64, 256, 3)
+	for _, spec := range allSpecs(1) {
+		v, err := Score(g, spec)
+		if err != nil {
+			t.Fatalf("Score: %v", err)
+		}
+		if v.Mirror != 0 || v.Reduce != 0 || v.PerNodeMax != 0 {
+			t.Errorf("single node %v moved bytes: %+v", spec, v)
+		}
+	}
+	for _, nodes := range []int{2, 4, 8} {
+		d1, err := Score(g, Spec{Layout: Layout1D, Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d15, err := Score(g, Spec{Layout: Layout15D, Nodes: nodes, Repl: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqVol(d1, d15) {
+			t.Errorf("%d nodes: 1.5d(c=1)=%+v != 1d=%+v", nodes, d15, d1)
+		}
+	}
+	// 2D cap: per-vertex rows <= 2(q-1); totals are bounded accordingly.
+	q := 4
+	v2, err := Score(g, Spec{Layout: Layout2D, Nodes: q * q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap := float64(g.N()) * 2 * float64(q-1); v2.Rows() > cap {
+		t.Errorf("2d rows %.0f exceed the 2(q-1) cap %.0f", v2.Rows(), cap)
+	}
+	if rf := v2.RemoteFrac(); rf < 0 || rf > 1 {
+		t.Errorf("RemoteFrac out of range: %v", rf)
+	}
+	// More 1.5D replication never increases mirror volume (bigger groups
+	// own more of each node's neighborhood).
+	prev := -1.0
+	for _, c := range []int{1, 2, 4, 8} {
+		v, err := Score(g, Spec{Layout: Layout15D, Nodes: 8, Repl: c})
+		if err != nil && 8%c == 0 {
+			t.Fatal(err)
+		}
+		if err != nil {
+			continue
+		}
+		if prev >= 0 && v.Mirror > prev {
+			t.Errorf("1.5d c=%d mirror %.0f grew past %.0f", c, v.Mirror, prev)
+		}
+		prev = v.Mirror
+	}
+}
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		nodes int
+		want  Spec
+	}{
+		{"1d", 4, Spec{Layout: Layout1D, Nodes: 4}},
+		{"1.5d:2", 4, Spec{Layout: Layout15D, Nodes: 4, Repl: 2}},
+		{"1.5d", 4, Spec{Layout: Layout15D, Nodes: 4, Repl: 1}},
+		{"2d", 9, Spec{Layout: Layout2D, Nodes: 9}},
+		{"1d/hash", 3, Spec{Layout: Layout1D, Nodes: 3, Hashed: true}},
+		{"2D/HASH", 4, Spec{Layout: Layout2D, Nodes: 4, Hashed: true}},
+	} {
+		got, err := ParseSpec(tc.in, tc.nodes)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		back, err := ParseSpec(got.String(), tc.nodes)
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []struct {
+		in    string
+		nodes int
+	}{
+		{"3d", 4}, {"1.5d:3", 4}, {"2d", 6}, {"1d", 0}, {"1.5d:x", 4}, {"1dextra", 4},
+	} {
+		if _, err := ParseSpec(bad.in, bad.nodes); err == nil {
+			t.Errorf("ParseSpec(%q, %d) accepted", bad.in, bad.nodes)
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	n := 16
+	// 1D range blocks: owners are nondecreasing and span all nodes.
+	s := Spec{Layout: Layout1D, Nodes: 4}
+	last := 0
+	seen := map[int]bool{}
+	for v := int32(0); v < int32(n); v++ {
+		o := s.Owner(v, n)
+		if o < last || o >= 4 {
+			t.Fatalf("1d owner(%d)=%d after %d", v, o, last)
+		}
+		last = o
+		seen[o] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("1d owners covered %d of 4 nodes", len(seen))
+	}
+	// 1.5D owner is the group's first replica; 2D owner is diagonal.
+	if o := (Spec{Layout: Layout15D, Nodes: 4, Repl: 2}).Owner(15, n); o != 2 {
+		t.Errorf("1.5d owner = %d, want 2", o)
+	}
+	if o := (Spec{Layout: Layout2D, Nodes: 4}).Owner(15, n); o != 3 {
+		t.Errorf("2d owner = %d, want 3 (diagonal of block 1)", o)
+	}
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"moment/internal/units"
+)
+
+func TestClusterSpecRoundTrip(t *testing.T) {
+	for _, cs := range []ClusterSpec{
+		{Nodes: 4, NICBW: units.Gbps(100)},
+		{Nodes: 8, NICsPerNode: 2, NICBW: units.Gbps(100), Leaves: 2, LeafUplinkBW: units.Gbps(400)},
+		{Nodes: 3, NICBW: units.Gbps(25), NICAt: "rc1"},
+	} {
+		line := FormatClusterSpec(cs)
+		got, err := ParseClusterLine(strings.Fields(strings.TrimSpace(line)))
+		if err != nil {
+			t.Fatalf("ParseClusterLine(%q): %v", line, err)
+		}
+		want := cs.Defaults()
+		got = got.Defaults()
+		if got.Nodes != want.Nodes || got.NICsPerNode != want.NICsPerNode ||
+			got.Leaves != want.Leaves || got.NICAt != want.NICAt {
+			t.Errorf("round trip %q: got %+v want %+v", line, got, want)
+		}
+		if diff := float64(got.NICBW - want.NICBW); diff > 1e6 || diff < -1e6 {
+			t.Errorf("NICBW drifted: got %v want %v", got.NICBW, want.NICBW)
+		}
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	bad := []ClusterSpec{
+		{Nodes: 0},
+		{Nodes: 4}, // multi-node without NIC bandwidth
+		{Nodes: 2, NICBW: units.Gbps(100), Leaves: 3},
+	}
+	for _, cs := range bad {
+		if err := cs.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", cs)
+		}
+	}
+	if err := (ClusterSpec{Nodes: 1}).Validate(); err != nil {
+		t.Errorf("single node without NIC rejected: %v", err)
+	}
+}
+
+func TestClusterSpecTopologyHelpers(t *testing.T) {
+	cs := ClusterSpec{Nodes: 6, NICBW: units.Gbps(100), Leaves: 2, LeafUplinkBW: units.Gbps(200)}
+	// Contiguous blocks: nodes 0-2 on leaf 0, nodes 3-5 on leaf 1.
+	for j, want := range []int{0, 0, 0, 1, 1, 1} {
+		if got := cs.LeafOf(j); got != want {
+			t.Errorf("LeafOf(%d) = %d, want %d", j, got, want)
+		}
+	}
+	// 3 nodes x 100 Gbps into a 200 Gbps uplink = 1.5x oversubscribed.
+	if got := cs.Oversubscription(); got < 1.49 || got > 1.51 {
+		t.Errorf("Oversubscription = %v, want 1.5", got)
+	}
+	if !(ClusterSpec{Nodes: 4, NICBW: units.Gbps(100)}).NonBlocking() {
+		t.Error("single unbounded leaf should be non-blocking")
+	}
+	if (ClusterSpec{Nodes: 4, NICBW: units.Gbps(100)}).Oversubscription() != 0 {
+		t.Error("non-blocking spec reports nonzero oversubscription")
+	}
+}
+
+func TestParseClusterFile(t *testing.T) {
+	m := MachineB()
+	doc := FormatSpec(m) + FormatClusterSpec(ClusterSpec{
+		Nodes: 4, NICBW: units.Gbps(100), Leaves: 2, LeafUplinkBW: units.Gbps(150),
+	})
+	gm, cs, err := ParseClusterFile(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ParseClusterFile: %v", err)
+	}
+	if gm.Name != m.Name || gm.NumGPUs != m.NumGPUs || gm.NumSSDs != m.NumSSDs {
+		t.Errorf("machine did not round trip: %+v", gm)
+	}
+	if cs == nil || cs.Nodes != 4 || cs.Defaults().Leaves != 2 {
+		t.Errorf("cluster spec did not round trip: %+v", cs)
+	}
+	// No cluster line -> nil spec, machine still parses.
+	gm, cs, err = ParseClusterFile(strings.NewReader(FormatSpec(m)))
+	if err != nil || cs != nil || gm == nil {
+		t.Errorf("machine-only doc: m=%v cs=%v err=%v", gm, cs, err)
+	}
+	// Duplicate cluster lines are rejected.
+	dup := doc + FormatClusterSpec(ClusterSpec{Nodes: 2, NICBW: units.Gbps(10)})
+	if _, _, err := ParseClusterFile(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate cluster line accepted")
+	}
+}
